@@ -1,0 +1,34 @@
+# Convenience targets for the MicroSampler reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench audit examples results clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+audit:
+	$(PYTHON) -m repro.cli audit
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/fast_bypass_study.py
+	$(PYTHON) examples/software_tool_coverage.py
+	$(PYTHON) examples/verify_custom_primitive.py
+	$(PYTHON) examples/timing_attack_demo.py
+	$(PYTHON) examples/flush_reload_attack.py
+	$(PYTHON) examples/trace_archive_workflow.py
+
+results: test bench
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache benchmarks/results test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+and both prints it and writes it to ``benchmarks/results/<name>.txt`` so the
+series survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure/table reproduction and persist it to results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def v_series(report, notiming: bool = False) -> dict:
+    """Per-unit Cramér's V series from a LeakageReport."""
+    if notiming:
+        return report.cramers_v_by_unit_notiming()
+    return report.cramers_v_by_unit()

@@ -1,0 +1,46 @@
+"""Ablation: fixed-latency vs early-exit divider (DESIGN.md design choice).
+
+Constant-time principle 3 forbids computing on secrets with variable-timing
+arithmetic.  The ``div-timing`` workload divides by a secret-selected
+divisor: on the default fixed-latency divider it verifies clean, while on an
+early-exit (operand-dependent-latency) divider MicroSampler flags EUU-DIV
+and the downstream timing-coupled units — validating both the divider model
+and the detection machinery.
+"""
+
+import pytest
+
+from repro.sampler import MicroSampler, render_bar_chart
+from repro.uarch import MEGA_BOOM
+from repro.workloads.modexp import make_div_timing
+
+from _harness import emit, v_series
+
+
+def _both():
+    workload = make_div_timing(n_keys=4, seed=5)
+    fixed = MicroSampler(MEGA_BOOM).analyze(workload)
+    variable = MicroSampler(
+        MEGA_BOOM.with_(variable_div_latency=True)
+    ).analyze(workload)
+    return fixed, variable
+
+
+def test_ablation_divider_latency(benchmark):
+    fixed, variable = benchmark.pedantic(_both, rounds=1, iterations=1)
+    lines = [
+        "Ablation — secret-dependent divisor under two divider designs",
+        "",
+        render_bar_chart(v_series(fixed),
+                         title="fixed-latency divider (hardened):"),
+        f"verdict: {'LEAK' if fixed.leakage_detected else 'clean'}",
+        "",
+        render_bar_chart(v_series(variable),
+                         title="early-exit divider (operand-dependent):"),
+        f"verdict: LEAK in {', '.join(variable.leaky_units)}"
+        if variable.leakage_detected else "verdict: clean",
+    ]
+    emit("ablation_divider", "\n".join(lines))
+    assert not fixed.leakage_detected
+    assert variable.leakage_detected
+    assert "EUU-DIV" in variable.leaky_units

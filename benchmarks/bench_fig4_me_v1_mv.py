@@ -1,0 +1,38 @@
+"""Figure 4: Cramér's V per unit for ME-V1-MV.
+
+Paper result: the branchless conditional copy confines the correlation to
+memory-access units (store-queue addresses, prefetcher, cache request, TLB,
+MSHR); roughly half the units show V below 0.2.
+"""
+
+import pytest
+
+from repro.sampler import MicroSampler, render_bar_chart
+from repro.uarch import MEGA_BOOM
+from repro.workloads.modexp import make_me_v1_mv
+
+from _harness import emit, v_series
+
+MEMORY_UNITS = {"SQ-ADDR", "NLP-ADDR", "Cache-ADDR", "TLB-ADDR", "MSHR-ADDR"}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_me_v1_mv(n_keys=6, seed=3)
+
+
+def test_fig4_me_v1_mv(benchmark, workload):
+    sampler = MicroSampler(MEGA_BOOM)
+    report = benchmark.pedantic(sampler.analyze, args=(workload,),
+                                rounds=1, iterations=1)
+    chart = render_bar_chart(
+        v_series(report),
+        title=f"Fig. 4 — ME-V1-MV on MegaBoom ({report.n_iterations} "
+              f"iterations): Cramér's V per unit",
+    )
+    chart += f"\n\nflagged units: {', '.join(report.leaky_units)}"
+    emit("fig4_me_v1_mv", chart)
+    flagged = set(report.leaky_units)
+    assert flagged == MEMORY_UNITS
+    low = [fid for fid, v in v_series(report).items() if v < 0.3]
+    assert len(low) >= 8  # non-memory units stay low

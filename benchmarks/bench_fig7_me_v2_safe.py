@@ -1,0 +1,37 @@
+"""Figure 7: Cramér's V per unit for ME-V2-Safe.
+
+Paper result: BearSSL's branchless conditional copy shows no statistically
+significant correlation on any tracked unit — the implementation is sound on
+this microarchitecture.
+"""
+
+import pytest
+
+from repro.sampler import MicroSampler, render_bar_chart
+from repro.uarch import MEGA_BOOM
+from repro.workloads.modexp import make_me_v2_safe
+
+from _harness import emit, v_series
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_me_v2_safe(n_keys=6, seed=3)
+
+
+def test_fig7_me_v2_safe(benchmark, workload):
+    sampler = MicroSampler(MEGA_BOOM)
+    report = benchmark.pedantic(sampler.analyze, args=(workload,),
+                                rounds=1, iterations=1)
+    series = v_series(report)
+    chart = render_bar_chart(
+        series,
+        title=f"Fig. 7 — ME-V2-Safe on MegaBoom ({report.n_iterations} "
+              f"iterations): Cramér's V per unit",
+    )
+    verdict = ("no statistically significant correlation"
+               if not report.leakage_detected else
+               f"UNEXPECTED leakage: {report.leaky_units}")
+    emit("fig7_me_v2_safe", chart + f"\n\nverdict: {verdict}")
+    assert not report.leakage_detected
+    assert max(series.values()) < 0.5

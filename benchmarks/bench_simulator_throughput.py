@@ -1,0 +1,54 @@
+"""Simulator throughput: cycles/second with and without tracing.
+
+Not a paper table, but the number that determines campaign sizing on this
+substrate (the analog of the paper's Verilator throughput).  Also guards
+against performance regressions in the core loop and the tracer.
+"""
+
+import pytest
+
+from repro.kernel import ProxyKernel
+from repro.sampler.runner import patch_program
+from repro.trace import MicroarchTracer
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core
+from repro.workloads.modexp import make_me_v2_safe
+
+from _harness import emit
+
+
+@pytest.fixture(scope="module")
+def program():
+    workload = make_me_v2_safe(n_keys=1, seed=3)
+    return patch_program(workload.assemble(), workload.inputs[0])
+
+
+def _run(program, config, traced):
+    tracer = MicroarchTracer() if traced else None
+    core = Core(program, config, kernel=ProxyKernel(), tracer=tracer)
+    result = core.run()
+    return result.stats.cycles
+
+
+def test_simulator_throughput(benchmark, program):
+    import time
+    rows = []
+    for config in (SMALL_BOOM, MEGA_BOOM):
+        for traced in (False, True):
+            started = time.perf_counter()
+            cycles = _run(program, config, traced)
+            elapsed = time.perf_counter() - started
+            rows.append((config.name, traced, cycles, cycles / elapsed))
+    benchmark.pedantic(_run, args=(program, MEGA_BOOM, True),
+                       rounds=1, iterations=1)
+    lines = [
+        "Simulator throughput (ME-V2-Safe, one 32-bit key)",
+        f"{'config':<12} {'tracing':>8} {'cycles':>8} {'cycles/s':>10}",
+        "-" * 44,
+    ]
+    for name, traced, cycles, rate in rows:
+        lines.append(f"{name:<12} {'on' if traced else 'off':>8} "
+                     f"{cycles:>8} {rate:>10,.0f}")
+    emit("simulator_throughput", "\n".join(lines))
+    # Regression floor: the untraced core must clear 5k cycles/s easily.
+    untraced = [rate for name, traced, _, rate in rows if not traced]
+    assert min(untraced) > 5_000

@@ -1,0 +1,48 @@
+"""Table V: the 28 OpenSSL constant-time primitives.
+
+Paper result: no statistically significant correlation for any primitive
+except the constant-time memory comparison ``CRYPTO_memcmp`` (whose leak is
+demonstrated in the CT-MEM-CMP case study / Figure 10 benchmark).
+"""
+
+import pytest
+
+from repro.sampler import MicroSampler
+from repro.uarch import MEGA_BOOM
+from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.openssl import make_primitive_workload, primitive_names
+
+from _harness import emit
+
+
+def _sweep():
+    sampler = MicroSampler(MEGA_BOOM)
+    rows = []
+    for name in primitive_names():
+        workload = make_primitive_workload(name, n_sets=12, n_runs=2, seed=11)
+        report = sampler.analyze(workload)
+        rows.append((name, report.leakage_detected,
+                     max(report.cramers_v_by_unit().values())))
+    memcmp_report = sampler.analyze(make_ct_memcmp(n_pairs=24, seed=2,
+                                                   n_runs=2))
+    rows.append(("CRYPTO_memcmp", memcmp_report.leakage_detected,
+                 max(memcmp_report.cramers_v_by_unit().values())))
+    return rows
+
+
+def test_table5_openssl_primitives(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "Table V — OpenSSL constant-time primitives",
+        f"{'primitive':<34} {'max V':>7} {'leakage identified':>20}",
+        "-" * 63,
+    ]
+    for name, leaky, max_v in rows:
+        lines.append(f"{name:<34} {max_v:>7.3f} "
+                     f"{'YES' if leaky else 'no':>20}")
+    emit("table5_openssl", "\n".join(lines))
+
+    verdicts = {name: leaky for name, leaky, _ in rows}
+    assert verdicts.pop("CRYPTO_memcmp") is True
+    assert not any(verdicts.values())  # all 27 others clean
+    assert len(verdicts) == 27

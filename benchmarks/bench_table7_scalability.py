@@ -1,0 +1,82 @@
+"""Table VII: MicroSampler scalability versus formal verification.
+
+Paper result: MicroSampler analysis time grows roughly linearly with design
+size (SmallBoom -> MegaBoom: ~4x the state bits, ~2x the time), whereas the
+XENON formal two-safety approach blows up (8x the design, 336x the time).
+This benchmark measures both on our substrates: the same campaign on both
+core configurations, and the exhaustive product-machine checker on two
+netlists of different sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import build_serial_alu, check_two_safety
+from repro.sampler import MicroSampler
+from repro.uarch import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM
+from repro.workloads.modexp import make_me_v1_cv
+
+from _harness import emit
+
+
+def _microsampler_times():
+    workload = make_me_v1_cv(n_keys=3, seed=3)
+    times = {}
+    for config in (SMALL_BOOM, MEDIUM_BOOM, MEGA_BOOM):
+        started = time.perf_counter()
+        MicroSampler(config).analyze(workload)
+        times[config.name] = time.perf_counter() - started
+    return times
+
+
+def _formal_times():
+    results = {}
+    for width in (4, 7):
+        outcome = check_two_safety(build_serial_alu(width))
+        results[outcome.design] = (outcome.state_bits,
+                                   outcome.analysis_seconds)
+    return results
+
+
+def test_table7_scalability(benchmark):
+    ms_times = benchmark.pedantic(_microsampler_times, rounds=1, iterations=1)
+    formal = _formal_times()
+
+    small_bits = SMALL_BOOM.core_structure_bits()
+    mega_bits = MEGA_BOOM.core_structure_bits()
+    size_ratio = mega_bits / small_bits
+    time_ratio = ms_times["MegaBoom"] / ms_times["SmallBoom"]
+
+    (f_small, (f_small_bits, f_small_t)), (f_large, (f_large_bits, f_large_t)) = \
+        sorted(formal.items(), key=lambda kv: kv[1][0])
+    f_size_ratio = f_large_bits / f_small_bits
+    f_time_ratio = f_large_t / max(f_small_t, 1e-9)
+
+    lines = [
+        "Table VII — scalability: MicroSampler vs formal two-safety checking",
+        "",
+        f"{'tool':<18} {'design':<16} {'state bits':>11} {'time':>10}",
+        "-" * 58,
+        f"{'MicroSampler':<18} {'SmallBoom':<16} {small_bits:>11,} "
+        f"{ms_times['SmallBoom']:>9.2f}s",
+        f"{'MicroSampler':<18} {'MediumBoom':<16} "
+        f"{MEDIUM_BOOM.core_structure_bits():>11,} "
+        f"{ms_times['MediumBoom']:>9.2f}s",
+        f"{'MicroSampler':<18} {'MegaBoom':<16} {mega_bits:>11,} "
+        f"{ms_times['MegaBoom']:>9.2f}s",
+        f"{'formal (2-safety)':<18} {f_small:<16} {f_small_bits:>11,} "
+        f"{f_small_t:>9.3f}s",
+        f"{'formal (2-safety)':<18} {f_large:<16} {f_large_bits:>11,} "
+        f"{f_large_t:>9.3f}s",
+        "",
+        f"MicroSampler: {size_ratio:.1f}x design size -> "
+        f"{time_ratio:.1f}x analysis time  (paper: 4x size / 2x time)",
+        f"formal:       {f_size_ratio:.1f}x state bits -> "
+        f"{f_time_ratio:.0f}x analysis time  (paper/XENON: 8x size / 336x time)",
+    ]
+    emit("table7_scalability", "\n".join(lines))
+
+    # Shape: near-linear for MicroSampler, super-linear blow-up for formal.
+    assert time_ratio < size_ratio * 1.5
+    assert f_time_ratio > f_size_ratio * 4

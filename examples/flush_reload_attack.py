@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Flush+Reload attack against a table-driven S-box — and its CT fix.
+
+MicroSampler flags the ``sbox-lookup`` workload's secret-dependent load
+addresses (LQ-ADDR / Cache-ADDR).  This demo validates that finding with
+the attacker of the paper's threat model: a Flush+Reload adversary who
+evicts the S-box's four cache lines before every victim operation and
+checks which line came back afterwards.
+
+Against the lookup version the attacker recovers the top index bit of every
+single substitution; against the constant-time scan the observation is the
+same for every class, and accuracy collapses to majority-class guessing.
+
+Run:  python examples/flush_reload_attack.py
+"""
+
+from collections import Counter
+
+from repro.attacks import flush_reload_attack, lowest_touched_line
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM
+from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
+
+N_OPS = 32
+
+
+def attack(make, title):
+    workload = make(n_sets=N_OPS, n_runs=1, seed=77)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    sbox = program.symbols["sbox"]
+    monitored = [sbox + 64 * i for i in range(4)]
+    result = flush_reload_attack(program, MEGA_BOOM, monitored)
+
+    def predict(touched):
+        line = lowest_touched_line(touched)
+        return -1 if line is None else int(line >= sbox + 128)
+
+    accuracy = result.accuracy(predict)
+    print(f"{title}")
+    print(f"  victim operations observed: {len(result.observations)}")
+    patterns = Counter(
+        tuple(int(v) for v in obs.touched.values())
+        for obs in result.observations
+    )
+    for pattern, count in sorted(patterns.items()):
+        print(f"  touched-lines pattern {pattern}: {count}x")
+    print(f"  secret-bit recovery accuracy: {100 * accuracy:.1f}%\n")
+    return accuracy, result
+
+
+def main():
+    print("Attacker: flush the S-box's 4 cache lines before each victim "
+          "substitution,\nthen check which lines are resident afterwards.\n")
+    lookup_acc, _ = attack(make_sbox_lookup,
+                           "Victim 1: table-lookup S-box (sbox[x ^ k])")
+    ct_acc, ct_result = attack(make_sbox_ct,
+                               "Victim 2: constant-time scan S-box")
+
+    assert lookup_acc == 1.0
+    # The CT version's observations carry no information: identical pattern
+    # for every class.
+    patterns = {tuple(obs.touched.values())
+                for obs in ct_result.observations}
+    assert len(patterns) == 1
+    print("=> The lookup S-box leaks every secret index bit at cache-line")
+    print("   granularity; the constant-time scan shows the attacker the")
+    print("   same picture regardless of the secret — exactly matching")
+    print("   MicroSampler's verdicts on the two implementations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""End-to-end exploit demo: turning the ME-V1-MV finding into key recovery.
+
+MicroSampler flags ME-V1-MV's secret-dependent memmove destination
+(Figure 4/5) even though no timing difference is measurable under normal
+conditions (Figure 6a).  This demo plays the attacker of the paper's
+"possible exploit path": prime the ``dst`` region into the L1D, then recover
+every key bit purely from per-iteration execution time — bit=1 iterations
+(stores hit the cached dst) run much faster than bit=0 iterations (stores
+miss on the uncached dummy).
+
+Run:  python examples/timing_attack_demo.py
+"""
+
+from statistics import mean
+
+from repro import MEGA_BOOM, run_campaign
+from repro.workloads.modexp import make_me_v1_mv
+
+N_KEYS = 4
+
+
+def main():
+    print("Victim: ME-V1-MV modular exponentiation "
+          "(branchless conditional copy, secret-selected store target)")
+    print(f"Attacker: primes dst into the L1D, times each of the 32 "
+          f"key-bit iterations.\n")
+
+    workload = make_me_v1_mv(n_keys=N_KEYS, seed=42, warm_dst=True)
+    campaign = run_campaign(workload, MEGA_BOOM)
+
+    # The attacker sees only timings; labels are ground truth for scoring.
+    timings = [record.cycles for record in campaign.iterations]
+    truth = [record.label for record in campaign.iterations]
+
+    # Classic two-cluster threshold: midpoint between the distribution modes.
+    threshold = (min(timings) + max(timings)) / 2
+    guesses = [1 if cycles < threshold else 0 for cycles in timings]
+
+    correct = sum(int(g == t) for g, t in zip(guesses, truth))
+    print(f"iterations timed:    {len(timings)}")
+    print(f"fast-cluster mean:   "
+          f"{mean(c for c in timings if c < threshold):.1f} cycles")
+    print(f"slow-cluster mean:   "
+          f"{mean(c for c in timings if c >= threshold):.1f} cycles")
+    print(f"decision threshold:  {threshold:.1f} cycles")
+    print(f"bits recovered:      {correct}/{len(timings)} "
+          f"({100 * correct / len(timings):.1f}%)\n")
+
+    # Reassemble the recovered keys, MSB-first per 32-bit exponent.
+    for key_index in range(N_KEYS):
+        bits = guesses[32 * key_index:32 * (key_index + 1)]
+        recovered = 0
+        for bit in bits:
+            recovered = (recovered << 1) | bit
+        actual = int.from_bytes(workload.inputs[key_index]["key"], "little")
+        status = "RECOVERED" if recovered == actual else "partial"
+        print(f"key {key_index}: actual={actual:#010x} "
+              f"recovered={recovered:#010x}  [{status}]")
+
+    assert correct == len(timings), "expected full key recovery in this demo"
+    print("\nAll key bits recovered from timing alone — the address leak "
+          "MicroSampler flagged is a real, exploitable channel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Side-channel attacker harnesses (Flush+Reload per the threat model)."""
+
+from repro.attacks.flush_reload import (
+    FlushReloadResult,
+    IterationObservation,
+    flush_reload_attack,
+    lowest_touched_line,
+)
+
+__all__ = [
+    "FlushReloadResult",
+    "IterationObservation",
+    "flush_reload_attack",
+    "lowest_touched_line",
+]

@@ -1,0 +1,121 @@
+"""Flush+Reload attack harness against the simulated core.
+
+The paper's threat model assumes attackers "with the same capabilities as
+other side-channel attacks such as Flush+Reload or Prime+Probe" [60], [37].
+This module provides that attacker as a co-routine around a running
+:class:`~repro.uarch.core.Core`: at every iteration boundary (observed via
+the victim's own marker commits) it flushes a set of monitored lines from
+the L1D, and after the iteration it "reloads" each line — timing the access
+exactly as the real attack does — to learn which lines the victim touched.
+
+The harness drives the victim cycle by cycle, so the measurement is of the
+same cache the victim used, with no modeling shortcuts: a reload is a real
+``DataCachePort.request`` whose hit/miss status is the attacker's signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.core import Core
+
+
+@dataclass
+class IterationObservation:
+    """What the attacker learned about one victim iteration."""
+
+    index: int
+    label: int  # ground truth, for scoring only
+    #: monitored line address -> True if the reload hit (victim touched it)
+    touched: dict = field(default_factory=dict)
+
+
+class _MarkerTap:
+    """Minimal tracer that only watches marker commits."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_marker(self, mnemonic, label, cycle):
+        self.events.append((mnemonic, label, cycle))
+
+    def on_cycle(self, core, cycle):
+        pass
+
+    def begin_run(self, run_index):
+        pass
+
+
+@dataclass
+class FlushReloadResult:
+    """Full attack transcript over one victim run."""
+
+    observations: list = field(default_factory=list)
+
+    def accuracy(self, predict) -> float:
+        """Score a prediction function ``predict(touched) -> label``."""
+        if not self.observations:
+            return 0.0
+        correct = sum(
+            int(predict(obs.touched) == obs.label)
+            for obs in self.observations
+        )
+        return correct / len(self.observations)
+
+
+def flush_reload_attack(program, config, monitored_addresses, *,
+                        max_cycles: int = 2_000_000) -> FlushReloadResult:
+    """Run ``program`` under a Flush+Reload attacker.
+
+    ``monitored_addresses`` are byte addresses whose cache lines the
+    attacker flushes before each victim iteration and reloads after it.
+    Returns per-iteration hit maps plus the ground-truth labels (from the
+    victim's iteration markers) for scoring.
+    """
+    tap = _MarkerTap()
+    core = Core(program, config, tracer=tap)
+    result = FlushReloadResult()
+    lines = sorted({address & ~63 for address in monitored_addresses})
+
+    def flush_all():
+        for line in lines:
+            core.dcache.cache.flush_line(line)
+
+    open_label = None
+    open_index = 0
+    consumed = 0
+    while not core.halted:
+        if core.cycle >= max_cycles:
+            raise RuntimeError("victim did not terminate")
+        core.step()
+        while consumed < len(tap.events):
+            mnemonic, label, _cycle = tap.events[consumed]
+            consumed += 1
+            if mnemonic == "iter.begin":
+                # Flush phase: evict the monitored lines right before the
+                # victim's security-critical iteration runs.
+                flush_all()
+                open_label = label
+            elif mnemonic == "iter.end" and open_label is not None:
+                # Measurement phase: a resident line means the victim
+                # touched it.  The probe is side-effect free (Flush+Flush
+                # style: the attacker times the flush, never refilling), so
+                # measurements cannot contaminate later iterations.
+                observation = IterationObservation(index=open_index,
+                                                   label=open_label)
+                for line in lines:
+                    observation.touched[line] = core.dcache.probe(line)
+                result.observations.append(observation)
+                open_index += 1
+                open_label = None
+    return result
+
+
+def lowest_touched_line(touched: dict):
+    """The lowest-addressed touched line — the victim's demand access.
+
+    A next-line prefetcher drags in line k+1 alongside a demand access to
+    line k, so the *lowest* touched line is the demand line.
+    """
+    resident = [line for line, hit in touched.items() if hit]
+    return min(resident) if resident else None

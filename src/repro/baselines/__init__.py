@@ -1,0 +1,22 @@
+"""Comparison baselines: DATA-style software analysis and formal two-safety."""
+
+from repro.baselines.data_tool import DataToolReport, run_data_tool
+from repro.baselines.formal import (
+    Gate,
+    Netlist,
+    TwoSafetyResult,
+    build_early_exit_multiplier,
+    build_serial_alu,
+    check_two_safety,
+)
+
+__all__ = [
+    "DataToolReport",
+    "Gate",
+    "Netlist",
+    "TwoSafetyResult",
+    "build_early_exit_multiplier",
+    "build_serial_alu",
+    "check_two_safety",
+    "run_data_tool",
+]

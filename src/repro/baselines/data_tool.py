@@ -1,0 +1,137 @@
+"""DATA-style software-level leakage detection baseline (Weiser et al. [55]).
+
+DATA records *architecturally visible* address traces — instruction fetch
+addresses and data access addresses — during native execution, then applies
+statistical tests across traces with different secret inputs.  It runs on the
+in-order functional interpreter, exactly mirroring what a binary-
+instrumentation tool sees: no microarchitectural state, no wrong-path
+execution, no timing.
+
+Reproducing this baseline demonstrates the paper's core claim (Table I):
+software-level tools detect secret-dependent control flow and memory
+accesses (ME-V1-CV, ME-V1-MV, the leaky square-and-multiply) but are blind
+to leaks that exist only microarchitecturally (ME-V2-FB's fast bypass,
+CT-MEM-CMP's transient execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.interpreter import Interpreter
+from repro.sampler.contingency import build_contingency_table
+from repro.sampler.runner import Workload, patch_program
+from repro.sampler.stats import AssociationResult, measure_association
+from repro.util.hashing import combine_digests, row_digest
+
+
+@dataclass
+class DataToolReport:
+    """Verdict of the DATA-style analysis for one workload."""
+
+    workload_name: str
+    n_iterations: int
+    #: association for the control-flow (instruction address) traces.
+    control_flow: AssociationResult = None
+    #: association for the data (memory address) traces.
+    memory: AssociationResult = None
+    #: addresses appearing in exactly one class.
+    unique_control_flow: dict = field(default_factory=dict)
+    unique_memory: dict = field(default_factory=dict)
+
+    @property
+    def leakage_detected(self) -> bool:
+        return self.control_flow.leaky or self.memory.leaky
+
+
+def _iteration_traces(workload: Workload):
+    """Execute all runs, slicing architectural traces per iteration.
+
+    Yields (label, pc_trace, mem_trace) per iteration, where traces are
+    tuples of addresses in program order.
+    """
+    program = workload.assemble()
+    for patches in workload.inputs:
+        patched = patch_program(program, patches)
+        interpreter = Interpreter(patched, record_arch_trace=True)
+        result = interpreter.run()
+        if result.exit_code != 0:
+            raise RuntimeError(
+                f"workload {workload.name!r} exited {result.exit_code}"
+            )
+        events = result.arch_trace
+        # Build step-index windows from the iteration markers.
+        open_step = None
+        label = 0
+        windows = []
+        for marker in result.markers:
+            if marker.mnemonic == "iter.begin":
+                open_step, label = marker.step, marker.label
+            elif marker.mnemonic == "iter.end" and open_step is not None:
+                windows.append((open_step, marker.step, label))
+                open_step = None
+        yield from _slice_by_steps(events, windows)
+
+
+def _slice_by_steps(events, windows):
+    """Slice events into (label, pcs, mems) per window.
+
+    Events and windows are both ordered by step, so a single forward scan
+    suffices.  The instruction-address trace includes branch targets (DATA
+    records the control-flow graph walk); the data trace records load/store
+    addresses.
+    """
+    index = 0
+    n_events = len(events)
+    for start, end, label in windows:
+        while index < n_events and events[index].step <= start:
+            index += 1
+        pcs = []
+        mems = []
+        while index < n_events and events[index].step <= end:
+            event = events[index]
+            pcs.append(event.pc)
+            if event.kind in ("load", "store"):
+                mems.append(event.address)
+            elif event.kind == "branch":
+                pcs.append(event.address)
+            index += 1
+        yield label, tuple(pcs), tuple(mems)
+
+
+def run_data_tool(workload: Workload) -> DataToolReport:
+    """Run the full DATA-style differential address-trace analysis."""
+    labels = []
+    pc_hashes = []
+    mem_hashes = []
+    pc_values: dict = {}
+    mem_values: dict = {}
+    count = 0
+    for label, pcs, mems in _iteration_traces(workload):
+        count += 1
+        labels.append(label)
+        pc_hashes.append(combine_digests([row_digest(pcs)]))
+        mem_hashes.append(combine_digests([row_digest(mems)]))
+        pc_values.setdefault(label, set()).update(pcs)
+        mem_values.setdefault(label, set()).update(mems)
+    report = DataToolReport(workload_name=workload.name, n_iterations=count)
+    report.control_flow = measure_association(
+        build_contingency_table(labels, pc_hashes)
+    )
+    report.memory = measure_association(
+        build_contingency_table(labels, mem_hashes)
+    )
+    report.unique_control_flow = _unique_by_class(pc_values)
+    report.unique_memory = _unique_by_class(mem_values)
+    return report
+
+
+def _unique_by_class(values_by_class: dict) -> dict:
+    labels = sorted(values_by_class)
+    unique = {}
+    for label in labels:
+        others = set().union(
+            *(values_by_class[o] for o in labels if o != label)
+        ) if len(labels) > 1 else set()
+        unique[label] = frozenset(values_by_class[label] - others)
+    return unique

@@ -1,0 +1,235 @@
+"""Solver-style formal constant-time verification baseline (IODINE/XENON).
+
+Table VII contrasts MicroSampler's linear scaling with the state-space
+blow-up of formal two-safety checking.  This module reproduces that contrast
+honestly: it implements a small gate-level netlist representation and an
+*exhaustive product-machine* two-safety checker — the semantic core of
+constant-time hardware verification: for every pair of executions that agree
+on public inputs but may differ in secret inputs, all timing-visible outputs
+must agree at every cycle.
+
+The checker enumerates the reachable product state space, so its runtime is
+exponential in the number of state bits — the scaling the paper reports for
+XENON (8x design size, 336x analysis time).  Two reference designs are
+provided: a constant-time serial ALU and an early-exit serial multiplier
+whose latency depends on a secret operand (a real finding for the checker).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate: ``out = op(*ins)``.
+
+    Supported ops: and, or, xor, not, mux (ins = select, a, b), const0/const1.
+    """
+
+    op: str
+    out: str
+    ins: tuple
+
+
+@dataclass
+class Netlist:
+    """A synchronous gate-level design."""
+
+    name: str
+    public_inputs: list
+    secret_inputs: list
+    #: registers: name -> initial value (0/1); state bits of the design.
+    registers: dict
+    #: gates in topological order (inputs/registers are available signals).
+    gates: list
+    #: register -> signal providing its next-state value.
+    next_state: dict
+    #: timing-visible output signals (e.g. a "done"/"ready" line).
+    observable_outputs: list
+
+    @property
+    def state_bits(self) -> int:
+        return len(self.registers)
+
+    def evaluate(self, state: tuple, public: tuple, secret: tuple):
+        """One clock cycle: returns (next_state, observable_output_values)."""
+        signals = dict(zip(self.registers, state))
+        signals.update(zip(self.public_inputs, public))
+        signals.update(zip(self.secret_inputs, secret))
+        for gate in self.gates:
+            signals[gate.out] = _apply(gate, signals)
+        next_state = tuple(signals[self.next_state[r]] for r in self.registers)
+        outputs = tuple(signals[o] for o in self.observable_outputs)
+        return next_state, outputs
+
+
+def _apply(gate: Gate, signals: dict) -> int:
+    ins = [signals[name] for name in gate.ins]
+    if gate.op == "and":
+        value = 1
+        for v in ins:
+            value &= v
+        return value
+    if gate.op == "or":
+        value = 0
+        for v in ins:
+            value |= v
+        return value
+    if gate.op == "xor":
+        value = 0
+        for v in ins:
+            value ^= v
+        return value
+    if gate.op == "not":
+        return 1 - ins[0]
+    if gate.op == "mux":
+        return ins[1] if ins[0] else ins[2]
+    if gate.op == "const0":
+        return 0
+    if gate.op == "const1":
+        return 1
+    raise ValueError(f"unknown gate op {gate.op!r}")
+
+
+@dataclass
+class TwoSafetyResult:
+    """Outcome of the exhaustive two-safety check."""
+
+    design: str
+    state_bits: int
+    constant_time: bool
+    product_states_explored: int
+    analysis_seconds: float
+    counterexample: tuple | None = None  # (state_a, state_b, pub, sec_a, sec_b)
+
+
+def check_two_safety(netlist: Netlist, max_product_states: int = 2_000_000) -> TwoSafetyResult:
+    """Exhaustively verify observable-output equality under secret variation.
+
+    Explores the product machine (two copies sharing public inputs) from the
+    reset state over all public/secret input combinations; flags the design
+    non-constant-time on the first observable divergence.
+    """
+    started = time.perf_counter()
+    reset = tuple(netlist.registers.values())
+    initial = (reset, reset)
+    frontier = [initial]
+    visited = {initial}
+    public_space = list(itertools.product((0, 1), repeat=len(netlist.public_inputs)))
+    secret_space = list(itertools.product((0, 1), repeat=len(netlist.secret_inputs)))
+    counterexample = None
+    while frontier and counterexample is None:
+        next_frontier = []
+        for state_a, state_b in frontier:
+            for public in public_space:
+                for secret_a in secret_space:
+                    for secret_b in secret_space:
+                        na, oa = netlist.evaluate(state_a, public, secret_a)
+                        nb, ob = netlist.evaluate(state_b, public, secret_b)
+                        if oa != ob:
+                            counterexample = (state_a, state_b, public,
+                                              secret_a, secret_b)
+                            break
+                        pair = (na, nb)
+                        if pair not in visited:
+                            visited.add(pair)
+                            next_frontier.append(pair)
+                            if len(visited) > max_product_states:
+                                raise RuntimeError(
+                                    "product state space exceeds limit"
+                                )
+                    if counterexample:
+                        break
+                if counterexample:
+                    break
+            if counterexample:
+                break
+        frontier = next_frontier
+    return TwoSafetyResult(
+        design=netlist.name,
+        state_bits=netlist.state_bits,
+        constant_time=counterexample is None,
+        product_states_explored=len(visited),
+        analysis_seconds=time.perf_counter() - started,
+        counterexample=counterexample,
+    )
+
+
+# -- reference designs ---------------------------------------------------------
+
+
+def build_serial_alu(width: int = 4) -> Netlist:
+    """A constant-time serial ALU: an accumulator XOR/rotate datapath.
+
+    Every operation takes exactly one cycle regardless of operand values, so
+    the ``busy`` output never depends on the secret operand: constant-time.
+    State bits scale with ``width``.
+    """
+    registers = {f"acc{i}": 0 for i in range(width)}
+    gates = []
+    next_state = {}
+    # A Fibonacci-LFSR-style datapath absorbing one secret bit per cycle:
+    # every state in the 2^width space is reachable, so the product machine
+    # the checker explores grows as 4^width — the formal-tool blow-up.
+    gates.append(Gate("xor", "feedback", (f"acc{width - 1}", "sec0")))
+    for i in range(width):
+        if i == 0:
+            source = "feedback"
+        elif i == width // 2:
+            gates.append(Gate("xor", f"tap{i}", (f"acc{i - 1}", f"acc{width - 1}")))
+            source = f"tap{i}"
+        else:
+            source = f"acc{i - 1}"
+        gates.append(Gate("mux", f"acc{i}_next", ("pub0", source, f"acc{i}")))
+        next_state[f"acc{i}"] = f"acc{i}_next"
+    gates.append(Gate("const0", "busy", ()))
+    return Netlist(
+        name=f"serial-alu-{width}",
+        public_inputs=["pub0"],
+        secret_inputs=["sec0"],
+        registers=registers,
+        gates=gates,
+        next_state=next_state,
+        observable_outputs=["busy"],
+    )
+
+
+def build_early_exit_multiplier(width: int = 4) -> Netlist:
+    """A serial shift-multiplier with a data-dependent early exit.
+
+    The design processes one secret multiplier bit per cycle but asserts
+    ``done`` as soon as the remaining multiplier bits are all zero — a classic
+    operand-dependent-latency optimization.  The two-safety check finds the
+    violation: ``done`` timing depends on the secret operand.
+    """
+    registers = {f"m{i}": 0 for i in range(width)}
+    registers["started"] = 0
+    gates = [Gate("const0", "zero", ())]
+    next_state = {}
+    # When pub0 (start) is high, capture secret bits into m*; afterwards
+    # shift the multiplier right by one position per cycle.
+    for i in range(width):
+        source = f"m{i + 1}" if i + 1 < width else "zero"
+        gates.append(Gate("and", f"m{i}_shift", (source, "started")))
+        gates.append(
+            Gate("mux", f"m{i}_next", ("pub0", f"sec{i}", f"m{i}_shift"))
+        )
+        next_state[f"m{i}"] = f"m{i}_next"
+    gates.append(Gate("or", "started_next", ("started", "pub0")))
+    next_state["started"] = "started_next"
+    # done when all remaining multiplier bits are zero after start.
+    gates.append(Gate("or", "any_bit", tuple(f"m{i}" for i in range(width))))
+    gates.append(Gate("not", "none_left", ("any_bit",)))
+    gates.append(Gate("and", "done", ("none_left", "started")))
+    return Netlist(
+        name=f"early-exit-mul-{width}",
+        public_inputs=["pub0"],
+        secret_inputs=[f"sec{i}" for i in range(width)],
+        registers=registers,
+        gates=gates,
+        next_state=next_state,
+        observable_outputs=["done"],
+    )

@@ -1,0 +1,360 @@
+"""Command-line interface: ``microsampler <command>``.
+
+Commands
+--------
+``list-workloads``
+    Enumerate the built-in case-study workloads.
+``features``
+    List the tracked microarchitectural features (Table IV).
+``analyze WORKLOAD``
+    Run the full MicroSampler pipeline on a built-in workload.
+``simulate FILE``
+    Assemble a RISC-V assembly file and run it on the out-of-order core.
+``disasm FILE``
+    Assemble a file and print its disassembly with addresses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isa import assemble, format_program
+from repro.sampler import MicroSampler, render_report
+from repro.trace.features import FEATURES
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core
+from repro.workloads.bignum import make_mp_modexp_ct, make_mp_modexp_leaky
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
+from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.modexp import (
+    make_div_timing,
+    make_me_v1_cv,
+    make_me_v1_mv,
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_ct_window,
+    make_sam_leaky,
+)
+from repro.workloads.openssl import make_primitive_workload, primitive_names
+from repro.workloads.spectre import make_spectre_v1
+
+#: name -> (factory(n, seed), description)
+WORKLOADS = {
+    "sam-leaky": (make_sam_leaky, "square-and-multiply with secret branch"),
+    "sam-ct": (make_sam_ct, "constant-time SAM, register cmov"),
+    "sam-ct-window": (make_sam_ct_window, "2-bit-window CT exponentiation"),
+    "me-v1-cv": (make_me_v1_cv, "libgcrypt CCOPY, compiler vulnerability"),
+    "me-v1-mv": (make_me_v1_mv, "branchless CCOPY, address leak"),
+    "me-v2-safe": (make_me_v2_safe, "BearSSL CCOPY (safe baseline)"),
+    "div-timing": (make_div_timing, "secret divisor on early-exit divider"),
+    "mp-modexp-ct": (make_mp_modexp_ct, "128-bit 2-limb CT modexp"),
+    "mp-modexp-leaky": (make_mp_modexp_leaky, "128-bit modexp, secret branch"),
+    "ct-mem-cmp": (None, "OpenSSL CRYPTO_memcmp + consumer (Listing 7-8)"),
+    "sbox-lookup": (None, "table-lookup S-box (cache side channel)"),
+    "sbox-ct": (None, "constant-time scan S-box"),
+    "spectre-v1": (None, "Spectre-PHT bounds-check-bypass litmus"),
+    "chacha20": (None, "RFC 7539 ChaCha20 block function (ARX)"),
+}
+
+
+def _resolve_config(args):
+    config = SMALL_BOOM if args.config == "small" else MEGA_BOOM
+    overrides = {}
+    if getattr(args, "fast_bypass", False):
+        overrides["fast_bypass"] = True
+    if getattr(args, "variable_div", False):
+        overrides["variable_div_latency"] = True
+    return config.with_(**overrides) if overrides else config
+
+
+def _build_workload(name, args):
+    if name == "ct-mem-cmp":
+        return make_ct_memcmp(n_pairs=max(4 * args.inputs, 16),
+                              seed=args.seed, n_runs=2)
+    if name == "sbox-lookup":
+        # The secret-dependent address takes 64 distinct values, so the
+        # contingency table needs more samples per category for power.
+        return make_sbox_lookup(n_sets=16, n_runs=max(args.inputs, 8),
+                                seed=args.seed)
+    if name == "sbox-ct":
+        return make_sbox_ct(n_sets=16, n_runs=max(args.inputs // 2, 2),
+                            seed=args.seed)
+    if name == "chacha20":
+        return make_chacha20(n_keys=args.inputs, n_blocks=2, seed=args.seed)
+    if name == "spectre-v1":
+        return make_spectre_v1(n_iters=16, n_runs=max(args.inputs // 2, 2),
+                               seed=args.seed)
+    if name in WORKLOADS:
+        factory, _ = WORKLOADS[name]
+        return factory(n_keys=args.inputs, seed=args.seed)
+    if name in primitive_names():
+        return make_primitive_workload(name, n_sets=16,
+                                       n_runs=max(args.inputs // 4, 1),
+                                       seed=args.seed)
+    raise SystemExit(
+        f"unknown workload {name!r}; see 'microsampler list-workloads'"
+    )
+
+
+def cmd_list_workloads(_args) -> int:
+    print("case-study workloads:")
+    for name, (_factory, description) in WORKLOADS.items():
+        print(f"  {name:<16} {description}")
+    print("\nOpenSSL constant-time primitives (Table V):")
+    for name in primitive_names():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_features(_args) -> int:
+    print(f"{'feature id':<14} {'unit':<16} description")
+    print("-" * 60)
+    for spec in FEATURES.values():
+        print(f"{spec.feature_id:<14} {spec.unit:<16} {spec.description}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    config = _resolve_config(args)
+    workload = _build_workload(args.workload, args)
+    sampler = MicroSampler(
+        config,
+        warmup_iterations=args.warmup,
+        analyze_timing_removed=not args.no_timing_removed,
+    )
+    print(f"analyzing {workload.name!r} on {config.name}"
+          f"{' +fast-bypass' if config.fast_bypass else ''}"
+          f"{' +variable-div' if config.variable_div_latency else ''} ...",
+          file=sys.stderr)
+    report = sampler.analyze(workload)
+    if args.json:
+        import json
+
+        from repro.sampler.report import report_to_dict
+
+        print(json.dumps(report_to_dict(report), indent=2))
+    else:
+        print(render_report(report, show_notiming=not args.no_timing_removed))
+    return 1 if report.leakage_detected else 0
+
+
+def cmd_simulate(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    program = assemble(source, entry=args.entry)
+    config = _resolve_config(args)
+    core = Core(program, config)
+    result = core.run(max_cycles=args.max_cycles)
+    stats = result.stats
+    print(f"exit code:    {result.exit_code}")
+    print(f"cycles:       {stats.cycles}")
+    print(f"instructions: {stats.committed}  (IPC {stats.ipc:.2f})")
+    print(f"branches:     {stats.branches}  "
+          f"(mispredicts {stats.mispredicts})")
+    print(f"squashed:     {stats.squashed_uops}")
+    if result.console:
+        print(f"console:      {result.console!r}")
+    return result.exit_code
+
+
+#: default audit suite: every built-in with its expected verdict.
+AUDIT_EXPECTATIONS = {
+    "sam-leaky": True,
+    "sam-ct": False,
+    "sam-ct-window": False,
+    "me-v1-cv": True,
+    "me-v1-mv": True,
+    "me-v2-safe": False,
+    "div-timing": False,  # clean on the default fixed-latency divider
+    "mp-modexp-ct": False,
+    "mp-modexp-leaky": True,
+    "ct-mem-cmp": True,
+    "sbox-lookup": True,
+    "sbox-ct": False,
+    "spectre-v1": True,
+    "chacha20": False,
+}
+
+
+def cmd_audit(args) -> int:
+    from repro.sampler.audit import run_audit
+
+    config = _resolve_config(args)
+    names = args.workloads or list(AUDIT_EXPECTATIONS)
+    workloads = [_build_workload(name, args) for name in names]
+    expectations = {name: AUDIT_EXPECTATIONS[name]
+                    for name in names if name in AUDIT_EXPECTATIONS}
+    result = run_audit(workloads, config=config, expectations=expectations)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def cmd_pipeview(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    from repro.uarch.pipeview import record_pipeline
+
+    program = assemble(source, entry=args.entry)
+    trace, result = record_pipeline(program, _resolve_config(args))
+    print(trace.render(start=args.start, count=args.count))
+    print(f"\n(exit code {result.exit_code}, "
+          f"{result.stats.committed} instructions, "
+          f"{result.stats.cycles} cycles)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Record a workload campaign to a trace-log archive."""
+    from repro.sampler.runner import patch_program
+    from repro.trace.logfile import TraceLogWriter
+
+    config = _resolve_config(args)
+    workload = _build_workload(args.workload, args)
+    program = workload.assemble()
+    with TraceLogWriter(args.output) as writer:
+        for run_index, patches in enumerate(workload.inputs):
+            writer.begin_run(run_index)
+            core = Core(patch_program(program, patches), config,
+                        tracer=writer)
+            for symbol, length in workload.warm_regions:
+                base = program.symbols[symbol]
+                for address in range(base, base + length, 64):
+                    core.dcache.warm_line(address)
+            core.run()
+    print(f"wrote {writer.cycles_logged} traced cycles over "
+          f"{len(workload.inputs)} runs to {args.output}")
+    return 0
+
+
+def cmd_reanalyze(args) -> int:
+    """Re-run the statistical analysis over an archived trace log."""
+    from repro.sampler import build_contingency_table, measure_association
+    from repro.trace.logfile import parse_trace_log
+
+    iterations = parse_trace_log(args.log, features=args.features or None)
+    if not iterations:
+        print("no iterations in log", file=sys.stderr)
+        return 2
+    labels = [record.label for record in iterations]
+    feature_ids = sorted(iterations[0].features)
+    print(f"{len(iterations)} iterations, {len(set(labels))} classes")
+    print(f"{'unit':<14} {'V':>6} {'p-value':>10} {'flag':>6}")
+    leaky = False
+    for feature_id in feature_ids:
+        hashes = [r.features[feature_id].snapshot_hash for r in iterations]
+        a = measure_association(build_contingency_table(labels, hashes))
+        print(f"{feature_id:<14} {a.cramers_v:>6.3f} {a.p_value:>10.3g} "
+              f"{'LEAK' if a.leaky else '-':>6}")
+        leaky = leaky or a.leaky
+    return 1 if leaky else 0
+
+
+def cmd_disasm(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    program = assemble(source)
+    print(format_program(program.instructions))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="microsampler",
+        description="MicroSampler: microarchitecture-level leakage "
+                    "detection for constant-time code",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list built-in workloads") \
+        .set_defaults(func=cmd_list_workloads)
+    sub.add_parser("features", help="list tracked features (Table IV)") \
+        .set_defaults(func=cmd_features)
+
+    analyze = sub.add_parser("analyze", help="run the verification pipeline")
+    analyze.add_argument("workload", help="workload name (see list-workloads)")
+    analyze.add_argument("--config", choices=["mega", "small"],
+                         default="mega")
+    analyze.add_argument("--fast-bypass", action="store_true",
+                         help="enable the Section VII-B optimization")
+    analyze.add_argument("--variable-div", action="store_true",
+                         help="model an early-exit (operand-dependent) divider")
+    analyze.add_argument("--inputs", type=int, default=8,
+                         help="number of secret inputs (keys/runs)")
+    analyze.add_argument("--seed", type=int, default=3)
+    analyze.add_argument("--warmup", type=int, default=0,
+                         help="iterations to drop per run before analysis")
+    analyze.add_argument("--no-timing-removed", action="store_true",
+                         help="skip the timing-removed re-analysis")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the verdict as JSON (for CI)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    simulate = sub.add_parser("simulate",
+                              help="run an assembly file on the OoO core")
+    simulate.add_argument("file")
+    simulate.add_argument("--entry", default=None)
+    simulate.add_argument("--config", choices=["mega", "small"],
+                          default="mega")
+    simulate.add_argument("--fast-bypass", action="store_true")
+    simulate.add_argument("--variable-div", action="store_true")
+    simulate.add_argument("--max-cycles", type=int, default=5_000_000)
+    simulate.set_defaults(func=cmd_simulate)
+
+    disasm = sub.add_parser("disasm", help="assemble and disassemble a file")
+    disasm.add_argument("file")
+    disasm.set_defaults(func=cmd_disasm)
+
+    pipeview = sub.add_parser(
+        "pipeview", help="render per-instruction pipeline timelines")
+    pipeview.add_argument("file")
+    pipeview.add_argument("--entry", default=None)
+    pipeview.add_argument("--config", choices=["mega", "small"],
+                          default="mega")
+    pipeview.add_argument("--fast-bypass", action="store_true")
+    pipeview.add_argument("--variable-div", action="store_true")
+    pipeview.add_argument("--start", type=int, default=0,
+                          help="first committed instruction to show")
+    pipeview.add_argument("--count", type=int, default=40,
+                          help="number of instructions to show")
+    pipeview.set_defaults(func=cmd_pipeview)
+
+    audit = sub.add_parser(
+        "audit", help="run the full verification suite with expectations")
+    audit.add_argument("workloads", nargs="*",
+                       help="workload names (default: the full suite)")
+    audit.add_argument("--config", choices=["mega", "small"], default="mega")
+    audit.add_argument("--fast-bypass", action="store_true")
+    audit.add_argument("--variable-div", action="store_true")
+    audit.add_argument("--inputs", type=int, default=8)
+    audit.add_argument("--seed", type=int, default=3)
+    audit.set_defaults(func=cmd_audit)
+
+    trace = sub.add_parser(
+        "trace", help="record a workload campaign to a trace-log archive")
+    trace.add_argument("workload")
+    trace.add_argument("output", help="log path (.jsonl or .jsonl.gz)")
+    trace.add_argument("--config", choices=["mega", "small"], default="mega")
+    trace.add_argument("--fast-bypass", action="store_true")
+    trace.add_argument("--variable-div", action="store_true")
+    trace.add_argument("--inputs", type=int, default=8)
+    trace.add_argument("--seed", type=int, default=3)
+    trace.set_defaults(func=cmd_trace)
+
+    reanalyze = sub.add_parser(
+        "reanalyze", help="statistical analysis over an archived trace log")
+    reanalyze.add_argument("log")
+    reanalyze.add_argument("--features", nargs="*",
+                           help="feature subset (default: all in the log)")
+    reanalyze.set_defaults(func=cmd_reanalyze)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""RV64IM instruction-set substrate: model, assembler, encoder, interpreter."""
+
+from repro.isa.assembler import Assembler, AssemblerError, Program, assemble
+from repro.isa.disasm import format_instruction, format_program
+from repro.isa.encoding import DecodingError, EncodingError, decode, encode
+from repro.isa.instructions import (
+    INSTRUCTION_SPECS,
+    Format,
+    FuncClass,
+    Instruction,
+    InstructionSpec,
+)
+from repro.isa.interpreter import (
+    ArchEvent,
+    ExecutionError,
+    Interpreter,
+    InterpreterResult,
+    MarkerEvent,
+    run_program,
+)
+from repro.isa.registers import ABI_NAMES, NUM_REGS, parse_register, register_name
+
+__all__ = [
+    "ABI_NAMES",
+    "ArchEvent",
+    "Assembler",
+    "AssemblerError",
+    "DecodingError",
+    "EncodingError",
+    "ExecutionError",
+    "Format",
+    "FuncClass",
+    "INSTRUCTION_SPECS",
+    "Instruction",
+    "InstructionSpec",
+    "Interpreter",
+    "InterpreterResult",
+    "MarkerEvent",
+    "NUM_REGS",
+    "Program",
+    "assemble",
+    "decode",
+    "encode",
+    "format_instruction",
+    "format_program",
+    "parse_register",
+    "register_name",
+    "run_program",
+]

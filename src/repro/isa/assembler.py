@@ -1,0 +1,533 @@
+"""A two-pass assembler for the RV64IM subset.
+
+The assembler accepts conventional GNU-style assembly text: labels,
+``.text`` / ``.data`` sections, data directives, numeric literals (decimal or
+``0x`` hex), `imm(reg)` memory operands and the common pseudo-instructions
+(``li``, ``la``, ``mv``, ``beqz``, ``j``, ``call``, ``ret``...).
+
+Pass 1 expands pseudo-instructions to fixed-size sequences and assigns
+addresses to labels; pass 2 resolves label references and materializes
+:class:`~repro.isa.instructions.Instruction` objects.
+
+The result is a :class:`Program` holding the instruction list, the data-image
+bytes and the symbol table, ready to be loaded by the proxy kernel.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import INSTRUCTION_SPECS, Format, FuncClass, Instruction
+from repro.isa.registers import parse_register
+from repro.isa.semantics import to_signed
+
+DEFAULT_TEXT_BASE = 0x0001_0000
+DEFAULT_DATA_BASE = 0x0004_0000
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with line information."""
+
+
+@dataclass
+class Program:
+    """An assembled program: text image, data image and symbols."""
+
+    instructions: list[Instruction]
+    text_base: int
+    data: bytearray
+    data_base: int
+    symbols: dict[str, int]
+    entry: int
+
+    @property
+    def text_size(self) -> int:
+        return 4 * len(self.instructions)
+
+    def instruction_at(self, pc: int) -> Instruction | None:
+        """Return the instruction at ``pc``, or None if out of text range."""
+        index = (pc - self.text_base) >> 2
+        if 0 <= index < len(self.instructions) and pc % 4 == 0:
+            return self.instructions[index]
+        return None
+
+
+@dataclass
+class _Line:
+    number: int
+    mnemonic: str
+    operands: list[str]
+    text: str
+
+
+@dataclass
+class _PendingInstruction:
+    """One expanded machine instruction awaiting operand resolution."""
+
+    line: _Line
+    mnemonic: str
+    operands: list[str]
+    #: how the operands map onto Instruction fields, see _build_instruction.
+    address: int = 0
+    #: source-line index, used by branch relaxation (None for relaxed forms).
+    line_index: int | None = None
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$0-9][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?[\w.$]+)\(([\w]+)\)$")
+
+# Pseudo-instructions with a fixed 1:1 expansion.
+# name -> (real mnemonic, operand template); '%0', '%1'.. refer to the
+# pseudo's operands.
+_SIMPLE_PSEUDOS = {
+    "mv": ("addi", ["%0", "%1", "0"]),
+    "not": ("xori", ["%0", "%1", "-1"]),
+    "neg": ("sub", ["%0", "zero", "%1"]),
+    "negw": ("subw", ["%0", "zero", "%1"]),
+    "sext.w": ("addiw", ["%0", "%1", "0"]),
+    "seqz": ("sltiu", ["%0", "%1", "1"]),
+    "snez": ("sltu", ["%0", "zero", "%1"]),
+    "sltz": ("slt", ["%0", "%1", "zero"]),
+    "sgtz": ("slt", ["%0", "zero", "%1"]),
+    "beqz": ("beq", ["%0", "zero", "%1"]),
+    "bnez": ("bne", ["%0", "zero", "%1"]),
+    "blez": ("bge", ["zero", "%0", "%1"]),
+    "bgez": ("bge", ["%0", "zero", "%1"]),
+    "bltz": ("blt", ["%0", "zero", "%1"]),
+    "bgtz": ("blt", ["zero", "%0", "%1"]),
+    "bgt": ("blt", ["%1", "%0", "%2"]),
+    "ble": ("bge", ["%1", "%0", "%2"]),
+    "bgtu": ("bltu", ["%1", "%0", "%2"]),
+    "bleu": ("bgeu", ["%1", "%0", "%2"]),
+    "j": ("jal", ["zero", "%0"]),
+    "jr": ("jalr", ["zero", "%0", "0"]),
+    "ret": ("jalr", ["zero", "ra", "0"]),
+    "call": ("jal", ["ra", "%0"]),
+    "tail": ("jal", ["zero", "%0"]),
+    "nop": ("addi", ["zero", "zero", "0"]),
+}
+
+
+def _substitute(template: list[str], operands: list[str], line: _Line) -> list[str]:
+    out = []
+    for item in template:
+        if item.startswith("%"):
+            index = int(item[1:])
+            if index >= len(operands):
+                raise AssemblerError(
+                    f"line {line.number}: too few operands for {line.mnemonic!r}"
+                )
+            out.append(operands[index])
+        else:
+            out.append(item)
+    return out
+
+
+def _parse_int(token: str) -> int | None:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+_NUMERIC_LABEL_RE = re.compile(r"^\d+$")
+_NUMERIC_REF_RE = re.compile(r"^(\d+)([fb])$")
+
+
+def _resolve_local_labels(lines: list[_Line]) -> list[_Line]:
+    """Rewrite GNU-style numeric local labels (``1:``, ``1b``, ``2f``).
+
+    Each numeric label may be defined many times; a reference ``Nb`` binds to
+    the nearest preceding definition and ``Nf`` to the nearest following one.
+    Definitions are renamed to unique symbols and references rewritten.
+    """
+    definitions: dict[str, list[tuple[int, str]]] = {}
+    for index, line in enumerate(lines):
+        if line.mnemonic == "label" and _NUMERIC_LABEL_RE.match(line.operands[0]):
+            name = line.operands[0]
+            unique = f".L{name}.{len(definitions.get(name, []))}"
+            definitions.setdefault(name, []).append((index, unique))
+            line.operands = [unique]
+    if not definitions:
+        return lines
+    for index, line in enumerate(lines):
+        if line.mnemonic == "label":
+            continue
+        new_operands = []
+        for operand in line.operands:
+            match = _NUMERIC_REF_RE.match(operand.strip())
+            if match and match.group(1) in definitions:
+                name, direction = match.groups()
+                candidates = definitions[name]
+                if direction == "b":
+                    found = [u for (i, u) in candidates if i <= index]
+                    if not found:
+                        raise AssemblerError(
+                            f"line {line.number}: no previous label {name}"
+                        )
+                    operand = found[-1]
+                else:
+                    found = [u for (i, u) in candidates if i > index]
+                    if not found:
+                        raise AssemblerError(
+                            f"line {line.number}: no following label {name}"
+                        )
+                    operand = found[0]
+            new_operands.append(operand)
+        line.operands = new_operands
+    return lines
+
+
+def _tokenize(source: str) -> list[_Line]:
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if match:
+                lines.append(_Line(number, "label", [match.group(1)], raw))
+                text = text[match.end():].strip()
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = []
+            if len(parts) > 1:
+                operands = [op.strip() for op in parts[1].split(",")]
+            lines.append(_Line(number, mnemonic, operands, raw))
+            break
+    return lines
+
+
+def _li_expansion(rd: str, value: int, line: _Line) -> list[tuple[str, list[str]]]:
+    """Expand ``li rd, value`` into a fixed sequence of real instructions."""
+    if -2048 <= value <= 2047:
+        return [("addi", [rd, "zero", str(value)])]
+    if -(1 << 31) <= value < (1 << 31):
+        hi = (value + 0x800) >> 12
+        lo = value - (hi << 12)
+        out = [("lui", [rd, str(to_signed((hi << 12) & 0xFFFFFFFF, 32))])]
+        out.append(("addiw", [rd, rd, str(lo)]))
+        return out
+    if not -(1 << 63) <= value < (1 << 64):
+        raise AssemblerError(f"line {line.number}: li constant {value} out of range")
+    # General 64-bit constant: build the upper 32 bits, shift, then OR in the
+    # lower bits 11 at a time (a simplified version of what GAS emits).
+    value &= 0xFFFFFFFFFFFFFFFF
+    upper = to_signed(value >> 32, 32)
+    out = _li_expansion(rd, upper, line)
+    remaining = value & 0xFFFFFFFF
+    for shamt, chunk in ((11, (remaining >> 21) & 0x7FF),
+                         (11, (remaining >> 10) & 0x7FF),
+                         (10, remaining & 0x3FF)):
+        out.append(("slli", [rd, rd, str(shamt)]))
+        if chunk:
+            out.append(("ori", [rd, rd, str(chunk)]))
+        else:
+            out.append(("addi", [rd, rd, "0"]))  # keep size deterministic
+    return out
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE,
+                 data_base: int = DEFAULT_DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str, entry: str | None = None) -> Program:
+        """Assemble ``source``; ``entry`` names the start label (default:
+        the first text label, or the text base).
+
+        Conditional branches whose targets fall outside the B-type ±4 KiB
+        range are relaxed to an inverted branch over a ``jal`` (exactly what
+        GNU as emits), iterating until the layout is stable.
+        """
+        lines = _resolve_local_labels(_tokenize(source))
+        long_branches: set[int] = set()
+        for _ in range(16):
+            pending, symbols, data = self._pass1(lines, long_branches)
+            violations = self._branches_out_of_range(pending, symbols,
+                                                     long_branches)
+            if not violations:
+                break
+            long_branches |= violations
+        else:  # pragma: no cover - relaxation always converges
+            raise AssemblerError("branch relaxation did not converge")
+        instructions = [self._build_instruction(p, symbols) for p in pending]
+        entry_pc = self.text_base
+        if entry is not None:
+            if entry not in symbols:
+                raise AssemblerError(f"entry label {entry!r} not defined")
+            entry_pc = symbols[entry]
+        return Program(
+            instructions=instructions,
+            text_base=self.text_base,
+            data=data,
+            data_base=self.data_base,
+            symbols=symbols,
+            entry=entry_pc,
+        )
+
+    # -- pass 1 -----------------------------------------------------------
+
+    #: branch inversions used by long-branch relaxation.
+    _INVERTED = {"beq": "bne", "bne": "beq", "blt": "bge", "bge": "blt",
+                 "bltu": "bgeu", "bgeu": "bltu"}
+
+    def _pass1(self, lines, long_branches=frozenset()):
+        symbols: dict[str, int] = {}
+        pending: list[_PendingInstruction] = []
+        data = bytearray()
+        section = "text"
+        for line_index, line in enumerate(lines):
+            if line.mnemonic == "label":
+                name = line.operands[0]
+                if name in symbols:
+                    raise AssemblerError(f"line {line.number}: duplicate label {name!r}")
+                if section == "text":
+                    symbols[name] = self.text_base + 4 * len(pending)
+                else:
+                    symbols[name] = self.data_base + len(data)
+                continue
+            if line.mnemonic.startswith("."):
+                section = self._directive(line, section, data)
+                continue
+            if section != "text":
+                raise AssemblerError(
+                    f"line {line.number}: instruction outside .text section"
+                )
+            for mnemonic, operands in self._expand(line):
+                if (line_index in long_branches
+                        and mnemonic in self._INVERTED):
+                    # Relax: inverted branch skipping a jal to the target.
+                    inverted = self._INVERTED[mnemonic]
+                    pending.append(_PendingInstruction(
+                        line=line, mnemonic=inverted,
+                        operands=[operands[0], operands[1], "@skip"],
+                        address=self.text_base + 4 * len(pending),
+                    ))
+                    pending.append(_PendingInstruction(
+                        line=line, mnemonic="jal",
+                        operands=["zero", operands[2]],
+                        address=self.text_base + 4 * len(pending),
+                    ))
+                    continue
+                instruction = _PendingInstruction(
+                    line=line,
+                    mnemonic=mnemonic,
+                    operands=operands,
+                    address=self.text_base + 4 * len(pending),
+                )
+                instruction.line_index = line_index
+                pending.append(instruction)
+        return pending, symbols, data
+
+    def _branches_out_of_range(self, pending, symbols, long_branches):
+        """Line indices of short-form branches whose targets do not fit."""
+        violations = set()
+        for p in pending:
+            line_index = getattr(p, "line_index", None)
+            if line_index is None or p.mnemonic not in self._INVERTED:
+                continue
+            try:
+                target = self._resolve(p.operands[2], symbols, p.line)
+            except AssemblerError:
+                continue  # genuine errors surface in pass 2
+            offset = target - p.address
+            if not -4096 <= offset <= 4094:
+                violations.add(line_index)
+        return violations - set(long_branches)
+
+    def _directive(self, line: _Line, section: str, data: bytearray) -> str:
+        name = line.mnemonic
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name in (".global", ".globl", ".align", ".p2align", ".section",
+                    ".option", ".type", ".size"):
+            if name in (".align", ".p2align") and section == "data":
+                alignment = 1 << int(line.operands[0], 0)
+                while len(data) % alignment:
+                    data.append(0)
+            return section
+        if section != "data":
+            raise AssemblerError(
+                f"line {line.number}: data directive {name} outside .data"
+            )
+        if name in (".byte", ".half", ".short", ".word", ".long", ".dword", ".quad"):
+            width = {".byte": 1, ".half": 2, ".short": 2, ".word": 4,
+                     ".long": 4, ".dword": 8, ".quad": 8}[name]
+            for token in line.operands:
+                value = _parse_int(token)
+                if value is None:
+                    raise AssemblerError(
+                        f"line {line.number}: bad data literal {token!r}"
+                    )
+                data.extend((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+            return section
+        if name in (".zero", ".skip", ".space"):
+            data.extend(bytes(int(line.operands[0], 0)))
+            return section
+        if name in (".ascii", ".asciz", ".string"):
+            literal = line.text.split(name, 1)[1].strip()
+            if not (literal.startswith('"') and literal.endswith('"')):
+                raise AssemblerError(f"line {line.number}: bad string literal")
+            raw = literal[1:-1].encode().decode("unicode_escape").encode("latin-1")
+            data.extend(raw)
+            if name in (".asciz", ".string"):
+                data.append(0)
+            return section
+        raise AssemblerError(f"line {line.number}: unknown directive {name}")
+
+    def _expand(self, line: _Line) -> list[tuple[str, list[str]]]:
+        m = line.mnemonic
+        if m in _SIMPLE_PSEUDOS:
+            real, template = _SIMPLE_PSEUDOS[m]
+            return [(real, _substitute(template, line.operands, line))]
+        if m == "li":
+            if len(line.operands) != 2:
+                raise AssemblerError(f"line {line.number}: li needs 2 operands")
+            value = _parse_int(line.operands[1])
+            if value is None:
+                raise AssemblerError(
+                    f"line {line.number}: li constant must be numeric "
+                    f"(use 'la' for labels)"
+                )
+            return _li_expansion(line.operands[0], value, line)
+        if m == "la":
+            # Addresses in this project fit in 31 bits, so a fixed
+            # lui+addiw pair always suffices; label resolution happens in
+            # pass 2 via the special @hi/@lo operand markers.
+            rd, label = line.operands[0], line.operands[1]
+            return [("lui", [rd, f"@hi:{label}"]),
+                    ("addiw", [rd, rd, f"@lo:{label}"])]
+        if m in INSTRUCTION_SPECS:
+            return [(m, list(line.operands))]
+        raise AssemblerError(f"line {line.number}: unknown mnemonic {m!r}")
+
+    # -- pass 2 -----------------------------------------------------------
+
+    def _resolve(self, token: str, symbols: dict[str, int], line: _Line) -> int:
+        if token.startswith("@hi:") or token.startswith("@lo:"):
+            kind, label = token[1:3], token[4:]
+            address = self._lookup(label, symbols, line)
+            hi = (address + 0x800) >> 12
+            if kind == "hi":
+                return to_signed((hi << 12) & 0xFFFFFFFF, 32)
+            return address - (hi << 12)
+        value = _parse_int(token)
+        if value is not None:
+            return value
+        return self._lookup(token, symbols, line)
+
+    def _lookup(self, label: str, symbols: dict[str, int], line: _Line) -> int:
+        if label not in symbols:
+            raise AssemblerError(f"line {line.number}: undefined label {label!r}")
+        return symbols[label]
+
+    def _build_instruction(self, p: _PendingInstruction,
+                           symbols: dict[str, int]) -> Instruction:
+        spec = INSTRUCTION_SPECS[p.mnemonic]
+        line = p.line
+        ops = p.operands
+        origin = f"line {line.number}: {line.text.strip()}"
+        try:
+            if spec.func_class is FuncClass.MARKER:
+                rs1 = parse_register(ops[0]) if p.mnemonic == "iter.begin" else 0
+                return Instruction(p.mnemonic, rs1=rs1, pc=p.address, origin=origin)
+            if spec.func_class is FuncClass.SYSTEM:
+                return Instruction(p.mnemonic, pc=p.address, origin=origin)
+            if spec.func_class in (FuncClass.LOAD,) or p.mnemonic == "jalr":
+                rd = parse_register(ops[0])
+                imm, rs1 = self._mem_operand(ops, 1, symbols, line)
+                return Instruction(p.mnemonic, rd=rd, rs1=rs1, imm=imm,
+                                   pc=p.address, origin=origin)
+            if spec.func_class is FuncClass.STORE:
+                rs2 = parse_register(ops[0])
+                imm, rs1 = self._mem_operand(ops, 1, symbols, line)
+                return Instruction(p.mnemonic, rs1=rs1, rs2=rs2, imm=imm,
+                                   pc=p.address, origin=origin)
+            if spec.func_class is FuncClass.BRANCH:
+                rs1 = parse_register(ops[0])
+                rs2 = parse_register(ops[1])
+                if ops[2] == "@skip":  # long-branch relaxation: hop the jal
+                    target = p.address + 8
+                else:
+                    target = self._resolve(ops[2], symbols, line)
+                return Instruction(p.mnemonic, rs1=rs1, rs2=rs2,
+                                   imm=target - p.address, pc=p.address,
+                                   origin=origin)
+            if p.mnemonic == "jal":
+                rd = parse_register(ops[0])
+                target = self._resolve(ops[1], symbols, line)
+                return Instruction("jal", rd=rd, imm=target - p.address,
+                                   pc=p.address, origin=origin)
+            if spec.fmt is Format.U:
+                rd = parse_register(ops[0])
+                imm = self._resolve(ops[1], symbols, line)
+                return Instruction(p.mnemonic, rd=rd, imm=imm,
+                                   pc=p.address, origin=origin)
+            if spec.fmt is Format.R:
+                rd, rs1, rs2 = (parse_register(o) for o in ops[:3])
+                return Instruction(p.mnemonic, rd=rd, rs1=rs1, rs2=rs2,
+                                   pc=p.address, origin=origin)
+            # Remaining I-type ALU instructions.
+            rd = parse_register(ops[0])
+            rs1 = parse_register(ops[1])
+            imm = self._resolve(ops[2], symbols, line)
+            self._check_immediate(p.mnemonic, imm, line)
+            return Instruction(p.mnemonic, rd=rd, rs1=rs1, imm=imm,
+                               pc=p.address, origin=origin)
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, AssemblerError):
+                raise
+            raise AssemblerError(
+                f"line {line.number}: bad operands for {p.mnemonic!r}: {exc}"
+            ) from exc
+
+    _SHIFT_RANGES = {"slli": 63, "srli": 63, "srai": 63,
+                     "slliw": 31, "srliw": 31, "sraiw": 31}
+
+    def _check_immediate(self, mnemonic, imm, line):
+        """Reject immediates that cannot encode (better error than encode())."""
+        if mnemonic in self._SHIFT_RANGES:
+            if not 0 <= imm <= self._SHIFT_RANGES[mnemonic]:
+                raise AssemblerError(
+                    f"line {line.number}: shift amount {imm} out of range "
+                    f"for {mnemonic}"
+                )
+        elif not -2048 <= imm <= 2047:
+            raise AssemblerError(
+                f"line {line.number}: immediate {imm} does not fit the "
+                f"12-bit field of {mnemonic} (use li into a register)"
+            )
+
+    def _mem_operand(self, ops, index, symbols, line):
+        """Parse either ``imm(reg)`` (possibly split by the comma tokenizer)
+        or a bare ``reg``/``imm, reg`` pair, returning (imm, rs1)."""
+        token = ops[index]
+        match = _MEM_OPERAND_RE.match(token)
+        if match:
+            imm = self._resolve(match.group(1), symbols, line)
+            return imm, parse_register(match.group(2))
+        # "rd, rs1" or "rd, rs1, imm" operand orders (used by jalr/ret).
+        try:
+            rs1 = parse_register(token)
+        except ValueError:
+            imm = self._resolve(token, symbols, line)
+            return imm, parse_register(ops[index + 1])
+        imm = 0
+        if len(ops) > index + 1:
+            imm = self._resolve(ops[index + 1], symbols, line)
+        return imm, rs1
+
+
+def assemble(source: str, entry: str | None = None,
+             text_base: int = DEFAULT_TEXT_BASE,
+             data_base: int = DEFAULT_DATA_BASE) -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler(text_base, data_base).assemble(source, entry=entry)

@@ -1,0 +1,41 @@
+"""Textual rendering of instructions (a small disassembler)."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Format, FuncClass, Instruction
+from repro.isa.registers import register_name
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render ``inst`` in conventional assembly syntax."""
+    m = inst.mnemonic
+    rd = register_name(inst.rd)
+    rs1 = register_name(inst.rs1)
+    rs2 = register_name(inst.rs2)
+    fc = inst.spec.func_class
+    fmt = inst.spec.fmt
+
+    if fc is FuncClass.MARKER:
+        return f"{m} {rs1}" if m == "iter.begin" else m
+    if fc is FuncClass.SYSTEM:
+        return m
+    if fc is FuncClass.LOAD:
+        return f"{m} {rd}, {inst.imm}({rs1})"
+    if fc is FuncClass.STORE:
+        return f"{m} {rs2}, {inst.imm}({rs1})"
+    if fc is FuncClass.BRANCH:
+        return f"{m} {rs1}, {rs2}, {inst.branch_target():#x}"
+    if m == "jal":
+        return f"jal {rd}, {inst.branch_target():#x}"
+    if m == "jalr":
+        return f"jalr {rd}, {inst.imm}({rs1})"
+    if fmt is Format.U:
+        return f"{m} {rd}, {inst.imm:#x}"
+    if fmt is Format.R:
+        return f"{m} {rd}, {rs1}, {rs2}"
+    return f"{m} {rd}, {rs1}, {inst.imm}"
+
+
+def format_program(instructions) -> str:
+    """Render a sequence of instructions with their PCs, one per line."""
+    return "\n".join(f"{i.pc:#010x}:  {format_instruction(i)}" for i in instructions)

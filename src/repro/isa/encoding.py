@@ -1,0 +1,293 @@
+"""Binary encoding and decoding for the RV64IM subset.
+
+Implements the standard RISC-V 32-bit instruction encodings (R/I/S/B/U/J
+formats) for every mnemonic in :mod:`repro.isa.instructions`, plus the
+project's ROI/iteration marker instructions in the *custom-0* opcode space
+(major opcode ``0x0B``), which real RISC-V reserves for vendor extensions.
+
+Round-tripping ``decode(encode(i))`` reproduces the instruction exactly
+(modulo the non-architectural ``pc``/``origin`` annotations); this property is
+exercised by hypothesis tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+
+_OPCODE_OP_IMM = 0x13
+_OPCODE_OP_IMM_32 = 0x1B
+_OPCODE_OP = 0x33
+_OPCODE_OP_32 = 0x3B
+_OPCODE_LOAD = 0x03
+_OPCODE_STORE = 0x23
+_OPCODE_BRANCH = 0x63
+_OPCODE_JAL = 0x6F
+_OPCODE_JALR = 0x67
+_OPCODE_LUI = 0x37
+_OPCODE_AUIPC = 0x17
+_OPCODE_SYSTEM = 0x73
+_OPCODE_FENCE = 0x0F
+_OPCODE_CUSTOM0 = 0x0B
+
+# mnemonic -> (opcode, funct3, funct7) ; funct7 is None where unused.
+_R_TYPE = {
+    "add": (_OPCODE_OP, 0, 0x00),
+    "sub": (_OPCODE_OP, 0, 0x20),
+    "sll": (_OPCODE_OP, 1, 0x00),
+    "slt": (_OPCODE_OP, 2, 0x00),
+    "sltu": (_OPCODE_OP, 3, 0x00),
+    "xor": (_OPCODE_OP, 4, 0x00),
+    "srl": (_OPCODE_OP, 5, 0x00),
+    "sra": (_OPCODE_OP, 5, 0x20),
+    "or": (_OPCODE_OP, 6, 0x00),
+    "and": (_OPCODE_OP, 7, 0x00),
+    "mul": (_OPCODE_OP, 0, 0x01),
+    "mulh": (_OPCODE_OP, 1, 0x01),
+    "mulhsu": (_OPCODE_OP, 2, 0x01),
+    "mulhu": (_OPCODE_OP, 3, 0x01),
+    "div": (_OPCODE_OP, 4, 0x01),
+    "divu": (_OPCODE_OP, 5, 0x01),
+    "rem": (_OPCODE_OP, 6, 0x01),
+    "remu": (_OPCODE_OP, 7, 0x01),
+    "addw": (_OPCODE_OP_32, 0, 0x00),
+    "subw": (_OPCODE_OP_32, 0, 0x20),
+    "sllw": (_OPCODE_OP_32, 1, 0x00),
+    "srlw": (_OPCODE_OP_32, 5, 0x00),
+    "sraw": (_OPCODE_OP_32, 5, 0x20),
+    "mulw": (_OPCODE_OP_32, 0, 0x01),
+    "divw": (_OPCODE_OP_32, 4, 0x01),
+    "divuw": (_OPCODE_OP_32, 5, 0x01),
+    "remw": (_OPCODE_OP_32, 6, 0x01),
+    "remuw": (_OPCODE_OP_32, 7, 0x01),
+}
+
+_I_ALU = {
+    "addi": (_OPCODE_OP_IMM, 0),
+    "slti": (_OPCODE_OP_IMM, 2),
+    "sltiu": (_OPCODE_OP_IMM, 3),
+    "xori": (_OPCODE_OP_IMM, 4),
+    "ori": (_OPCODE_OP_IMM, 6),
+    "andi": (_OPCODE_OP_IMM, 7),
+    "addiw": (_OPCODE_OP_IMM_32, 0),
+}
+
+# Shift-immediates carry the shift amount in imm[5:0] and a funct6/funct7
+# discriminator in the upper immediate bits.
+_I_SHIFT = {
+    "slli": (_OPCODE_OP_IMM, 1, 0x00, 6),
+    "srli": (_OPCODE_OP_IMM, 5, 0x00, 6),
+    "srai": (_OPCODE_OP_IMM, 5, 0x10, 6),
+    "slliw": (_OPCODE_OP_IMM_32, 1, 0x00, 5),
+    "srliw": (_OPCODE_OP_IMM_32, 5, 0x00, 5),
+    "sraiw": (_OPCODE_OP_IMM_32, 5, 0x20, 5),
+}
+
+_LOADS = {
+    "lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6,
+}
+_STORES = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+_BRANCHES = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+#: Marker instructions: custom-0 opcode, discriminated by the I-immediate.
+_MARKERS = {"roi.begin": 0, "roi.end": 1, "iter.begin": 2, "iter.end": 3}
+_MARKERS_BY_IMM = {v: k for k, v in _MARKERS.items()}
+
+
+class EncodingError(ValueError):
+    """Raised for immediates/operands that do not fit their encoding."""
+
+
+def _check_imm(value: int, bits: int, signed: bool, what: str) -> None:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} immediate {value} does not fit {bits} bits")
+
+
+def _encode_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    _check_imm(imm, 12, True, "I-type")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _encode_r(opcode, funct3, funct7, rd, rs1, rs2):
+    return (
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+def _encode_s(opcode, funct3, rs1, rs2, imm):
+    _check_imm(imm, 12, True, "S-type")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def _encode_b(opcode, funct3, rs1, rs2, imm):
+    if imm % 2:
+        raise EncodingError(f"branch offset {imm} is not 2-byte aligned")
+    _check_imm(imm, 13, True, "B-type")
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 0x1) << 7)
+        | opcode
+    )
+
+
+def _encode_u(opcode, rd, imm):
+    _check_imm(imm, 32, True, "U-type")
+    return ((imm & 0xFFFFF000)) | (rd << 7) | opcode
+
+
+def _encode_j(opcode, rd, imm):
+    if imm % 2:
+        raise EncodingError(f"jump offset {imm} is not 2-byte aligned")
+    _check_imm(imm, 21, True, "J-type")
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def encode(inst: Instruction) -> int:
+    """Encode ``inst`` to its 32-bit machine word."""
+    m = inst.mnemonic
+    if m in _R_TYPE:
+        opcode, f3, f7 = _R_TYPE[m]
+        return _encode_r(opcode, f3, f7, inst.rd, inst.rs1, inst.rs2)
+    if m in _I_ALU:
+        opcode, f3 = _I_ALU[m]
+        return _encode_i(opcode, f3, inst.rd, inst.rs1, inst.imm)
+    if m in _I_SHIFT:
+        opcode, f3, fhi, shbits = _I_SHIFT[m]
+        _check_imm(inst.imm, shbits, False, "shift")
+        # RV64 shifts carry a funct6 above a 6-bit shamt; the *W forms carry
+        # a funct7 above a 5-bit shamt.
+        imm = (fhi << shbits) | inst.imm
+        return ((imm & 0xFFF) << 20) | (inst.rs1 << 15) | (f3 << 12) | (inst.rd << 7) | opcode
+    if m in _LOADS:
+        return _encode_i(_OPCODE_LOAD, _LOADS[m], inst.rd, inst.rs1, inst.imm)
+    if m == "jalr":
+        return _encode_i(_OPCODE_JALR, 0, inst.rd, inst.rs1, inst.imm)
+    if m in _STORES:
+        return _encode_s(_OPCODE_STORE, _STORES[m], inst.rs1, inst.rs2, inst.imm)
+    if m in _BRANCHES:
+        return _encode_b(_OPCODE_BRANCH, _BRANCHES[m], inst.rs1, inst.rs2, inst.imm)
+    if m == "lui":
+        return _encode_u(_OPCODE_LUI, inst.rd, inst.imm)
+    if m == "auipc":
+        return _encode_u(_OPCODE_AUIPC, inst.rd, inst.imm)
+    if m == "jal":
+        return _encode_j(_OPCODE_JAL, inst.rd, inst.imm)
+    if m == "ecall":
+        return _encode_i(_OPCODE_SYSTEM, 0, 0, 0, 0)
+    if m == "ebreak":
+        return _encode_i(_OPCODE_SYSTEM, 0, 0, 0, 1)
+    if m == "fence":
+        return _encode_i(_OPCODE_FENCE, 0, 0, 0, 0)
+    if m in _MARKERS:
+        rs1 = inst.rs1 if m == "iter.begin" else 0
+        return _encode_i(_OPCODE_CUSTOM0, 0, 0, rs1, _MARKERS[m])
+    raise EncodingError(f"no encoding for mnemonic {m!r}")
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+class DecodingError(ValueError):
+    """Raised for machine words that are not valid instructions."""
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode a 32-bit machine word into an :class:`Instruction`."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm_i = _sext(word >> 20, 12)
+
+    if opcode in (_OPCODE_OP, _OPCODE_OP_32):
+        for m, (op, f3, f7) in _R_TYPE.items():
+            if op == opcode and f3 == funct3 and f7 == funct7:
+                return Instruction(m, rd=rd, rs1=rs1, rs2=rs2, pc=pc)
+        raise DecodingError(f"unknown R-type word {word:#010x}")
+    if opcode in (_OPCODE_OP_IMM, _OPCODE_OP_IMM_32):
+        for m, (op, f3) in _I_ALU.items():
+            if op == opcode and f3 == funct3:
+                return Instruction(m, rd=rd, rs1=rs1, imm=imm_i, pc=pc)
+        for m, (op, f3, fhi, shbits) in _I_SHIFT.items():
+            raw = (word >> 20) & 0xFFF
+            if op == opcode and f3 == funct3 and (raw >> shbits) == fhi:
+                return Instruction(m, rd=rd, rs1=rs1, imm=raw & ((1 << shbits) - 1), pc=pc)
+        raise DecodingError(f"unknown OP-IMM word {word:#010x}")
+    if opcode == _OPCODE_LOAD:
+        for m, f3 in _LOADS.items():
+            if f3 == funct3:
+                return Instruction(m, rd=rd, rs1=rs1, imm=imm_i, pc=pc)
+        raise DecodingError(f"unknown load word {word:#010x}")
+    if opcode == _OPCODE_STORE:
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        for m, f3 in _STORES.items():
+            if f3 == funct3:
+                return Instruction(m, rs1=rs1, rs2=rs2, imm=imm, pc=pc)
+        raise DecodingError(f"unknown store word {word:#010x}")
+    if opcode == _OPCODE_BRANCH:
+        imm = _sext(
+            ((word >> 31) << 12)
+            | (((word >> 7) & 0x1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1),
+            13,
+        )
+        for m, f3 in _BRANCHES.items():
+            if f3 == funct3:
+                return Instruction(m, rs1=rs1, rs2=rs2, imm=imm, pc=pc)
+        raise DecodingError(f"unknown branch word {word:#010x}")
+    if opcode == _OPCODE_JAL:
+        imm = _sext(
+            ((word >> 31) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 0x1) << 11)
+            | (((word >> 21) & 0x3FF) << 1),
+            21,
+        )
+        return Instruction("jal", rd=rd, imm=imm, pc=pc)
+    if opcode == _OPCODE_JALR:
+        return Instruction("jalr", rd=rd, rs1=rs1, imm=imm_i, pc=pc)
+    if opcode == _OPCODE_LUI:
+        return Instruction("lui", rd=rd, imm=_sext(word & 0xFFFFF000, 32), pc=pc)
+    if opcode == _OPCODE_AUIPC:
+        return Instruction("auipc", rd=rd, imm=_sext(word & 0xFFFFF000, 32), pc=pc)
+    if opcode == _OPCODE_SYSTEM:
+        if imm_i == 0:
+            return Instruction("ecall", pc=pc)
+        if imm_i == 1:
+            return Instruction("ebreak", pc=pc)
+        raise DecodingError(f"unknown SYSTEM word {word:#010x}")
+    if opcode == _OPCODE_FENCE:
+        return Instruction("fence", pc=pc)
+    if opcode == _OPCODE_CUSTOM0:
+        m = _MARKERS_BY_IMM.get(imm_i)
+        if m is None:
+            raise DecodingError(f"unknown custom-0 word {word:#010x}")
+        return Instruction(m, rs1=rs1 if m == "iter.begin" else 0, pc=pc)
+    raise DecodingError(f"unknown opcode {opcode:#04x} in word {word:#010x}")

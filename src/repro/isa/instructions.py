@@ -1,0 +1,249 @@
+"""Instruction model for the RV64IM subset implemented by this project.
+
+Each instruction is represented by an :class:`Instruction` carrying its
+mnemonic, register operands and immediate.  Static per-mnemonic metadata
+(format, functional class) lives in :data:`INSTRUCTION_SPECS` and is shared by
+the assembler, the binary encoder/decoder, the functional interpreter and the
+out-of-order core model.
+
+Beyond the standard RV64I + M instructions, the project defines four *marker*
+instructions in the custom-0 opcode space which the MicroSampler tracer uses
+to delimit regions of interest and algorithmic iterations:
+
+``roi.begin`` / ``roi.end``
+    Enable / disable microarchitectural state sampling.
+``iter.begin rs1`` / ``iter.end``
+    Delimit one algorithmic iteration; the value of ``rs1`` at ``iter.begin``
+    is recorded as the iteration's class label (e.g. the key bit processed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+
+class Format(enum.Enum):
+    """RISC-V machine-code formats (determines operand/immediate layout)."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - canonical RISC-V format letter
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    SYS = "SYS"
+
+
+class FuncClass(enum.Enum):
+    """Functional class: selects the execution unit / pipeline behaviour."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+    MARKER = "marker"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Format
+    func_class: FuncClass
+    #: (size_bytes, signed) for loads/stores; None otherwise.
+    mem: tuple[int, bool] | None = None
+
+
+def _spec(mnemonic, fmt, func_class, mem=None):
+    return InstructionSpec(mnemonic, fmt, func_class, mem)
+
+
+_R = Format.R
+_I = Format.I
+_S = Format.S
+_B = Format.B
+_U = Format.U
+_J = Format.J
+_SYS = Format.SYS
+
+INSTRUCTION_SPECS: dict[str, InstructionSpec] = {
+    s.mnemonic: s
+    for s in [
+        # RV64I register-register ALU
+        _spec("add", _R, FuncClass.ALU),
+        _spec("sub", _R, FuncClass.ALU),
+        _spec("and", _R, FuncClass.ALU),
+        _spec("or", _R, FuncClass.ALU),
+        _spec("xor", _R, FuncClass.ALU),
+        _spec("sll", _R, FuncClass.ALU),
+        _spec("srl", _R, FuncClass.ALU),
+        _spec("sra", _R, FuncClass.ALU),
+        _spec("slt", _R, FuncClass.ALU),
+        _spec("sltu", _R, FuncClass.ALU),
+        _spec("addw", _R, FuncClass.ALU),
+        _spec("subw", _R, FuncClass.ALU),
+        _spec("sllw", _R, FuncClass.ALU),
+        _spec("srlw", _R, FuncClass.ALU),
+        _spec("sraw", _R, FuncClass.ALU),
+        # RV64I register-immediate ALU
+        _spec("addi", _I, FuncClass.ALU),
+        _spec("andi", _I, FuncClass.ALU),
+        _spec("ori", _I, FuncClass.ALU),
+        _spec("xori", _I, FuncClass.ALU),
+        _spec("slli", _I, FuncClass.ALU),
+        _spec("srli", _I, FuncClass.ALU),
+        _spec("srai", _I, FuncClass.ALU),
+        _spec("slti", _I, FuncClass.ALU),
+        _spec("sltiu", _I, FuncClass.ALU),
+        _spec("addiw", _I, FuncClass.ALU),
+        _spec("slliw", _I, FuncClass.ALU),
+        _spec("srliw", _I, FuncClass.ALU),
+        _spec("sraiw", _I, FuncClass.ALU),
+        # Upper-immediate
+        _spec("lui", _U, FuncClass.ALU),
+        _spec("auipc", _U, FuncClass.ALU),
+        # RV64M
+        _spec("mul", _R, FuncClass.MUL),
+        _spec("mulh", _R, FuncClass.MUL),
+        _spec("mulhu", _R, FuncClass.MUL),
+        _spec("mulhsu", _R, FuncClass.MUL),
+        _spec("mulw", _R, FuncClass.MUL),
+        _spec("div", _R, FuncClass.DIV),
+        _spec("divu", _R, FuncClass.DIV),
+        _spec("rem", _R, FuncClass.DIV),
+        _spec("remu", _R, FuncClass.DIV),
+        _spec("divw", _R, FuncClass.DIV),
+        _spec("divuw", _R, FuncClass.DIV),
+        _spec("remw", _R, FuncClass.DIV),
+        _spec("remuw", _R, FuncClass.DIV),
+        # Loads
+        _spec("lb", _I, FuncClass.LOAD, mem=(1, True)),
+        _spec("lbu", _I, FuncClass.LOAD, mem=(1, False)),
+        _spec("lh", _I, FuncClass.LOAD, mem=(2, True)),
+        _spec("lhu", _I, FuncClass.LOAD, mem=(2, False)),
+        _spec("lw", _I, FuncClass.LOAD, mem=(4, True)),
+        _spec("lwu", _I, FuncClass.LOAD, mem=(4, False)),
+        _spec("ld", _I, FuncClass.LOAD, mem=(8, False)),
+        # Stores
+        _spec("sb", _S, FuncClass.STORE, mem=(1, False)),
+        _spec("sh", _S, FuncClass.STORE, mem=(2, False)),
+        _spec("sw", _S, FuncClass.STORE, mem=(4, False)),
+        _spec("sd", _S, FuncClass.STORE, mem=(8, False)),
+        # Control flow
+        _spec("beq", _B, FuncClass.BRANCH),
+        _spec("bne", _B, FuncClass.BRANCH),
+        _spec("blt", _B, FuncClass.BRANCH),
+        _spec("bge", _B, FuncClass.BRANCH),
+        _spec("bltu", _B, FuncClass.BRANCH),
+        _spec("bgeu", _B, FuncClass.BRANCH),
+        _spec("jal", _J, FuncClass.JUMP),
+        _spec("jalr", _I, FuncClass.JUMP),
+        # System
+        _spec("ecall", _SYS, FuncClass.SYSTEM),
+        _spec("ebreak", _SYS, FuncClass.SYSTEM),
+        _spec("fence", _SYS, FuncClass.SYSTEM),
+        # MicroSampler markers (custom-0 opcode space)
+        _spec("roi.begin", _SYS, FuncClass.MARKER),
+        _spec("roi.end", _SYS, FuncClass.MARKER),
+        _spec("iter.begin", _SYS, FuncClass.MARKER),
+        _spec("iter.end", _SYS, FuncClass.MARKER),
+    ]
+}
+
+
+@dataclass
+class Instruction:
+    """One decoded/assembled instruction instance.
+
+    ``imm`` holds the sign-extended immediate for I/S/B/U/J formats; for
+    branch and jal instructions it is the byte offset relative to the
+    instruction's own PC.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    pc: int = 0
+    #: Source-level annotation (label or source line), for diagnostics.
+    origin: str = ""
+    spec: InstructionSpec = field(init=False, repr=False)
+
+    def __post_init__(self):
+        try:
+            object.__setattr__(self, "spec", INSTRUCTION_SPECS[self.mnemonic])
+        except KeyError:
+            raise ValueError(f"unknown mnemonic: {self.mnemonic!r}") from None
+
+    @property
+    def func_class(self) -> FuncClass:
+        return self.spec.func_class
+
+    @property
+    def is_load(self) -> bool:
+        return self.spec.func_class is FuncClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.spec.func_class is FuncClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.spec.func_class is FuncClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.spec.func_class is FuncClass.JUMP
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.spec.func_class in (FuncClass.BRANCH, FuncClass.JUMP)
+
+    @property
+    def is_marker(self) -> bool:
+        return self.spec.func_class is FuncClass.MARKER
+
+    @property
+    def writes_rd(self) -> bool:
+        """Whether the instruction architecturally writes a destination."""
+        if self.rd == 0:
+            return False
+        return self.spec.func_class in (
+            FuncClass.ALU,
+            FuncClass.MUL,
+            FuncClass.DIV,
+            FuncClass.LOAD,
+            FuncClass.JUMP,
+        )
+
+    @property
+    def reads_rs1(self) -> bool:
+        fmt = self.spec.fmt
+        if self.spec.func_class is FuncClass.MARKER:
+            return self.mnemonic == "iter.begin"
+        if self.spec.func_class is FuncClass.SYSTEM:
+            return False
+        if self.mnemonic in ("lui", "auipc", "jal"):
+            return False
+        return fmt in (Format.R, Format.I, Format.S, Format.B)
+
+    @property
+    def reads_rs2(self) -> bool:
+        return self.spec.fmt in (Format.R, Format.S, Format.B)
+
+    def branch_target(self) -> int:
+        """Taken target for PC-relative control flow (branches and jal)."""
+        return (self.pc + self.imm) & 0xFFFFFFFFFFFFFFFF
+
+    def __str__(self) -> str:
+        from repro.isa.disasm import format_instruction
+
+        return format_instruction(self)

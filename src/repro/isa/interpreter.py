@@ -1,0 +1,225 @@
+"""In-order functional (golden-model) simulator for assembled programs.
+
+This interpreter executes one instruction per step with architecturally
+correct semantics and no microarchitectural timing.  It serves three roles:
+
+* golden model for co-simulation tests of the out-of-order core,
+* execution substrate for the DATA software-level baseline (which only sees
+  architecturally exposed address traces), and
+* a fast way to validate workload programs while developing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import FuncClass, Instruction
+from repro.isa.semantics import MASK64, compute_alu, branch_taken, to_signed
+from repro.kernel.memory_map import MemoryMap
+
+
+class ExecutionError(RuntimeError):
+    """Raised on invalid execution (bad PC, unaligned access, ...)."""
+
+
+@dataclass
+class ArchEvent:
+    """One architecturally visible event, as a software tracer (DATA) sees it."""
+
+    pc: int
+    kind: str  # "exec" | "load" | "store" | "branch"
+    address: int = 0  # memory address or branch target
+    taken: bool = False
+    step: int = 0  # instruction count at which the event occurred
+
+
+@dataclass
+class MarkerEvent:
+    """A committed ROI/iteration marker."""
+
+    mnemonic: str
+    label: int
+    step: int
+
+
+@dataclass
+class InterpreterResult:
+    """Outcome of a functional run."""
+
+    steps: int
+    exit_code: int
+    markers: list[MarkerEvent] = field(default_factory=list)
+    arch_trace: list[ArchEvent] = field(default_factory=list)
+
+
+class FlatMemory:
+    """Little-endian byte-addressable flat memory."""
+
+    def __init__(self, size: int = 1 << 22):
+        self.size = size
+        self.data = bytearray(size)
+
+    def load(self, address: int, size: int) -> int:
+        if address < 0 or address + size > self.size:
+            raise ExecutionError(f"load out of range: {address:#x}+{size}")
+        return int.from_bytes(self.data[address:address + size], "little")
+
+    def store(self, address: int, value: int, size: int) -> None:
+        if address < 0 or address + size > self.size:
+            raise ExecutionError(f"store out of range: {address:#x}+{size}")
+        self.data[address:address + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        if address < 0 or address + len(payload) > self.size:
+            raise ExecutionError(f"write out of range: {address:#x}")
+        self.data[address:address + len(payload)] = payload
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return bytes(self.data[address:address + length])
+
+
+class Interpreter:
+    """Functional executor for a :class:`Program`.
+
+    ``syscall_handler(interp) -> bool`` services ``ecall``; returning False
+    halts execution.  The default handler implements the proxy-kernel exit
+    convention (a7=93 exits with code a0).
+    """
+
+    def __init__(self, program: Program, memory_map: MemoryMap | None = None,
+                 record_arch_trace: bool = False,
+                 syscall_handler: Callable[["Interpreter"], bool] | None = None):
+        self.program = program
+        self.memory_map = memory_map or MemoryMap()
+        self.memory = FlatMemory(self.memory_map.memory_size)
+        self.regs = [0] * 32
+        self.pc = program.entry
+        self.record_arch_trace = record_arch_trace
+        self.syscall_handler = syscall_handler or _default_syscall_handler
+        self.exit_code = 0
+        self.halted = False
+        self.steps = 0
+        self.markers: list[MarkerEvent] = []
+        self.arch_trace: list[ArchEvent] = []
+        self.memory.write_bytes(program.data_base, bytes(program.data))
+        self.regs[2] = self.memory_map.stack_top  # sp
+
+    # -- register helpers ---------------------------------------------------
+
+    def read_reg(self, num: int) -> int:
+        return 0 if num == 0 else self.regs[num]
+
+    def write_reg(self, num: int, value: int) -> None:
+        if num != 0:
+            self.regs[num] = value & MASK64
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute a single instruction."""
+        inst = self.program.instruction_at(self.pc)
+        if inst is None:
+            raise ExecutionError(f"PC out of text range: {self.pc:#x}")
+        self.steps += 1
+        next_pc = (self.pc + 4) & MASK64
+        fc = inst.func_class
+
+        if fc in (FuncClass.ALU, FuncClass.MUL, FuncClass.DIV):
+            a, b = self._alu_operands(inst)
+            self.write_reg(inst.rd, compute_alu(inst.mnemonic, a, b))
+            self._trace(ArchEvent(inst.pc, "exec"))
+        elif fc is FuncClass.LOAD:
+            address = (self.read_reg(inst.rs1) + inst.imm) & MASK64
+            size, signed = inst.spec.mem
+            value = self.memory.load(address, size)
+            if signed:
+                value = to_signed(value, 8 * size) & MASK64
+            self.write_reg(inst.rd, value)
+            self._trace(ArchEvent(inst.pc, "load", address=address))
+        elif fc is FuncClass.STORE:
+            address = (self.read_reg(inst.rs1) + inst.imm) & MASK64
+            size, _ = inst.spec.mem
+            self.memory.store(address, self.read_reg(inst.rs2), size)
+            self._trace(ArchEvent(inst.pc, "store", address=address))
+        elif fc is FuncClass.BRANCH:
+            taken = branch_taken(inst.mnemonic,
+                                 self.read_reg(inst.rs1), self.read_reg(inst.rs2))
+            if taken:
+                next_pc = inst.branch_target()
+            self._trace(ArchEvent(inst.pc, "branch", address=next_pc, taken=taken))
+        elif fc is FuncClass.JUMP:
+            if inst.mnemonic == "jal":
+                self.write_reg(inst.rd, (inst.pc + 4) & MASK64)
+                next_pc = inst.branch_target()
+            else:  # jalr
+                target = (self.read_reg(inst.rs1) + inst.imm) & ~1 & MASK64
+                self.write_reg(inst.rd, (inst.pc + 4) & MASK64)
+                next_pc = target
+            self._trace(ArchEvent(inst.pc, "branch", address=next_pc, taken=True))
+        elif fc is FuncClass.MARKER:
+            label = self.read_reg(inst.rs1) if inst.mnemonic == "iter.begin" else 0
+            self.markers.append(MarkerEvent(inst.mnemonic, label, self.steps))
+        elif fc is FuncClass.SYSTEM:
+            if inst.mnemonic == "ecall":
+                if not self.syscall_handler(self):
+                    self.halted = True
+            elif inst.mnemonic == "ebreak":
+                self.halted = True
+            # fence: no-op
+        else:  # pragma: no cover - all classes handled above
+            raise ExecutionError(f"unhandled class {fc}")
+        self.pc = next_pc
+
+    def run(self, max_steps: int = 10_000_000) -> InterpreterResult:
+        """Run until halt (or ``max_steps``), returning the result summary."""
+        while not self.halted and self.steps < max_steps:
+            self.step()
+        if not self.halted:
+            raise ExecutionError(f"program did not halt within {max_steps} steps")
+        return InterpreterResult(
+            steps=self.steps,
+            exit_code=self.exit_code,
+            markers=self.markers,
+            arch_trace=self.arch_trace,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _trace(self, event: ArchEvent) -> None:
+        if self.record_arch_trace:
+            event.step = self.steps
+            self.arch_trace.append(event)
+
+    def _alu_operands(self, inst: Instruction) -> tuple[int, int]:
+        return self._operand_a(inst), self._operand_b(inst)
+
+    def _operand_a(self, inst: Instruction) -> int:
+        if inst.mnemonic == "lui":
+            return 0
+        if inst.mnemonic == "auipc":
+            return inst.pc
+        return self.read_reg(inst.rs1)
+
+    def _operand_b(self, inst: Instruction) -> int:
+        if inst.mnemonic in ("lui", "auipc"):
+            return inst.imm & MASK64
+        if inst.spec.fmt.name == "I":
+            return inst.imm & MASK64
+        return self.read_reg(inst.rs2)
+
+
+def _default_syscall_handler(interp: Interpreter) -> bool:
+    """Proxy-kernel syscall convention: a7=93 (exit) halts with code a0."""
+    syscall = interp.read_reg(17)  # a7
+    if syscall == 93:
+        interp.exit_code = to_signed(interp.read_reg(10))
+        return False
+    raise ExecutionError(f"unhandled syscall {syscall}")
+
+
+def run_program(program: Program, **kwargs) -> InterpreterResult:
+    """Assemble-and-go helper: execute ``program`` to completion."""
+    return Interpreter(program, **kwargs).run()

@@ -1,0 +1,48 @@
+"""RISC-V integer register file names and ABI aliases.
+
+The RV64 integer register file has 32 registers, ``x0``..``x31``.  ``x0`` is
+hardwired to zero.  The standard calling convention assigns ABI mnemonics
+(``a0``..``a7`` for arguments, ``s0``..``s11`` for callee-saved registers and
+so on); the assembler accepts either spelling.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+#: Canonical ABI names indexed by architectural register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_ALIASES = {"fp": 8}  # frame pointer is another name for s0
+
+#: Mapping from every accepted register spelling to its number.
+REGISTER_NUMBERS: dict[str, int] = {}
+for _i, _name in enumerate(ABI_NAMES):
+    REGISTER_NUMBERS[_name] = _i
+    REGISTER_NUMBERS[f"x{_i}"] = _i
+REGISTER_NUMBERS.update(_ALIASES)
+
+
+def parse_register(name: str) -> int:
+    """Return the register number for ``name`` (ABI or ``xN`` spelling).
+
+    Raises ``ValueError`` for anything that is not a valid register name.
+    """
+    try:
+        return REGISTER_NUMBERS[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+def register_name(num: int) -> str:
+    """Return the canonical ABI name for register number ``num``."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return ABI_NAMES[num]

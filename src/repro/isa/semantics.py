@@ -1,0 +1,136 @@
+"""Functional semantics of the RV64IM instruction subset.
+
+All register values are modeled as unsigned 64-bit integers (Python ints
+masked to 64 bits).  These routines are shared by the in-order golden-model
+interpreter and by the out-of-order core's execution units, so a semantics
+bug cannot silently diverge between the two.
+"""
+
+from __future__ import annotations
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret an unsigned ``bits``-wide value as two's complement."""
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Mask a (possibly negative) Python int to an unsigned ``bits`` value."""
+    return value & ((1 << bits) - 1)
+
+
+def sext32(value: int) -> int:
+    """Sign-extend the low 32 bits of ``value`` to 64 bits (for *W ops)."""
+    return to_unsigned(to_signed(value & MASK32, 32), 64)
+
+
+def _sra(value: int, shamt: int, bits: int = 64) -> int:
+    return to_unsigned(to_signed(value, bits) >> shamt, bits)
+
+
+def _div_signed(a: int, b: int, bits: int) -> int:
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    if sb == 0:
+        return to_unsigned(-1, bits)  # RISC-V: division by zero yields -1
+    if sa == -(1 << (bits - 1)) and sb == -1:
+        return to_unsigned(sa, bits)  # overflow case: result is dividend
+    # RISC-V division truncates toward zero (unlike Python's floor division).
+    return to_unsigned(int(sa / sb) if sb else 0, bits)
+
+
+def _rem_signed(a: int, b: int, bits: int) -> int:
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    if sb == 0:
+        return to_unsigned(sa, bits)
+    if sa == -(1 << (bits - 1)) and sb == -1:
+        return 0
+    return to_unsigned(sa - int(sa / sb) * sb, bits)
+
+
+def _div_unsigned(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        return (1 << bits) - 1
+    return (a // b) & ((1 << bits) - 1)
+
+
+def _rem_unsigned(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        return a & ((1 << bits) - 1)
+    return (a % b) & ((1 << bits) - 1)
+
+
+#: rd = f(rs1_value, operand2) for every computational mnemonic.  For
+#: immediate forms the caller passes the immediate as ``b``; for ``lui`` /
+#: ``auipc`` the caller passes the pre-computed immediate / PC-relative value.
+ALU_OPS = {
+    "add": lambda a, b: (a + b) & MASK64,
+    "addi": lambda a, b: (a + b) & MASK64,
+    "sub": lambda a, b: (a - b) & MASK64,
+    "and": lambda a, b: a & b & MASK64,
+    "andi": lambda a, b: a & b & MASK64,
+    "or": lambda a, b: (a | b) & MASK64,
+    "ori": lambda a, b: (a | b) & MASK64,
+    "xor": lambda a, b: (a ^ b) & MASK64,
+    "xori": lambda a, b: (a ^ b) & MASK64,
+    "sll": lambda a, b: (a << (b & 63)) & MASK64,
+    "slli": lambda a, b: (a << (b & 63)) & MASK64,
+    "srl": lambda a, b: (a & MASK64) >> (b & 63),
+    "srli": lambda a, b: (a & MASK64) >> (b & 63),
+    "sra": lambda a, b: _sra(a, b & 63),
+    "srai": lambda a, b: _sra(a, b & 63),
+    "slt": lambda a, b: int(to_signed(a) < to_signed(b)),
+    "slti": lambda a, b: int(to_signed(a) < to_signed(b)),
+    "sltu": lambda a, b: int((a & MASK64) < (b & MASK64)),
+    "sltiu": lambda a, b: int((a & MASK64) < (b & MASK64)),
+    "addw": lambda a, b: sext32(a + b),
+    "addiw": lambda a, b: sext32(a + b),
+    "subw": lambda a, b: sext32(a - b),
+    "sllw": lambda a, b: sext32((a & MASK32) << (b & 31)),
+    "slliw": lambda a, b: sext32((a & MASK32) << (b & 31)),
+    "srlw": lambda a, b: sext32((a & MASK32) >> (b & 31)),
+    "srliw": lambda a, b: sext32((a & MASK32) >> (b & 31)),
+    "sraw": lambda a, b: sext32(_sra(a & MASK32, b & 31, 32)),
+    "sraiw": lambda a, b: sext32(_sra(a & MASK32, b & 31, 32)),
+    # Upper-immediate forms: callers pass a = 0 (lui) or a = pc (auipc) and
+    # b = the U-immediate.
+    "lui": lambda a, b: (a + b) & MASK64,
+    "auipc": lambda a, b: (a + b) & MASK64,
+    # M extension
+    "mul": lambda a, b: (a * b) & MASK64,
+    "mulh": lambda a, b: to_unsigned((to_signed(a) * to_signed(b)) >> 64),
+    "mulhu": lambda a, b: ((a & MASK64) * (b & MASK64)) >> 64,
+    "mulhsu": lambda a, b: to_unsigned((to_signed(a) * (b & MASK64)) >> 64),
+    "mulw": lambda a, b: sext32(a * b),
+    "div": lambda a, b: _div_signed(a, b, 64),
+    "divu": lambda a, b: _div_unsigned(a & MASK64, b & MASK64, 64),
+    "rem": lambda a, b: _rem_signed(a, b, 64),
+    "remu": lambda a, b: _rem_unsigned(a & MASK64, b & MASK64, 64),
+    "divw": lambda a, b: sext32(_div_signed(a & MASK32, b & MASK32, 32)),
+    "divuw": lambda a, b: sext32(_div_unsigned(a & MASK32, b & MASK32, 32)),
+    "remw": lambda a, b: sext32(_rem_signed(a & MASK32, b & MASK32, 32)),
+    "remuw": lambda a, b: sext32(_rem_unsigned(a & MASK32, b & MASK32, 32)),
+}
+
+#: taken = f(rs1_value, rs2_value) for conditional branches.
+BRANCH_CONDITIONS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_signed(a) < to_signed(b),
+    "bge": lambda a, b: to_signed(a) >= to_signed(b),
+    "bltu": lambda a, b: (a & MASK64) < (b & MASK64),
+    "bgeu": lambda a, b: (a & MASK64) >= (b & MASK64),
+}
+
+
+def compute_alu(mnemonic: str, a: int, b: int) -> int:
+    """Compute the result of a computational instruction."""
+    return ALU_OPS[mnemonic](a, b)
+
+
+def branch_taken(mnemonic: str, a: int, b: int) -> bool:
+    """Evaluate a conditional branch's condition."""
+    return BRANCH_CONDITIONS[mnemonic](a, b)

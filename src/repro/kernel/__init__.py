@@ -1,0 +1,21 @@
+"""Minimal proxy kernel (riscv-pk analog): loading, memory map, syscalls."""
+
+from repro.kernel.memory_map import MemoryMap
+from repro.kernel.proxy_kernel import (
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_WRITE,
+    CpuView,
+    ProxyKernel,
+    SyscallError,
+)
+
+__all__ = [
+    "CpuView",
+    "MemoryMap",
+    "ProxyKernel",
+    "SYS_BRK",
+    "SYS_EXIT",
+    "SYS_WRITE",
+    "SyscallError",
+]

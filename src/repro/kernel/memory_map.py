@@ -1,0 +1,30 @@
+"""Physical memory map used by the proxy kernel and both simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Flat physical memory layout for simulated programs.
+
+    Mirrors the simple layout riscv-pk establishes: text low, static data
+    above it, a heap region, and a stack growing down from the top.
+    """
+
+    text_base: int = 0x0001_0000
+    data_base: int = 0x0004_0000
+    heap_base: int = 0x0010_0000
+    stack_top: int = 0x003F_FF00
+    memory_size: int = 1 << 22  # 4 MiB
+    page_size: int = 4096
+
+    def page_of(self, address: int) -> int:
+        """Virtual page number containing ``address``."""
+        return address // self.page_size
+
+    def validate(self) -> None:
+        if not (self.text_base < self.data_base < self.heap_base
+                < self.stack_top <= self.memory_size):
+            raise ValueError("memory map regions must be ordered and in range")

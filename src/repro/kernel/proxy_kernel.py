@@ -1,0 +1,84 @@
+"""A minimal proxy kernel, in the spirit of riscv-pk.
+
+The proxy kernel gives simulated programs just enough of an environment to
+run: it loads the program image, establishes the stack, and services
+``ecall``s by proxying a small syscall set to the host (exit, console write).
+Both the functional interpreter and the out-of-order core delegate their
+``ecall`` handling here, so syscall behaviour cannot diverge between the two
+simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.isa.semantics import to_signed
+from repro.kernel.memory_map import MemoryMap
+
+SYS_EXIT = 93
+SYS_WRITE = 64
+SYS_BRK = 214
+
+_REG_A0 = 10
+_REG_A1 = 11
+_REG_A2 = 12
+_REG_A7 = 17
+
+
+class CpuView(Protocol):
+    """The architectural interface the kernel needs from a simulator."""
+
+    def read_reg(self, num: int) -> int: ...
+
+    def write_reg(self, num: int, value: int) -> None: ...
+
+    memory: object  # must expose read_bytes/write_bytes
+
+
+class SyscallError(RuntimeError):
+    """Raised for syscalls the proxy kernel does not implement."""
+
+
+@dataclass
+class ProxyKernel:
+    """Services ``ecall``s and records program console output.
+
+    ``handle_ecall`` returns True to continue execution, False to halt.
+    """
+
+    memory_map: MemoryMap = field(default_factory=MemoryMap)
+    console: bytearray = field(default_factory=bytearray)
+    exit_code: int = 0
+    exited: bool = False
+    _brk: int = 0
+
+    def __post_init__(self):
+        self._brk = self.memory_map.heap_base
+
+    def handle_ecall(self, cpu: CpuView) -> bool:
+        syscall = cpu.read_reg(_REG_A7)
+        if syscall == SYS_EXIT:
+            self.exit_code = to_signed(cpu.read_reg(_REG_A0))
+            self.exited = True
+            return False
+        if syscall == SYS_WRITE:
+            address = cpu.read_reg(_REG_A1)
+            length = cpu.read_reg(_REG_A2)
+            self.console.extend(cpu.memory.read_bytes(address, length))
+            cpu.write_reg(_REG_A0, length)
+            return True
+        if syscall == SYS_BRK:
+            requested = cpu.read_reg(_REG_A0)
+            if requested:
+                if not (self.memory_map.heap_base <= requested
+                        < self.memory_map.stack_top):
+                    raise SyscallError(f"brk out of heap range: {requested:#x}")
+                self._brk = requested
+            cpu.write_reg(_REG_A0, self._brk)
+            return True
+        raise SyscallError(f"unhandled syscall {syscall}")
+
+    @property
+    def console_text(self) -> str:
+        return self.console.decode("latin-1")

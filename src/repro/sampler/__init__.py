@@ -1,0 +1,107 @@
+"""MicroSampler: statistical microarchitecture-level leakage detection.
+
+The paper's core contribution (Figure 1): run constant-time code on the
+cycle-accurate core, hash per-iteration microarchitectural snapshots, build
+contingency tables against secret classes, measure association with
+chi-squared / Cramér's V, and extract root-cause features for flagged units.
+"""
+
+from repro.sampler.audit import AuditEntry, AuditResult, run_audit
+from repro.sampler.contingency import (
+    ContingencyTable,
+    build_contingency_table,
+    hash_frequency,
+)
+from repro.sampler.diff import ConfigDiff, UnitDelta, diff_configs
+from repro.sampler.feature_extraction import (
+    OrderingReport,
+    RootCauseReport,
+    UniquenessReport,
+    extract_root_causes,
+    feature_ordering,
+    feature_uniqueness,
+)
+from repro.sampler.mutual_information import (
+    MutualInformationResult,
+    measure_mutual_information,
+    mutual_information,
+    mutual_information_by_unit,
+)
+from repro.sampler.pipeline import (
+    LeakageReport,
+    MicroSampler,
+    StageTimings,
+    UnitResult,
+    adaptive_analyze,
+)
+from repro.sampler.report import (
+    render_bar_chart,
+    render_histogram,
+    render_report,
+    report_to_dict,
+)
+from repro.sampler.sweep import SweepPoint, SweepResult, significance_sweep
+from repro.sampler.runner import (
+    CampaignResult,
+    Workload,
+    WorkloadError,
+    patch_program,
+    run_campaign,
+)
+from repro.sampler.stats import (
+    SIGNIFICANCE_ALPHA,
+    STRONG_ASSOCIATION_THRESHOLD,
+    AssociationResult,
+    chi_squared_p_value,
+    chi_squared_statistic,
+    cramers_v,
+    cramers_v_corrected,
+    measure_association,
+)
+
+__all__ = [
+    "AssociationResult",
+    "AuditEntry",
+    "AuditResult",
+    "CampaignResult",
+    "ConfigDiff",
+    "ContingencyTable",
+    "LeakageReport",
+    "MicroSampler",
+    "MutualInformationResult",
+    "OrderingReport",
+    "RootCauseReport",
+    "SIGNIFICANCE_ALPHA",
+    "STRONG_ASSOCIATION_THRESHOLD",
+    "StageTimings",
+    "UniquenessReport",
+    "UnitResult",
+    "Workload",
+    "WorkloadError",
+    "adaptive_analyze",
+    "build_contingency_table",
+    "UnitDelta",
+    "chi_squared_p_value",
+    "chi_squared_statistic",
+    "cramers_v",
+    "cramers_v_corrected",
+    "diff_configs",
+    "extract_root_causes",
+    "feature_ordering",
+    "feature_uniqueness",
+    "hash_frequency",
+    "measure_association",
+    "measure_mutual_information",
+    "mutual_information",
+    "mutual_information_by_unit",
+    "patch_program",
+    "render_bar_chart",
+    "render_histogram",
+    "render_report",
+    "report_to_dict",
+    "SweepPoint",
+    "SweepResult",
+    "significance_sweep",
+    "run_audit",
+    "run_campaign",
+]

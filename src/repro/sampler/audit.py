@@ -1,0 +1,101 @@
+"""Library-audit campaigns: verify a whole suite of primitives in one run.
+
+The paper's deployment story (Section IV) is a full-stack vendor verifying
+its crypto library against its own microarchitecture.  :func:`run_audit`
+packages that: a list of workloads goes in, a per-workload verdict table
+comes out, with optional *expected* verdicts so the audit doubles as a
+regression gate (exit non-zero on any unexpected flip, in either direction).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.sampler.pipeline import MicroSampler
+from repro.uarch.config import CoreConfig, MEGA_BOOM
+
+
+@dataclass
+class AuditEntry:
+    """Verdict for one workload."""
+
+    name: str
+    leakage_detected: bool
+    leaky_units: list
+    max_v: float
+    n_iterations: int
+    seconds: float
+    expected: bool | None = None
+
+    @property
+    def as_expected(self) -> bool:
+        return self.expected is None or self.expected == self.leakage_detected
+
+
+@dataclass
+class AuditResult:
+    """Full audit outcome."""
+
+    config_name: str
+    entries: list = field(default_factory=list)
+
+    @property
+    def unexpected(self) -> list:
+        return [entry for entry in self.entries if not entry.as_expected]
+
+    @property
+    def passed(self) -> bool:
+        return not self.unexpected
+
+    def render(self) -> str:
+        lines = [
+            f"Constant-time audit on {self.config_name}",
+            f"{'workload':<26} {'verdict':<10} {'max V':>6} {'iters':>6} "
+            f"{'time':>7}  {'status':<10} flagged units",
+            "-" * 100,
+        ]
+        for entry in self.entries:
+            verdict = "LEAK" if entry.leakage_detected else "clean"
+            if entry.expected is None:
+                status = ""
+            elif entry.as_expected:
+                status = "expected"
+            else:
+                status = "UNEXPECTED"
+            units = ", ".join(entry.leaky_units[:5])
+            if len(entry.leaky_units) > 5:
+                units += f" (+{len(entry.leaky_units) - 5})"
+            lines.append(
+                f"{entry.name:<26} {verdict:<10} {entry.max_v:>6.2f} "
+                f"{entry.n_iterations:>6} {entry.seconds:>6.1f}s  "
+                f"{status:<10} {units}"
+            )
+        lines.append("-" * 100)
+        lines.append("AUDIT PASSED" if self.passed else
+                     f"AUDIT FAILED: {len(self.unexpected)} unexpected "
+                     f"verdict(s)")
+        return "\n".join(lines)
+
+
+def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
+              expectations: dict | None = None,
+              sampler: MicroSampler | None = None) -> AuditResult:
+    """Analyze every workload; ``expectations[name]`` = True means "should
+    leak" (a litmus), False means "must be clean" (a hardened primitive)."""
+    sampler = sampler or MicroSampler(config)
+    expectations = expectations or {}
+    result = AuditResult(config_name=config.name)
+    for workload in workloads:
+        started = time.perf_counter()
+        report = sampler.analyze(workload)
+        result.entries.append(AuditEntry(
+            name=workload.name,
+            leakage_detected=report.leakage_detected,
+            leaky_units=report.leaky_units,
+            max_v=max(report.cramers_v_by_unit().values()),
+            n_iterations=report.n_iterations,
+            seconds=time.perf_counter() - started,
+            expected=expectations.get(workload.name),
+        ))
+    return result

@@ -1,0 +1,194 @@
+"""End-to-end MicroSampler analysis pipeline (Figure 1).
+
+Ties the four stages together: ① simulate the workload on the cycle-accurate
+core, ② parse per-cycle traces into hashed iteration snapshots, ③ measure
+class/state association per tracked unit with chi-squared + Cramér's V, and
+④ extract the features responsible for any flagged correlation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.sampler.contingency import build_contingency_table
+from repro.sampler.feature_extraction import RootCauseReport, extract_root_causes
+from repro.sampler.runner import CampaignResult, Workload, run_campaign
+from repro.sampler.stats import (
+    SIGNIFICANCE_ALPHA,
+    STRONG_ASSOCIATION_THRESHOLD,
+    AssociationResult,
+    measure_association,
+)
+from repro.trace.features import FEATURE_ORDER
+from repro.uarch.config import CoreConfig, MEGA_BOOM
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock breakdown of the four MicroSampler stages (Table VI)."""
+
+    simulate_seconds: float
+    parse_seconds: float
+    stats_seconds: float
+    extract_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.simulate_seconds + self.parse_seconds
+                + self.stats_seconds + self.extract_seconds)
+
+
+@dataclass
+class UnitResult:
+    """Analysis outcome for one tracked microarchitectural feature."""
+
+    feature_id: str
+    association: AssociationResult
+    #: Association recomputed on timing-removed snapshots (Section VII-B).
+    association_notiming: AssociationResult | None = None
+    root_cause: RootCauseReport | None = None
+
+    @property
+    def leaky(self) -> bool:
+        return self.association.leaky
+
+
+@dataclass
+class LeakageReport:
+    """Full MicroSampler verdict for one workload campaign."""
+
+    workload_name: str
+    config_name: str
+    n_iterations: int
+    n_classes: int
+    units: dict[str, UnitResult] = field(default_factory=dict)
+    timings: StageTimings | None = None
+
+    @property
+    def leaky_units(self) -> list[str]:
+        return [fid for fid, unit in self.units.items() if unit.leaky]
+
+    @property
+    def leakage_detected(self) -> bool:
+        return bool(self.leaky_units)
+
+    def cramers_v_by_unit(self) -> dict[str, float]:
+        return {fid: unit.association.cramers_v
+                for fid, unit in self.units.items()}
+
+    def cramers_v_by_unit_notiming(self) -> dict[str, float]:
+        return {
+            fid: unit.association_notiming.cramers_v
+            for fid, unit in self.units.items()
+            if unit.association_notiming is not None
+        }
+
+
+class MicroSampler:
+    """The verification framework: configure once, analyze many workloads.
+
+    Parameters mirror the paper's defaults: a correlation is flagged when
+    Cramér's V exceeds 0.5 *and* the chi-squared p-value is below 0.05.
+    """
+
+    def __init__(self, config: CoreConfig = MEGA_BOOM, *,
+                 features=None,
+                 v_threshold: float = STRONG_ASSOCIATION_THRESHOLD,
+                 alpha: float = SIGNIFICANCE_ALPHA,
+                 analyze_timing_removed: bool = True,
+                 extract_root_causes_for_leaky: bool = True,
+                 warmup_iterations: int = 0):
+        self.config = config
+        self.features = tuple(features) if features is not None else FEATURE_ORDER
+        self.v_threshold = v_threshold
+        self.alpha = alpha
+        self.analyze_timing_removed = analyze_timing_removed
+        self.extract_root_causes_for_leaky = extract_root_causes_for_leaky
+        #: Iterations to drop at the start of every run before analysis, so
+        #: cold-structure and predictor-training transients (whose wrong-path
+        #: excursions can touch neighbouring iterations' state) do not blur
+        #: steady-state verdicts.
+        self.warmup_iterations = warmup_iterations
+
+    # -- full pipeline ----------------------------------------------------------
+
+    def analyze(self, workload: Workload, *,
+                max_cycles_per_run: int = 5_000_000) -> LeakageReport:
+        """Run the complete Figure 1 flow on ``workload``."""
+        campaign = run_campaign(
+            workload, self.config, features=self.features,
+            max_cycles_per_run=max_cycles_per_run,
+        )
+        return self.analyze_campaign(campaign)
+
+    def analyze_campaign(self, campaign: CampaignResult) -> LeakageReport:
+        """Stages ③ and ④ on an existing simulation campaign."""
+        iterations = [r for r in campaign.iterations
+                      if r.ordinal >= self.warmup_iterations]
+        labels = [record.label for record in iterations]
+        report = LeakageReport(
+            workload_name=campaign.workload.name,
+            config_name=campaign.config.name,
+            n_iterations=len(iterations),
+            n_classes=len(set(labels)),
+        )
+        stats_started = time.perf_counter()
+        for feature_id in self.features:
+            hashes = [r.features[feature_id].snapshot_hash for r in iterations]
+            table = build_contingency_table(labels, hashes)
+            association = measure_association(table)
+            unit = UnitResult(feature_id=feature_id, association=association)
+            if self.analyze_timing_removed:
+                nt_hashes = [
+                    r.features[feature_id].snapshot_hash_notiming
+                    for r in iterations
+                ]
+                unit.association_notiming = measure_association(
+                    build_contingency_table(labels, nt_hashes)
+                )
+            report.units[feature_id] = unit
+        stats_seconds = time.perf_counter() - stats_started
+
+        extract_started = time.perf_counter()
+        if self.extract_root_causes_for_leaky:
+            for feature_id, unit in report.units.items():
+                if self._flagged(unit.association):
+                    unit.root_cause = extract_root_causes(iterations, feature_id)
+        extract_seconds = time.perf_counter() - extract_started
+
+        report.timings = StageTimings(
+            simulate_seconds=campaign.simulate_seconds,
+            parse_seconds=campaign.parse_seconds,
+            stats_seconds=stats_seconds,
+            extract_seconds=extract_seconds,
+        )
+        return report
+
+    def _flagged(self, association: AssociationResult) -> bool:
+        return (association.cramers_v > self.v_threshold
+                and association.p_value < self.alpha)
+
+
+def adaptive_analyze(workload_factory, *, start_inputs: int = 8,
+                     max_inputs: int = 128, seed: int = 0,
+                     sampler: MicroSampler | None = None) -> LeakageReport:
+    """Grow the input set until measured correlations are significant.
+
+    Implements the paper's false-positive control (Section VII-D): when a
+    unit shows high Cramér's V whose p-value is not yet below the threshold,
+    the number of simulation inputs is increased and the analysis repeated.
+
+    ``workload_factory(n_inputs, seed)`` must return a :class:`Workload`.
+    """
+    sampler = sampler or MicroSampler()
+    n = start_inputs
+    while True:
+        report = sampler.analyze(workload_factory(n, seed))
+        undecided = [
+            unit for unit in report.units.values()
+            if unit.association.strong and not unit.association.significant
+        ]
+        if not undecided or n >= max_inputs:
+            return report
+        n = min(n * 2, max_inputs)

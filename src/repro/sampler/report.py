@@ -1,0 +1,153 @@
+"""Rendering of analysis results: verdict tables and ASCII bar charts.
+
+The benchmarks use :func:`render_bar_chart` to print the same per-unit
+Cramér's V series the paper plots in Figures 3, 4, 7, 9 and 10.
+"""
+
+from __future__ import annotations
+
+from repro.sampler.pipeline import LeakageReport
+
+
+def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
+    """Render one campaign's verdicts as a fixed-width table."""
+    lines = [
+        f"MicroSampler report — workload={report.workload_name} "
+        f"core={report.config_name}",
+        f"iterations={report.n_iterations} classes={report.n_classes}",
+        "",
+    ]
+    header = f"{'unit':<12} {'V':>6} {'p-value':>10} {'hashes':>7} {'flag':>6}"
+    if show_notiming:
+        header += f" {'V(no-t)':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for feature_id, unit in report.units.items():
+        a = unit.association
+        row = (f"{feature_id:<12} {a.cramers_v:>6.3f} {a.p_value:>10.3g} "
+               f"{a.n_categories:>7} {'LEAK' if unit.leaky else '-':>6}")
+        if show_notiming and unit.association_notiming is not None:
+            row += f" {unit.association_notiming.cramers_v:>8.3f}"
+        lines.append(row)
+    lines.append("")
+    if report.leakage_detected:
+        lines.append(f"LEAKAGE DETECTED in: {', '.join(report.leaky_units)}")
+    else:
+        lines.append("No statistically significant correlation found.")
+    if report.timings is not None:
+        t = report.timings
+        lines.append(
+            f"stage times: simulate={t.simulate_seconds:.2f}s "
+            f"parse={t.parse_seconds:.2f}s stats={t.stats_seconds:.2f}s "
+            f"extract={t.extract_seconds:.2f}s"
+        )
+    root_causes = [u.root_cause for u in report.units.values() if u.root_cause]
+    if root_causes:
+        lines.append("")
+        lines.append("root-cause extraction:")
+        for cause in root_causes:
+            lines.append(cause.summary())
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LeakageReport) -> dict:
+    """Serialize a :class:`LeakageReport` to plain JSON-compatible data.
+
+    Intended for CI integration (``microsampler analyze --json``) and for
+    archiving verdicts next to trace logs.
+    """
+    def association(a):
+        if a is None:
+            return None
+        return {
+            "cramers_v": a.cramers_v,
+            "chi_squared": a.chi_squared,
+            "dof": a.dof,
+            "p_value": a.p_value,
+            "n_observations": a.n_observations,
+            "n_categories": a.n_categories,
+            "significant": a.significant,
+            "leaky": a.leaky,
+        }
+
+    units = {}
+    for feature_id, unit in report.units.items():
+        entry = {
+            "association": association(unit.association),
+            "association_notiming": association(unit.association_notiming),
+            "leaky": unit.leaky,
+        }
+        if unit.root_cause is not None:
+            entry["root_cause"] = {
+                "unique_values": {
+                    str(label): sorted(values)
+                    for label, values in
+                    unit.root_cause.uniqueness.unique_values.items()
+                },
+                "n_common_values":
+                    len(unit.root_cause.uniqueness.common_values),
+                "exclusive_ordering_counts": {
+                    str(label): sum(counter.values())
+                    for label, counter in
+                    unit.root_cause.ordering.exclusive_orderings.items()
+                },
+            }
+        units[feature_id] = entry
+    payload = {
+        "workload": report.workload_name,
+        "config": report.config_name,
+        "n_iterations": report.n_iterations,
+        "n_classes": report.n_classes,
+        "leakage_detected": report.leakage_detected,
+        "leaky_units": report.leaky_units,
+        "units": units,
+    }
+    if report.timings is not None:
+        payload["timings_seconds"] = {
+            "simulate": report.timings.simulate_seconds,
+            "parse": report.timings.parse_seconds,
+            "stats": report.timings.stats_seconds,
+            "extract": report.timings.extract_seconds,
+            "total": report.timings.total_seconds,
+        }
+    return payload
+
+
+def render_bar_chart(values: dict[str, float], *, title: str = "",
+                     width: int = 40, vmax: float = 1.0) -> str:
+    """Render a horizontal ASCII bar chart (one bar per unit)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        filled = int(round(min(max(value, 0.0), vmax) / vmax * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{name:<12} |{bar}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def render_histogram(samples, *, bins: int = 12, title: str = "",
+                     width: int = 40) -> str:
+    """ASCII histogram of a numeric sample (used for Figure 6)."""
+    values = list(samples)
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    low, high = min(values), max(values)
+    if low == high:
+        lines.append(f"{low:>8}  all {len(values)} samples identical")
+        return "\n".join(lines)
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    for i, count in enumerate(counts):
+        left = low + i * span
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{left:>9.1f}  {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Workload execution harness (step 1 of Figure 1).
+
+A :class:`Workload` bundles an assembly program with a set of per-run input
+patches (secret keys, operand buffers...).  The runner assembles the program
+once, then executes one fresh core per input — every simulation begins in the
+same reset state, as in the paper — while a shared tracer accumulates
+iteration snapshots across all runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program, assemble
+from repro.kernel.memory_map import MemoryMap
+from repro.kernel.proxy_kernel import ProxyKernel
+from repro.trace.tracer import MicroarchTracer
+from repro.uarch.config import CoreConfig, MEGA_BOOM
+from repro.uarch.core import Core, RunResult
+
+
+class WorkloadError(RuntimeError):
+    """Raised when a workload misbehaves (bad patch, nonzero exit...)."""
+
+
+@dataclass
+class Workload:
+    """A program under verification plus its test inputs.
+
+    ``inputs`` maps, per run, data-section symbol names to replacement bytes
+    (e.g. ``{"key": b"..."}``).  The program is expected to exit with code 0;
+    anything else aborts the campaign, which catches workload bugs early.
+    """
+
+    name: str
+    source: str
+    entry: str = "main"
+    inputs: list[dict] = field(default_factory=list)
+    description: str = ""
+    #: (symbol, length) regions pre-installed in the L1D before each run,
+    #: modeling prior accesses (used by the Fig. 6 "dst initialized" study).
+    warm_regions: list = field(default_factory=list)
+
+    def assemble(self) -> Program:
+        return assemble(self.source, entry=self.entry)
+
+
+def patch_program(program: Program, patches: dict) -> Program:
+    """Return a copy of ``program`` with data-section symbols overwritten."""
+    data = bytearray(program.data)
+    for symbol, payload in patches.items():
+        if symbol not in program.symbols:
+            raise WorkloadError(f"unknown data symbol {symbol!r}")
+        offset = program.symbols[symbol] - program.data_base
+        if offset < 0 or offset + len(payload) > len(data):
+            raise WorkloadError(
+                f"patch for {symbol!r} falls outside the data image"
+            )
+        data[offset:offset + len(payload)] = payload
+    return Program(
+        instructions=program.instructions,
+        text_base=program.text_base,
+        data=data,
+        data_base=program.data_base,
+        symbols=program.symbols,
+        entry=program.entry,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """All simulation outputs for one workload campaign."""
+
+    workload: Workload
+    config: CoreConfig
+    tracer: MicroarchTracer
+    runs: list[RunResult]
+    simulate_seconds: float
+    parse_seconds: float
+
+    @property
+    def iterations(self):
+        return self.tracer.iterations
+
+    def total_cycles(self) -> int:
+        return sum(run.stats.cycles for run in self.runs)
+
+
+def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
+                 features=None, keep_raw=(), memory_map: MemoryMap | None = None,
+                 max_cycles_per_run: int = 5_000_000,
+                 expect_exit_code: int = 0) -> CampaignResult:
+    """Run ``workload`` over all its inputs, collecting iteration snapshots."""
+    if not workload.inputs:
+        raise WorkloadError(f"workload {workload.name!r} has no inputs")
+    program = workload.assemble()
+    tracer = MicroarchTracer(features=features, keep_raw=keep_raw)
+    tracer.timed = True
+    runs = []
+    started = time.perf_counter()
+    for run_index, patches in enumerate(workload.inputs):
+        tracer.begin_run(run_index)
+        patched = patch_program(program, patches)
+        core = Core(
+            patched, config,
+            memory_map=memory_map,
+            kernel=ProxyKernel(memory_map=memory_map or MemoryMap()),
+            tracer=tracer,
+        )
+        for symbol, length in workload.warm_regions:
+            base = patched.symbols[symbol]
+            for address in range(base, base + length, 64):
+                core.dcache.warm_line(address)
+        result = core.run(max_cycles=max_cycles_per_run)
+        if expect_exit_code is not None and result.exit_code != expect_exit_code:
+            raise WorkloadError(
+                f"workload {workload.name!r} exited with "
+                f"{result.exit_code} (expected {expect_exit_code})"
+            )
+        runs.append(result)
+    elapsed = time.perf_counter() - started
+    parse_seconds = getattr(tracer, "sample_seconds", 0.0)
+    return CampaignResult(
+        workload=workload,
+        config=config,
+        tracer=tracer,
+        runs=runs,
+        simulate_seconds=max(elapsed - parse_seconds, 0.0),
+        parse_seconds=parse_seconds,
+    )

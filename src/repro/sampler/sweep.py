@@ -1,0 +1,90 @@
+"""Input-coverage sweeps: p-value convergence vs. campaign size.
+
+Section VII-D describes the framework's false-positive control: a high
+Cramér's V with an insufficient sample count is not trusted; "we increase
+the number of inputs to the simulation until the p-value falls below a
+threshold".  This module measures that convergence explicitly — for a real
+leak the p-value collapses as inputs grow (V stays high), while for safe
+code no amount of input makes the association significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sampler.pipeline import MicroSampler
+from repro.sampler.stats import SIGNIFICANCE_ALPHA
+from repro.uarch.config import CoreConfig, MEGA_BOOM
+
+
+@dataclass
+class SweepPoint:
+    """Measurement for one campaign size."""
+
+    n_inputs: int
+    n_iterations: int
+    #: feature id -> (cramers_v, p_value)
+    units: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """Full convergence sweep for one workload family."""
+
+    workload_name: str
+    points: list = field(default_factory=list)
+
+    def first_significant(self, feature_id: str,
+                          alpha: float = SIGNIFICANCE_ALPHA):
+        """Smallest input count at which ``feature_id`` reached significance,
+        or None if it never did."""
+        for point in self.points:
+            v, p = point.units[feature_id]
+            if p < alpha:
+                return point.n_inputs
+        return None
+
+    def render(self, feature_ids=None) -> str:
+        ids = list(feature_ids) if feature_ids else \
+            sorted(self.points[0].units) if self.points else []
+        lines = [f"p-value convergence for {self.workload_name!r}"]
+        header = f"{'inputs':>7} {'iters':>6}"
+        for feature_id in ids:
+            header += f" | {feature_id:>12}: {'V':>5} {'p':>9}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for point in self.points:
+            row = f"{point.n_inputs:>7} {point.n_iterations:>6}"
+            for feature_id in ids:
+                v, p = point.units[feature_id]
+                row += f" | {'':>12}  {v:>5.2f} {p:>9.2g}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def significance_sweep(workload_factory, *, sizes=(1, 2, 4, 8),
+                       feature_ids=None, config: CoreConfig = MEGA_BOOM,
+                       seed: int = 3) -> SweepResult:
+    """Run the analysis at increasing campaign sizes.
+
+    ``workload_factory(n_inputs, seed)`` builds the workload for each size.
+    """
+    result = None
+    points = []
+    for n_inputs in sizes:
+        workload = workload_factory(n_inputs, seed)
+        if result is None:
+            result = SweepResult(workload_name=workload.name)
+        ids = tuple(feature_ids) if feature_ids else None
+        sampler = MicroSampler(config, features=ids,
+                               analyze_timing_removed=False,
+                               extract_root_causes_for_leaky=False)
+        report = sampler.analyze(workload)
+        point = SweepPoint(n_inputs=n_inputs,
+                           n_iterations=report.n_iterations)
+        for feature_id, unit in report.units.items():
+            point.units[feature_id] = (unit.association.cramers_v,
+                                       unit.association.p_value)
+        points.append(point)
+    result.points = points
+    return result

@@ -1,0 +1,20 @@
+"""Per-cycle microarchitectural state tracing (Table IV features)."""
+
+from repro.trace.features import FEATURE_ORDER, FEATURES, FeatureSpec, feature_ids
+from repro.trace.tracer import (
+    FeatureIteration,
+    IterationRecord,
+    MicroarchTracer,
+    TraceError,
+)
+
+__all__ = [
+    "FEATURES",
+    "FEATURE_ORDER",
+    "FeatureIteration",
+    "FeatureSpec",
+    "IterationRecord",
+    "MicroarchTracer",
+    "TraceError",
+    "feature_ids",
+]

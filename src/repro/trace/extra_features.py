@@ -1,0 +1,59 @@
+"""Optional extension features beyond the paper's Table IV.
+
+The paper tracks sixteen structures; this module registers additional ones
+that are interesting for branch-predictor and front-end side channels:
+
+``BP-GHR``
+    The gshare global history register — speculative branch history is a
+    classic side channel of its own (BranchScope-style attacks).
+``FETCHBUF-PC``
+    PCs resident in the fetch buffer, exposing speculative fetch direction
+    before instructions even reach the ROB.
+``FREELIST-OCPNCY``
+    Free physical registers remaining — rename pressure correlates with
+    in-flight instruction mix.
+
+Call :func:`install_extra_features` once, then request the IDs explicitly:
+
+    install_extra_features()
+    sampler = MicroSampler(config, features=[*feature_ids(), "BP-GHR"])
+"""
+
+from __future__ import annotations
+
+from repro.trace.features import FEATURES, FeatureSpec, register_feature
+
+EXTRA_FEATURE_IDS = ("BP-GHR", "FETCHBUF-PC", "FREELIST-OCPNCY")
+
+
+def _sample_ghr(core):
+    return (core.predictor.gshare.ghr,)
+
+
+def _sample_fetch_buffer(core):
+    row = [0] * core.config.fetch_buffer_entries
+    for index, uop in enumerate(core.fetch_buffer):
+        row[index] = uop.pc
+    return tuple(row)
+
+
+def _sample_free_list(core):
+    return (len(core.free_list),)
+
+
+_SPECS = [
+    FeatureSpec("BP-GHR", "Branch Predictor", "Global history register",
+                _sample_ghr),
+    FeatureSpec("FETCHBUF-PC", "Fetch Buffer", "Fetched PCs awaiting decode",
+                _sample_fetch_buffer),
+    FeatureSpec("FREELIST-OCPNCY", "Rename", "Free physical registers",
+                _sample_free_list),
+]
+
+
+def install_extra_features() -> tuple[str, ...]:
+    """Register the extension features (idempotent); returns their IDs."""
+    for spec in _SPECS:
+        if spec.feature_id not in FEATURES:
+            register_feature(spec)
+    return EXTRA_FEATURE_IDS

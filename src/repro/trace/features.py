@@ -1,0 +1,147 @@
+"""Microarchitectural features tracked by MicroSampler (Table IV).
+
+Each :class:`FeatureSpec` names one tracked feature, the unit it belongs to,
+and a sampler that extracts the per-cycle state row from a live core.  A row
+is a flat tuple of integers; the value 0 denotes an empty/invalid entry,
+matching the paper's snapshot convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One tracked microarchitectural feature."""
+
+    feature_id: str
+    unit: str
+    description: str
+    sample: Callable[[object], tuple]
+
+
+def _sample_sq_addr(core):
+    return core.lsu.sq_addresses()
+
+
+def _sample_sq_pc(core):
+    return core.lsu.sq_pcs()
+
+
+def _sample_lq_addr(core):
+    return core.lsu.lq_addresses()
+
+
+def _sample_lq_pc(core):
+    return core.lsu.lq_pcs()
+
+
+def _sample_rob_occupancy(core):
+    return (core.rob_occupancy(),)
+
+
+def _sample_rob_pc(core):
+    return core.rob_pcs()
+
+
+def _sample_lfb_data(core):
+    return core.dcache.lfb_data()
+
+
+def _sample_lfb_addr(core):
+    return core.dcache.lfb_addresses()
+
+
+def _sample_euu_alu(core):
+    return core.unit_busy_pcs("alu")
+
+
+def _sample_euu_addrgen(core):
+    return core.unit_busy_pcs("agu")
+
+
+def _sample_euu_div(core):
+    return core.unit_busy_pcs("div")
+
+
+def _sample_euu_mul(core):
+    return core.unit_busy_pcs("mul")
+
+
+def _sample_nlp_addr(core):
+    return (core.dcache.prefetcher.last_prefetch_line,)
+
+
+def _sample_cache_addr(core):
+    return tuple(core.dcache.requests_this_cycle)
+
+
+def _sample_tlb_addr(core):
+    return core.dcache.tlb.resident_pages()
+
+
+def _sample_mshr_addr(core):
+    return core.dcache.mshr_addresses()
+
+
+#: All tracked features, keyed by feature ID, in Table IV order.
+FEATURES: dict[str, FeatureSpec] = {
+    spec.feature_id: spec
+    for spec in [
+        FeatureSpec("SQ-ADDR", "Store Queue", "Store address", _sample_sq_addr),
+        FeatureSpec("SQ-PC", "Store Queue", "Program counter", _sample_sq_pc),
+        FeatureSpec("LQ-ADDR", "Load Queue", "Load address", _sample_lq_addr),
+        FeatureSpec("LQ-PC", "Load Queue", "Program counter", _sample_lq_pc),
+        FeatureSpec("ROB-OCPNCY", "ROB", "ROB occupancy", _sample_rob_occupancy),
+        FeatureSpec("ROB-PC", "ROB", "Program counter", _sample_rob_pc),
+        FeatureSpec("LFB-Data", "LFB", "LFB content", _sample_lfb_data),
+        FeatureSpec("LFB-ADDR", "LFB", "Address", _sample_lfb_addr),
+        FeatureSpec("EUU-ALU", "Execution Units", "ALU busy with PC", _sample_euu_alu),
+        FeatureSpec("EUU-ADDRGEN", "Execution Units", "Address generator",
+                    _sample_euu_addrgen),
+        FeatureSpec("EUU-DIV", "Execution Units", "Div. busy with PC",
+                    _sample_euu_div),
+        FeatureSpec("EUU-MUL", "Execution Units", "Mult. busy with PC",
+                    _sample_euu_mul),
+        FeatureSpec("NLP-ADDR", "Prefetchers", "Next-line prefetcher address",
+                    _sample_nlp_addr),
+        FeatureSpec("Cache-ADDR", "D-Cache", "D-Cache req address",
+                    _sample_cache_addr),
+        FeatureSpec("TLB-ADDR", "TLB", "TLB entries", _sample_tlb_addr),
+        FeatureSpec("MSHR-ADDR", "MSHRs", "Cache miss address", _sample_mshr_addr),
+    ]
+}
+
+#: Table IV ordering, used by reports and plots.  Extensions registered via
+#: :func:`register_feature` are tracked only when requested explicitly.
+FEATURE_ORDER: tuple[str, ...] = tuple(FEATURES)
+
+
+def feature_ids() -> tuple[str, ...]:
+    """The paper's tracked feature IDs, in Table IV order."""
+    return FEATURE_ORDER
+
+
+def register_feature(spec: FeatureSpec, *, overwrite: bool = False) -> None:
+    """Register an additional microarchitectural feature.
+
+    The paper notes that selecting tracked structures "can be automated
+    using a compiler pass to identify all sub units"; this registry is the
+    hook for extending coverage beyond Table IV.  Registered features become
+    available to :class:`~repro.trace.tracer.MicroarchTracer`,
+    :class:`~repro.sampler.pipeline.MicroSampler` (via ``features=...``) and
+    the trace-log writer, but are not added to the Table IV default set.
+    """
+    if spec.feature_id in FEATURES and not overwrite:
+        raise ValueError(f"feature {spec.feature_id!r} already registered")
+    FEATURES[spec.feature_id] = spec
+
+
+def unregister_feature(feature_id: str) -> None:
+    """Remove a registered extension feature (Table IV ones are protected)."""
+    if feature_id in FEATURE_ORDER:
+        raise ValueError(f"cannot unregister the Table IV feature "
+                         f"{feature_id!r}")
+    FEATURES.pop(feature_id, None)

@@ -1,0 +1,172 @@
+"""On-disk trace logs and the offline MicroSampler Parser.
+
+The paper's flow is decoupled: the instrumented RTL simulation emits a
+detailed execution log (synthesized ``printf``s under Verilator), and the
+*MicroSampler Parser* later turns that log into hashed iteration snapshots
+(Fig. 1, steps ① and ②).  This module reproduces that decoupling:
+
+* :class:`TraceLogWriter` attaches to a core like a tracer and streams every
+  in-ROI cycle's feature rows plus all marker events to a JSON-lines file
+  (gzip-compressed when the path ends in ``.gz``);
+* :func:`parse_trace_log` replays a log offline into the same
+  :class:`~repro.trace.tracer.IterationRecord` objects the live tracer
+  produces, so a simulation can be archived once and re-analyzed many times
+  (different feature subsets, thresholds, raw retention) without re-running.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.trace.features import FEATURE_ORDER, FEATURES
+from repro.trace.tracer import IterationRecord, TraceError, _FeatureAccumulator
+
+
+def _open(path, mode):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+class TraceLogWriter:
+    """Streams microarchitectural state to a log file during simulation.
+
+    Implements the tracer interface (``on_marker`` / ``on_cycle``) so it can
+    be passed directly as a :class:`~repro.uarch.core.Core`'s tracer.  Rows
+    are recorded for every cycle inside the region of interest; marker
+    events (including run boundaries) are recorded always.
+    """
+
+    def __init__(self, path, features=None):
+        ids = tuple(features) if features is not None else FEATURE_ORDER
+        unknown = [f for f in ids if f not in FEATURES]
+        if unknown:
+            raise ValueError(f"unknown feature IDs: {unknown}")
+        self.specs = [FEATURES[f] for f in ids]
+        self.path = Path(path)
+        self._handle = _open(self.path, "w")
+        self._handle.write(json.dumps(
+            {"t": "header", "version": 1, "features": list(ids)}
+        ) + "\n")
+        self.roi_active = False
+        self.cycles_logged = 0
+        self.run_index = 0
+
+    # -- tracer interface -----------------------------------------------------
+
+    def begin_run(self, run_index: int) -> None:
+        self.run_index = run_index
+        self.roi_active = False
+        self._handle.write(json.dumps({"t": "run", "i": run_index}) + "\n")
+
+    def on_marker(self, mnemonic: str, label: int, cycle: int) -> None:
+        if mnemonic == "roi.begin":
+            self.roi_active = True
+        elif mnemonic == "roi.end":
+            self.roi_active = False
+        self._handle.write(json.dumps(
+            {"t": "marker", "m": mnemonic, "l": label, "c": cycle}
+        ) + "\n")
+
+    def on_cycle(self, core, cycle: int) -> None:
+        if not self.roi_active:
+            return
+        self.cycles_logged += 1
+        rows = {spec.feature_id: list(spec.sample(core)) for spec in self.specs}
+        self._handle.write(json.dumps({"t": "cycle", "c": cycle, "f": rows})
+                           + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_trace_log(path):
+    """Yield decoded events from a trace log file."""
+    with _open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def parse_trace_log(path, features=None, keep_raw=()):
+    """Offline parse: reconstruct iteration snapshots from a trace log.
+
+    Returns the same list of :class:`IterationRecord` the live
+    :class:`~repro.trace.tracer.MicroarchTracer` would have produced —
+    verified bit-for-bit (hashes included) by the test suite.
+
+    ``features`` may select a subset of the logged features; ``keep_raw``
+    retains deduplicated raw rows for the listed feature IDs (or all, when
+    True).
+    """
+    events = read_trace_log(path)
+    header = next(events, None)
+    if not header or header.get("t") != "header":
+        raise TraceError(f"{path}: not a trace log (missing header)")
+    logged = header["features"]
+    if features is None:
+        selected = list(logged)
+    else:
+        missing = [f for f in features if f not in logged]
+        if missing:
+            raise TraceError(f"features not present in log: {missing}")
+        selected = list(features)
+    if keep_raw is True:
+        keep_raw = set(selected)
+    else:
+        keep_raw = set(keep_raw)
+
+    iterations: list[IterationRecord] = []
+    run_index = 0
+    run_ordinal = 0
+    open_record = None
+    accumulators = {}
+    for event in events:
+        kind = event["t"]
+        if kind == "run":
+            run_index = event["i"]
+            run_ordinal = 0
+        elif kind == "marker":
+            mnemonic = event["m"]
+            if mnemonic == "iter.begin":
+                if open_record is not None:
+                    raise TraceError("nested iter.begin in log")
+                open_record = IterationRecord(
+                    index=len(iterations),
+                    label=event["l"],
+                    start_cycle=event["c"],
+                    end_cycle=event["c"],
+                    run_index=run_index,
+                    ordinal=run_ordinal,
+                )
+                run_ordinal += 1
+                accumulators = {f: _FeatureAccumulator() for f in selected}
+            elif mnemonic == "iter.end":
+                if open_record is None:
+                    raise TraceError("iter.end without iter.begin in log")
+                open_record.end_cycle = event["c"]
+                for feature_id in selected:
+                    open_record.features[feature_id] = \
+                        accumulators[feature_id].finalize(
+                            feature_id in keep_raw)
+                iterations.append(open_record)
+                open_record = None
+        elif kind == "cycle" and open_record is not None:
+            rows = event["f"]
+            for feature_id in selected:
+                accumulators[feature_id].add(tuple(rows[feature_id]))
+    if open_record is not None:
+        raise TraceError("log ends inside an open iteration")
+    return iterations

@@ -1,0 +1,245 @@
+"""Per-cycle microarchitectural state tracer.
+
+The tracer is handed to a :class:`~repro.uarch.core.Core` and receives two
+callbacks: ``on_marker`` when a ROI/iteration marker instruction commits and
+``on_cycle`` at the end of every simulated cycle.  Inside an open iteration
+it samples every tracked feature (Table IV) and accumulates one *iteration
+snapshot* per feature — the 2D state matrix of Figure 2, stored as one row
+digest per cycle plus the run-length-deduplicated raw rows.
+
+At ``iter.end`` the snapshot is finalized into a compact
+:class:`FeatureIteration` (hashes, value set, first-occurrence ordering) so
+that memory stays bounded even over long campaigns; raw matrices are kept
+only for features listed in ``keep_raw``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.trace.features import FEATURE_ORDER, FEATURES, FeatureSpec
+from repro.util.hashing import combine_digests, row_digest
+
+
+class TraceError(RuntimeError):
+    """Raised on malformed marker sequences (e.g. unbalanced iter markers)."""
+
+
+@dataclass(frozen=True)
+class FeatureIteration:
+    """Finalized per-feature data for one iteration snapshot."""
+
+    snapshot_hash: int
+    snapshot_hash_notiming: int
+    values: frozenset
+    order: tuple
+    rows: tuple | None = None  # deduplicated raw rows, when retained
+
+
+@dataclass
+class IterationRecord:
+    """One algorithmic iteration: its class label plus per-feature snapshots."""
+
+    index: int
+    label: int
+    start_cycle: int
+    end_cycle: int
+    features: dict[str, FeatureIteration] = field(default_factory=dict)
+    #: which simulation run produced this iteration, and its ordinal within
+    #: that run (used for warm-up exclusion).
+    run_index: int = 0
+    ordinal: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class _FeatureAccumulator:
+    """Accumulates one feature's rows for the currently open iteration."""
+
+    __slots__ = ("digests", "dedup_digests", "dedup_rows", "prev_row")
+
+    def __init__(self):
+        self.digests: list[int] = []
+        self.dedup_digests: list[int] = []
+        self.dedup_rows: list[tuple] = []
+        self.prev_row = None
+
+    def add(self, row: tuple) -> None:
+        digest = row_digest(row)
+        self.digests.append(digest)
+        if row != self.prev_row:
+            self.dedup_digests.append(digest)
+            self.dedup_rows.append(row)
+            self.prev_row = row
+
+    def finalize(self, keep_raw: bool) -> FeatureIteration:
+        values = []
+        seen = set()
+        for row in self.dedup_rows:
+            for value in row:
+                if value and value not in seen:
+                    seen.add(value)
+                    values.append(value)
+        return FeatureIteration(
+            snapshot_hash=combine_digests(self.digests),
+            snapshot_hash_notiming=self._notiming_hash(),
+            values=frozenset(seen),
+            order=tuple(values),
+            rows=tuple(self.dedup_rows) if keep_raw else None,
+        )
+
+    def _notiming_hash(self) -> int:
+        """Hash of the snapshot with timing information removed.
+
+        Following Section VII-B, consecutive occurrences of the same value
+        are consolidated *per structure entry* (per snapshot column), so the
+        hash reflects which values visited each entry and in what order, but
+        not for how long.  Rows of one structure always have equal width
+        (entries are sampled by physical slot); if widths ever differ the
+        row-level deduplicated sequence is hashed instead.
+        """
+        rows = self.dedup_rows
+        if not rows:
+            return combine_digests([])
+        width = len(rows[0])
+        if any(len(row) != width for row in rows):
+            return combine_digests(self.dedup_digests)
+        column_digests = []
+        for column in zip(*rows):
+            consolidated = [column[0]]
+            append = consolidated.append
+            previous = column[0]
+            for value in column:
+                if value != previous:
+                    append(value)
+                    previous = value
+            column_digests.append(row_digest(tuple(consolidated)))
+        return combine_digests(column_digests)
+
+
+def build_feature_iteration(rows, keep_raw: bool = True) -> FeatureIteration:
+    """Build a :class:`FeatureIteration` from raw per-cycle state rows.
+
+    Utility for constructing snapshots outside a live simulation (tests,
+    offline trace analysis).
+    """
+    accumulator = _FeatureAccumulator()
+    for row in rows:
+        accumulator.add(tuple(row))
+    return accumulator.finalize(keep_raw)
+
+
+class MicroarchTracer:
+    """Collects iteration snapshots from a running core.
+
+    Parameters
+    ----------
+    features:
+        Feature IDs to track (default: all of Table IV).
+    keep_raw:
+        Feature IDs whose deduplicated raw rows should be retained for
+        feature extraction, or True for all tracked features.
+    """
+
+    def __init__(self, features=None, keep_raw=()):
+        ids = tuple(features) if features is not None else FEATURE_ORDER
+        unknown = [f for f in ids if f not in FEATURES]
+        if unknown:
+            raise ValueError(f"unknown feature IDs: {unknown}")
+        self.specs: list[FeatureSpec] = [FEATURES[f] for f in ids]
+        if keep_raw is True:
+            self.keep_raw = set(ids)
+        else:
+            self.keep_raw = set(keep_raw)
+        self.iterations: list[IterationRecord] = []
+        self.roi_active = False
+        self.roi_seen = False
+        #: bumped by the runner between runs; stamped onto records.
+        self.run_index = 0
+        self._run_ordinal = 0
+        self._open: IterationRecord | None = None
+        self._accumulators: dict[str, _FeatureAccumulator] = {}
+        self._samplers: list = []
+        self.cycles_sampled = 0
+        #: When True, time spent sampling/finalizing is accumulated in
+        #: ``sample_seconds`` (used for the Table VI stage breakdown).
+        self.timed = False
+        self.sample_seconds = 0.0
+
+    # -- core callbacks -------------------------------------------------------
+
+    def on_marker(self, mnemonic: str, label: int, cycle: int) -> None:
+        if mnemonic == "roi.begin":
+            self.roi_active = True
+            self.roi_seen = True
+        elif mnemonic == "roi.end":
+            if self._open is not None:
+                raise TraceError("roi.end inside an open iteration")
+            self.roi_active = False
+        elif mnemonic == "iter.begin":
+            if self.roi_seen and not self.roi_active:
+                return
+            if self._open is not None:
+                raise TraceError("nested iter.begin")
+            self._open = IterationRecord(
+                index=len(self.iterations),
+                label=label,
+                start_cycle=cycle,
+                end_cycle=cycle,
+                run_index=self.run_index,
+                ordinal=self._run_ordinal,
+            )
+            self._run_ordinal += 1
+            self._accumulators = {
+                spec.feature_id: _FeatureAccumulator() for spec in self.specs
+            }
+            # Pre-bound (sampler, add) pairs: the per-cycle loop below is the
+            # hottest code in the whole framework.
+            self._samplers = [
+                (spec.sample, self._accumulators[spec.feature_id].add)
+                for spec in self.specs
+            ]
+        elif mnemonic == "iter.end":
+            if self._open is None:
+                if self.roi_seen and not self.roi_active:
+                    return
+                raise TraceError("iter.end without iter.begin")
+            started = time.perf_counter() if self.timed else 0.0
+            record = self._open
+            record.end_cycle = cycle
+            for spec in self.specs:
+                accumulator = self._accumulators[spec.feature_id]
+                record.features[spec.feature_id] = accumulator.finalize(
+                    spec.feature_id in self.keep_raw
+                )
+            self.iterations.append(record)
+            self._open = None
+            self._accumulators = {}
+            if self.timed:
+                self.sample_seconds += time.perf_counter() - started
+
+    def on_cycle(self, core, cycle: int) -> None:
+        if self._open is None:
+            return
+        started = time.perf_counter() if self.timed else 0.0
+        self.cycles_sampled += 1
+        for sample, add in self._samplers:
+            add(sample(core))
+        if self.timed:
+            self.sample_seconds += time.perf_counter() - started
+
+    # -- results ----------------------------------------------------------------
+
+    def begin_run(self, run_index: int) -> None:
+        """Mark the start of a new simulation run (called by the runner)."""
+        self.run_index = run_index
+        self._run_ordinal = 0
+
+    def labels(self) -> list[int]:
+        return [record.label for record in self.iterations]
+
+    def iteration_cycle_counts(self) -> list[int]:
+        return [record.cycles for record in self.iterations]

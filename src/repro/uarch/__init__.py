@@ -1,0 +1,49 @@
+"""Cycle-accurate out-of-order processor model (BOOM-like) and memory system."""
+
+from repro.uarch.branch import BranchPredictor, GsharePredictor
+from repro.uarch.checker import LockstepMismatch, LockstepResult, run_lockstep
+from repro.uarch.pipeview import PipelineSlot, PipelineTrace, record_pipeline
+from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM, CacheConfig, CoreConfig
+from repro.uarch.core import Core, CoreStats, RunResult, SimulationError
+from repro.uarch.exec_units import ExecUnit, ExecUnitPool, divider_latency
+from repro.uarch.lsu import LoadStoreUnit
+from repro.uarch.memsys import (
+    DataCachePort,
+    InstructionCachePort,
+    LineFillBuffer,
+    NextLinePrefetcher,
+    SetAssocCache,
+    Tlb,
+)
+from repro.uarch.uop import MicroOp
+
+__all__ = [
+    "BranchPredictor",
+    "CacheConfig",
+    "Core",
+    "CoreConfig",
+    "CoreStats",
+    "DataCachePort",
+    "ExecUnit",
+    "ExecUnitPool",
+    "GsharePredictor",
+    "InstructionCachePort",
+    "LineFillBuffer",
+    "LoadStoreUnit",
+    "LockstepMismatch",
+    "LockstepResult",
+    "MEDIUM_BOOM",
+    "MEGA_BOOM",
+    "MicroOp",
+    "PipelineSlot",
+    "PipelineTrace",
+    "NextLinePrefetcher",
+    "RunResult",
+    "SMALL_BOOM",
+    "SetAssocCache",
+    "SimulationError",
+    "Tlb",
+    "divider_latency",
+    "record_pipeline",
+    "run_lockstep",
+]

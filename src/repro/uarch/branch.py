@@ -1,0 +1,150 @@
+"""Branch prediction: gshare direction predictor, BTB and return-address stack.
+
+The front end predicts speculatively and updates the global history register
+in place; every predicted control-flow instruction carries a checkpoint
+(GHR + RAS) that is restored on misprediction.  Counter tables (PHT) and the
+BTB are updated non-speculatively at commit, as in BOOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class PredictorCheckpoint:
+    """Snapshot of speculative predictor state, restored on squash."""
+
+    ghr: int
+    ras: tuple[int, ...]
+
+
+class GsharePredictor:
+    """gshare: PC xor global-history indexes a table of 2-bit counters."""
+
+    def __init__(self, entries: int, history_bits: int):
+        if entries & (entries - 1):
+            raise ValueError("gshare table size must be a power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.index_mask = entries - 1
+        self.counters = [1] * entries  # weakly not-taken
+        self.ghr = 0
+
+    def index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.ghr) & self.index_mask
+
+    def predict(self, pc: int) -> bool:
+        return self.counters[self.index(pc)] >= 2
+
+    def predict_and_update_history(self, pc: int, taken: bool) -> None:
+        """Speculatively shift the predicted outcome into the GHR."""
+        self.ghr = ((self.ghr << 1) | int(taken)) & self.history_mask
+
+    def train(self, pc: int, taken: bool, ghr_at_predict: int) -> None:
+        """Commit-time counter update, using the history seen at prediction."""
+        index = ((pc >> 2) ^ ghr_at_predict) & self.index_mask
+        counter = self.counters[index]
+        if taken and counter < 3:
+            self.counters[index] = counter + 1
+        elif not taken and counter > 0:
+            self.counters[index] = counter - 1
+
+
+class BranchTargetBuffer:
+    """Small fully-associative BTB with FIFO replacement."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self.table: dict[int, int] = {}
+        self.order: list[int] = []
+
+    def lookup(self, pc: int) -> int | None:
+        return self.table.get(pc)
+
+    def update(self, pc: int, target: int) -> None:
+        if pc not in self.table:
+            if len(self.order) >= self.capacity:
+                evicted = self.order.pop(0)
+                del self.table[evicted]
+            self.order.append(pc)
+        self.table[pc] = target
+
+
+class ReturnAddressStack:
+    """Bounded return-address stack with speculative push/pop."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self.stack: list[int] = []
+
+    def push(self, address: int) -> None:
+        if len(self.stack) >= self.capacity:
+            self.stack.pop(0)
+        self.stack.append(address)
+
+    def pop(self) -> int | None:
+        if self.stack:
+            return self.stack.pop()
+        return None
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self.stack)
+
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        self.stack = list(snapshot)
+
+
+class BranchPredictor:
+    """Front-end prediction unit combining gshare, BTB and RAS."""
+
+    def __init__(self, config: CoreConfig):
+        self.gshare = GsharePredictor(config.bp_entries, config.bp_history_bits)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.mispredicts = 0
+        self.branches = 0
+
+    def checkpoint(self) -> PredictorCheckpoint:
+        return PredictorCheckpoint(ghr=self.gshare.ghr, ras=self.ras.snapshot())
+
+    def restore(self, checkpoint: PredictorCheckpoint) -> None:
+        self.gshare.ghr = checkpoint.ghr
+        self.ras.restore(checkpoint.ras)
+
+    def predict_branch(self, pc: int) -> tuple[bool, int]:
+        """Predict a conditional branch at ``pc``: (taken, ghr_at_predict)."""
+        ghr = self.gshare.ghr
+        taken = self.gshare.predict(pc)
+        self.gshare.predict_and_update_history(pc, taken)
+        return taken, ghr
+
+    def predict_jalr_target(self, pc: int, *, is_return: bool,
+                            is_call: bool, next_pc: int) -> int | None:
+        """Predict an indirect jump's target (None = no prediction, stall)."""
+        if is_return:
+            target = self.ras.pop()
+            if is_call:
+                self.ras.push(next_pc)
+            return target
+        target = self.btb.lookup(pc)
+        if is_call:
+            self.ras.push(next_pc)
+        return target
+
+    def on_call(self, next_pc: int) -> None:
+        self.ras.push(next_pc)
+
+    def train_branch(self, pc: int, taken: bool, target: int,
+                     ghr_at_predict: int) -> None:
+        """Commit-time training for a conditional branch."""
+        self.branches += 1
+        self.gshare.train(pc, taken, ghr_at_predict)
+        if taken:
+            self.btb.update(pc, target)
+
+    def train_indirect(self, pc: int, target: int) -> None:
+        self.btb.update(pc, target)

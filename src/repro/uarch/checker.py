@@ -1,0 +1,111 @@
+"""Lockstep co-simulation checker: out-of-order core vs golden model.
+
+Runs the out-of-order core and the in-order interpreter side by side,
+comparing *every committed instruction* — its PC and destination-register
+value — the moment it retires.  Any microarchitectural bug (bad forwarding,
+broken squash, rename corruption) is reported at the exact instruction where
+architectural state first diverges, instead of as a wrong final result.
+
+This is the debugging methodology hardware teams use against their golden
+models; the test suite applies it to random programs and every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Program
+from repro.isa.disasm import format_instruction
+from repro.isa.interpreter import Interpreter
+from repro.kernel.proxy_kernel import ProxyKernel
+from repro.uarch.config import CoreConfig, MEGA_BOOM
+from repro.uarch.core import Core
+
+
+class LockstepMismatch(AssertionError):
+    """Raised when the core's commit stream diverges from the golden model."""
+
+
+@dataclass
+class LockstepResult:
+    """Summary of a successful lockstep run."""
+
+    instructions_checked: int
+    cycles: int
+    exit_code: int
+
+
+class _GoldenStream:
+    """Replays the interpreter one instruction at a time for comparison."""
+
+    def __init__(self, program: Program):
+        kernel = ProxyKernel()
+        self.interpreter = Interpreter(
+            program, syscall_handler=lambda i: kernel.handle_ecall(i)
+        )
+        self.kernel = kernel
+
+    def next_commit(self):
+        """Execute one instruction; returns (pc, rd, rd_value) or None."""
+        interp = self.interpreter
+        if interp.halted:
+            return None
+        inst = interp.program.instruction_at(interp.pc)
+        pc = interp.pc
+        rd = inst.rd if inst.writes_rd else 0
+        interp.step()
+        value = interp.read_reg(rd) if rd else 0
+        return pc, rd, value
+
+
+def run_lockstep(program: Program, config: CoreConfig = MEGA_BOOM, *,
+                 max_cycles: int = 2_000_000) -> LockstepResult:
+    """Run ``program`` on both simulators, comparing each commit.
+
+    Raises :class:`LockstepMismatch` at the first divergence.
+    """
+    golden = _GoldenStream(program)
+    core = Core(program, config)
+    checked = 0
+
+    def on_commit(pc, mnemonic, rd, value, cycle):
+        nonlocal checked
+        expected = golden.next_commit()
+        if expected is None:
+            raise LockstepMismatch(
+                f"core committed {mnemonic} at {pc:#x} (cycle {cycle}) after "
+                f"the golden model already halted"
+            )
+        exp_pc, exp_rd, exp_value = expected
+        if pc != exp_pc:
+            raise LockstepMismatch(
+                f"commit #{checked}: core committed pc {pc:#x} but golden "
+                f"model executed {exp_pc:#x} "
+                f"({format_instruction(program.instruction_at(exp_pc))})"
+            )
+        if rd != exp_rd or (rd and value != exp_value):
+            raise LockstepMismatch(
+                f"commit #{checked} at {pc:#x} ({mnemonic}): core wrote "
+                f"x{rd}={value:#x} but golden model wrote "
+                f"x{exp_rd}={exp_value:#x}"
+            )
+        checked += 1
+
+    core.commit_listener = on_commit
+    result = core.run(max_cycles=max_cycles)
+    if golden.next_commit() is not None:
+        raise LockstepMismatch(
+            "golden model has instructions left after the core halted"
+        )
+    if result.exit_code != golden.kernel.exit_code:
+        raise LockstepMismatch(
+            f"exit codes differ: core {result.exit_code}, "
+            f"golden {golden.kernel.exit_code}"
+        )
+    if bytes(core.memory.data) != bytes(golden.interpreter.memory.data):
+        raise LockstepMismatch("final memory images differ")
+    return LockstepResult(
+        instructions_checked=checked,
+        cycles=result.stats.cycles,
+        exit_code=result.exit_code,
+    )

@@ -1,0 +1,208 @@
+"""Core configurations, mirroring Table III of the paper.
+
+Two reference configurations are provided: :data:`MEGA_BOOM` (the large
+8-wide design the paper deploys MicroSampler on) and :data:`SMALL_BOOM` (the
+1-wide design used in the Table VI/VII scalability measurements).  Both are
+plain dataclasses, so case studies and ablations can derive variants with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level-1 cache."""
+
+    sets: int
+    ways: int
+    line_bytes: int = 64
+    mshrs: int = 8
+    hit_latency: int = 3
+    #: Bytes delivered per fetch for the I-cache.
+    fetch_bytes: int = 16
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+    def state_bits(self) -> int:
+        """Rough count of state bits (data + tags), for scalability reporting."""
+        tag_bits = 32
+        return self.sets * self.ways * (8 * self.line_bytes + tag_bits + 2)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Full out-of-order core configuration (Table III)."""
+
+    name: str
+    fetch_width: int
+    decode_width: int
+    issue_width: int
+    fetch_buffer_entries: int
+    iq_entries: int
+    rob_entries: int
+    int_prf_entries: int
+    ldq_entries: int
+    stq_entries: int
+    lfb_entries: int
+    bp_entries: int = 2048
+    bp_history_bits: int = 11
+    btb_entries: int = 64
+    ras_entries: int = 8
+    dcache: CacheConfig = CacheConfig(sets=64, ways=8, mshrs=8)
+    icache: CacheConfig = CacheConfig(sets=64, ways=8, mshrs=4, fetch_bytes=16)
+    #: Optional unified L2 behind the L1D (None = misses go to memory, as in
+    #: the paper's two reference configurations).
+    l2: CacheConfig | None = None
+    l2_latency: int = 12
+    dtlb_entries: int = 32
+    #: Execution unit counts.
+    alu_count: int = 4
+    mul_count: int = 2
+    div_count: int = 1
+    agu_count: int = 2
+    #: Latencies (cycles).
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    memory_latency: int = 30
+    #: Per-store drain cost when the store missed the (write-through,
+    #: no-write-allocate) L1: the non-coalescing store buffer holds the
+    #: SQ head until the posted write completes.
+    store_miss_drain_penalty: int = 24
+    tlb_miss_latency: int = 20
+    mispredict_redirect_penalty: int = 2
+    #: Cycles between a branch resolving as mispredicted and the squash
+    #: taking effect (the kill broadcast through a deep pipeline).  During
+    #: this window wrong-path instructions keep fetching and executing —
+    #: including transiently resolving their own branches — exactly the
+    #: behaviour the CT-MEM-CMP case study (Section VII-C1) relies on.
+    branch_kill_latency: int = 6
+    #: Result values linger on the bypass network for this many cycles.
+    bypass_depth: int = 3
+    #: Model an early-exit divider whose latency depends on operand magnitude.
+    variable_div_latency: bool = False
+    #: Enable the trivial-computation "fast bypass" optimization (Sec. VII-B).
+    fast_bypass: bool = False
+    #: Next-line prefetcher enabled (Table III: Next-Line Prefetcher).
+    prefetcher_enabled: bool = True
+    commit_width: int = 0  # 0 = same as decode_width
+
+    def __post_init__(self):
+        if self.commit_width == 0:
+            object.__setattr__(self, "commit_width", self.decode_width)
+
+    def with_(self, **overrides) -> "CoreConfig":
+        """Return a copy of this configuration with fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    def core_structure_bits(self) -> int:
+        """State bits in core pipeline structures only (ROB, PRF, queues...).
+
+        This is the size axis the paper's Table VII compares ("approximately
+        four times larger ... with respect to size of structures (e.g.,
+        ROB)"); cache data arrays are excluded because both configurations
+        share similar cache geometry.
+        """
+        bits = 0
+        bits += self.int_prf_entries * 64
+        bits += self.rob_entries * (32 + 8)
+        bits += self.ldq_entries * (64 + 32)
+        bits += self.stq_entries * (64 + 64 + 32)
+        bits += self.fetch_buffer_entries * 48
+        bits += self.iq_entries * 96
+        bits += self.lfb_entries * (64 * 8 + 64)
+        bits += self.ras_entries * 64
+        bits += self.dtlb_entries * 128
+        return bits
+
+    def state_bits(self) -> int:
+        """Approximate number of microarchitectural state bits in the design.
+
+        Used to report the design-size axis of Table VII.  Counts the major
+        storage structures: PRF, ROB, LDQ/STQ, fetch buffer, LFB, predictor
+        tables, TLB and both caches.
+        """
+        bits = 0
+        bits += self.int_prf_entries * 64
+        bits += self.rob_entries * (32 + 8)          # PC + status per entry
+        bits += self.ldq_entries * (64 + 32)          # address + metadata
+        bits += self.stq_entries * (64 + 64 + 32)     # address + data + meta
+        bits += self.fetch_buffer_entries * 48
+        bits += self.lfb_entries * (64 * 8 + 64)      # line data + address
+        bits += self.bp_entries * 2 + self.btb_entries * 96
+        bits += self.ras_entries * 64
+        bits += self.dtlb_entries * 128
+        bits += self.dcache.state_bits() + self.icache.state_bits()
+        return bits
+
+
+MEGA_BOOM = CoreConfig(
+    name="MegaBoom",
+    fetch_width=8,
+    decode_width=4,
+    issue_width=4,
+    fetch_buffer_entries=32,
+    iq_entries=32,
+    rob_entries=128,
+    int_prf_entries=128,
+    ldq_entries=32,
+    stq_entries=32,
+    lfb_entries=64,
+    dcache=CacheConfig(sets=64, ways=8, mshrs=8),
+    icache=CacheConfig(sets=64, ways=8, mshrs=4, fetch_bytes=16),
+    dtlb_entries=32,
+    alu_count=4,
+    mul_count=2,
+    div_count=1,
+    agu_count=2,
+)
+
+#: A mid-size configuration (between the paper's two) used for scaling
+#: curves with more than two points.
+MEDIUM_BOOM = CoreConfig(
+    name="MediumBoom",
+    fetch_width=4,
+    decode_width=2,
+    issue_width=2,
+    fetch_buffer_entries=16,
+    iq_entries=16,
+    rob_entries=64,
+    int_prf_entries=80,
+    ldq_entries=16,
+    stq_entries=16,
+    lfb_entries=16,
+    dcache=CacheConfig(sets=64, ways=8, mshrs=4),
+    icache=CacheConfig(sets=64, ways=8, mshrs=2, fetch_bytes=16),
+    dtlb_entries=16,
+    alu_count=2,
+    mul_count=1,
+    div_count=1,
+    agu_count=1,
+)
+
+SMALL_BOOM = CoreConfig(
+    name="SmallBoom",
+    fetch_width=4,
+    decode_width=1,
+    issue_width=1,
+    fetch_buffer_entries=8,
+    iq_entries=8,
+    rob_entries=32,
+    int_prf_entries=52,
+    ldq_entries=8,
+    stq_entries=8,
+    lfb_entries=8,
+    dcache=CacheConfig(sets=64, ways=4, mshrs=4),
+    icache=CacheConfig(sets=64, ways=8, mshrs=2, fetch_bytes=8),
+    dtlb_entries=8,
+    alu_count=1,
+    mul_count=1,
+    div_count=1,
+    agu_count=1,
+)

@@ -1,0 +1,106 @@
+"""Execution-unit pipeline models (ALU, multiplier, divider, AGU).
+
+Each unit tracks its in-flight operations so the tracer can sample
+"busy with PC" state per cycle (the EUU-* features of Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import MASK64, to_signed
+
+
+class ExecUnit:
+    """One functional unit.
+
+    Pipelined units accept a new operation every cycle; unpipelined units
+    (the divider) are busy until their current operation completes.
+    """
+
+    def __init__(self, kind: str, index: int, *, pipelined: bool):
+        self.kind = kind
+        self.index = index
+        self.pipelined = pipelined
+        #: list of (complete_cycle, uop) currently in the unit.
+        self.in_flight: list[tuple[int, object]] = []
+
+    def can_accept(self, cycle: int) -> bool:
+        if self.pipelined:
+            return True
+        return not self.in_flight
+
+    def start(self, uop, cycle: int, latency: int) -> int:
+        """Begin executing ``uop``; returns its completion cycle."""
+        complete = cycle + latency
+        self.in_flight.append((complete, uop))
+        return complete
+
+    def retire_finished(self, cycle: int) -> list[object]:
+        """Remove and return uops whose results complete at ``cycle``."""
+        done = [uop for (complete, uop) in self.in_flight if complete <= cycle]
+        if done:
+            self.in_flight = [(c, u) for (c, u) in self.in_flight if c > cycle]
+        return done
+
+    def squash(self, is_squashed) -> None:
+        """Drop in-flight operations for which ``is_squashed(uop)`` holds."""
+        self.in_flight = [(c, u) for (c, u) in self.in_flight if not is_squashed(u)]
+
+    def busy_pcs(self) -> tuple[int, ...]:
+        """PCs of the operations currently occupying this unit."""
+        return tuple(uop.pc for (_, uop) in self.in_flight)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.in_flight)
+
+
+def divider_latency(a: int, b: int, base_latency: int) -> int:
+    """Operand-dependent latency of an early-exit iterative divider.
+
+    Models an SRT-style divider that terminates early for small quotients:
+    latency grows with the magnitude of the dividend relative to the divisor.
+    Only used when ``CoreConfig.variable_div_latency`` is set.
+    """
+    magnitude_a = abs(to_signed(a & MASK64))
+    magnitude_b = abs(to_signed(b & MASK64)) or 1
+    quotient_bits = max(magnitude_a.bit_length() - magnitude_b.bit_length(), 0)
+    return 3 + (quotient_bits + 1) // 2
+
+
+class ExecUnitPool:
+    """All functional units of one core, grouped by kind."""
+
+    def __init__(self, config):
+        self.alus = [ExecUnit("alu", i, pipelined=True)
+                     for i in range(config.alu_count)]
+        self.muls = [ExecUnit("mul", i, pipelined=True)
+                     for i in range(config.mul_count)]
+        self.divs = [ExecUnit("div", i, pipelined=False)
+                     for i in range(config.div_count)]
+        self.agus = [ExecUnit("agu", i, pipelined=True)
+                     for i in range(config.agu_count)]
+        self.by_kind = {
+            "alu": self.alus, "mul": self.muls,
+            "div": self.divs, "agu": self.agus,
+        }
+
+    def acquire(self, kind: str, cycle: int) -> ExecUnit | None:
+        """Find a unit of ``kind`` able to accept a new op this cycle."""
+        for unit in self.by_kind[kind]:
+            if unit.can_accept(cycle):
+                return unit
+        return None
+
+    def all_units(self):
+        for units in self.by_kind.values():
+            yield from units
+
+    def retire_finished(self, cycle: int) -> list[object]:
+        finished = []
+        for unit in self.all_units():
+            finished.extend(unit.retire_finished(cycle))
+        return finished
+
+    def squash(self, is_squashed) -> None:
+        for unit in self.all_units():
+            unit.squash(is_squashed)

@@ -1,0 +1,271 @@
+"""Load/store unit: load queue, store queue, forwarding and cache issue.
+
+Loads wait until every older store in the store queue has a known address,
+then either forward from the youngest fully-overlapping store or issue to the
+data cache.  Stores write architectural memory (and probe the cache for
+timing) in program order as they drain from the store-queue head after
+commit.  Speculative (wrong-path) stores never reach memory; speculative
+loads may probe the cache, perturbing its state exactly as transient
+execution does on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import MASK64, to_signed
+from repro.uarch.memsys import DataCachePort
+from repro.uarch.uop import MicroOp
+
+#: Latency (cycles) for a load satisfied by store-to-load forwarding.
+FORWARD_LATENCY = 2
+
+
+class LoadStoreUnit:
+    """Owns the LQ/SQ and mediates all data-memory traffic."""
+
+    def __init__(self, *, ldq_entries: int, stq_entries: int,
+                 dcache: DataCachePort, memory, memory_size: int,
+                 store_miss_drain_penalty: int = 24):
+        self.ldq_capacity = ldq_entries
+        self.stq_capacity = stq_entries
+        self.dcache = dcache
+        self.memory = memory
+        self.memory_size = memory_size
+        self.store_miss_drain_penalty = store_miss_drain_penalty
+        self.load_queue: list[MicroOp] = []
+        self.store_queue: list[MicroOp] = []
+        self.loads_issued = 0
+        self.forwards = 0
+        # Stable circular slot allocation (like the RTL's physical entries):
+        # the tracer samples per-slot so snapshot columns line up cycle to
+        # cycle, exactly as Figure 2 depicts.
+        self._lq_next_slot = 0
+        self._sq_next_slot = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    def can_allocate(self, uop: MicroOp) -> bool:
+        if uop.is_load:
+            return len(self.load_queue) < self.ldq_capacity
+        return len(self.store_queue) < self.stq_capacity
+
+    def allocate(self, uop: MicroOp) -> None:
+        if uop.is_load:
+            queue = self.load_queue
+            if queue:
+                uop.lq_slot = (queue[-1].lq_slot + 1) % self.ldq_capacity
+            else:
+                uop.lq_slot = self._lq_next_slot
+            queue.append(uop)
+        else:
+            queue = self.store_queue
+            if queue:
+                uop.sq_slot = (queue[-1].sq_slot + 1) % self.stq_capacity
+            else:
+                uop.sq_slot = self._sq_next_slot
+            queue.append(uop)
+
+    # -- address clamping ------------------------------------------------------
+
+    def _clamp(self, address: int, size: int) -> int:
+        """Clamp a (possibly wrong-path) address into the memory range."""
+        address &= MASK64
+        if address + size > self.memory_size:
+            address %= (self.memory_size - size)
+        return address
+
+    # -- per-cycle operation ----------------------------------------------------
+
+    def drain_committed_store(self, cycle: int) -> bool:
+        """Drain the committed store at the SQ head toward memory.
+
+        A store hit retires in one cycle; a store miss (posted write-through)
+        blocks the head until the write reaches memory, which is how
+        secret-dependent store destinations become timing-visible (Fig. 6).
+        Returns True if a store left the queue this cycle.
+        """
+        if not self.store_queue:
+            return False
+        head = self.store_queue[0]
+        if not head.committed:
+            return False
+        if not head.probed:
+            address = self._clamp(head.mem_addr, head.mem_size)
+            result = self.dcache.request(address, cycle, is_store=True)
+            if not result.accepted:
+                return False
+            head.probed = True
+            head.dcache_hit = result.hit
+            head.drain_complete_cycle = result.complete_cycle
+        if not head.dcache_hit:
+            # Non-coalescing write-through store buffer: every missing store
+            # occupies the buffer head for the posted-write latency.
+            head.drain_complete_cycle = max(
+                head.drain_complete_cycle,
+                cycle + self.store_miss_drain_penalty,
+            )
+            head.dcache_hit = True  # penalty applied once; now just wait
+        if cycle < head.drain_complete_cycle:
+            return False
+        address = self._clamp(head.mem_addr, head.mem_size)
+        self.memory.store(address, head.store_data, head.mem_size)
+        self.store_queue.pop(0)
+        self._sq_next_slot = (head.sq_slot + 1) % self.stq_capacity
+        return True
+
+    def probe_stores(self, cycle: int, max_probes: int = 1) -> int:
+        """Probe the D-cache for stores whose addresses just resolved.
+
+        Real out-of-order cores present store addresses to the cache at
+        execution time (to begin the write-miss transaction early), so the
+        miss handling — MSHR allocation, prefetcher triggers, TLB fills —
+        happens speculatively, inside the iteration that executes the store.
+        The architectural memory write itself still waits for commit.
+        """
+        probes = 0
+        for store in self.store_queue:
+            if probes >= max_probes:
+                break
+            if not store.addr_ready or store.probed:
+                continue
+            address = self._clamp(store.mem_addr, store.mem_size)
+            result = self.dcache.request(address, cycle, is_store=True)
+            if not result.accepted:
+                break  # MSHRs full: retry next cycle, in order
+            store.probed = True
+            store.dcache_hit = result.hit
+            store.drain_complete_cycle = result.complete_cycle
+            probes += 1
+        return probes
+
+    def issue_loads(self, cycle: int, max_ports: int) -> list[MicroOp]:
+        """Issue eligible loads to the cache / forwarding network.
+
+        Returns loads that were *started* this cycle (their
+        ``mem_complete_cycle`` is set; the core collects them when done).
+        """
+        started = []
+        ports_left = max_ports
+        for load in self.load_queue:
+            if ports_left == 0:
+                break
+            if not load.addr_ready or load.mem_issued:
+                continue
+            status, store = self._older_store_status(load)
+            if status == "wait":
+                continue
+            load.mem_issued = True
+            if status == "forward":
+                load.forwarded = True
+                load.mem_complete_cycle = cycle + FORWARD_LATENCY
+                load.result = self._extract(store, load)
+                self.forwards += 1
+            else:
+                address = self._clamp(load.mem_addr, load.mem_size)
+                access = self.dcache.request(address, cycle)
+                if not access.accepted:
+                    load.mem_issued = False
+                    continue
+                load.dcache_hit = access.hit
+                load.mem_complete_cycle = access.complete_cycle
+                load.result = self._load_value(load, address)
+                ports_left -= 1
+            self.loads_issued += 1
+            started.append(load)
+        return started
+
+    def _older_store_status(self, load: MicroOp):
+        """Classify the youngest conflicting older store for ``load``.
+
+        Returns ``("ok", None)`` when the load may go to the cache,
+        ``("forward", store)`` when it can forward, ``("wait", None)`` when
+        it must stall (unknown or partially overlapping store address).
+        """
+        load_start = load.mem_addr & MASK64
+        load_end = load_start + load.mem_size
+        for store in reversed(self.store_queue):
+            if store.seq > load.seq:
+                continue
+            if not store.addr_ready:
+                return "wait", None
+            store_start = store.mem_addr & MASK64
+            store_end = store_start + store.mem_size
+            if store_end <= load_start or load_end <= store_start:
+                continue
+            # Overlap: forward only on full containment with data ready.
+            if (store_start <= load_start and load_end <= store_end
+                    and store.data_ready):
+                return "forward", store
+            return "wait", None
+        return "ok", None
+
+    def _extract(self, store: MicroOp, load: MicroOp) -> int:
+        """Extract the load's bytes from a forwarding store's data."""
+        offset = (load.mem_addr - store.mem_addr) & MASK64
+        raw = (store.store_data >> (8 * offset)) & ((1 << (8 * load.mem_size)) - 1)
+        return self._finish_load_value(load, raw)
+
+    def _load_value(self, load: MicroOp, address: int) -> int:
+        raw = self.memory.load(address, load.mem_size)
+        return self._finish_load_value(load, raw)
+
+    @staticmethod
+    def _finish_load_value(load: MicroOp, raw: int) -> int:
+        size, signed = load.inst.spec.mem
+        if signed:
+            raw = to_signed(raw, 8 * size) & MASK64
+        return raw
+
+    # -- commit / squash ---------------------------------------------------------
+
+    def on_commit(self, uop: MicroOp) -> None:
+        if uop.is_load and uop in self.load_queue:
+            self.load_queue.remove(uop)
+            self._lq_next_slot = (uop.lq_slot + 1) % self.ldq_capacity
+        # Stores stay in the SQ (marked committed) until they drain.
+
+    def squash(self, is_squashed) -> None:
+        self.load_queue = [u for u in self.load_queue if not is_squashed(u)]
+        self.store_queue = [
+            u for u in self.store_queue if u.committed or not is_squashed(u)
+        ]
+
+    def committed_stores_pending(self) -> bool:
+        return any(u.committed for u in self.store_queue)
+
+    def reset_slots(self) -> None:
+        """Re-home circular slot allocation (called at serializing flushes).
+
+        Keeps snapshot columns positionally comparable across iterations,
+        mirroring the paper's "all simulations begin in the same reset
+        state" discipline at iteration granularity.
+        """
+        if not self.load_queue:
+            self._lq_next_slot = 0
+        if not self.store_queue:
+            self._sq_next_slot = 0
+
+    # -- tracer state exposure -----------------------------------------------------
+
+    def sq_addresses(self) -> tuple[int, ...]:
+        row = [0] * self.stq_capacity
+        for u in self.store_queue:
+            row[u.sq_slot] = u.mem_addr if u.addr_ready else 0
+        return tuple(row)
+
+    def sq_pcs(self) -> tuple[int, ...]:
+        row = [0] * self.stq_capacity
+        for u in self.store_queue:
+            row[u.sq_slot] = u.pc
+        return tuple(row)
+
+    def lq_addresses(self) -> tuple[int, ...]:
+        row = [0] * self.ldq_capacity
+        for u in self.load_queue:
+            row[u.lq_slot] = u.mem_addr if u.addr_ready else 0
+        return tuple(row)
+
+    def lq_pcs(self) -> tuple[int, ...]:
+        row = [0] * self.ldq_capacity
+        for u in self.load_queue:
+            row[u.lq_slot] = u.pc
+        return tuple(row)

@@ -1,0 +1,385 @@
+"""Memory-system timing models: caches, MSHRs, line-fill buffer, TLB and the
+next-line prefetcher.
+
+These structures model *timing and occupancy* only; architectural data always
+lives in the flat backing memory (plus the store queue for in-flight stores).
+This separation keeps functional correctness independent of the timing model
+while still exposing every microarchitectural side effect MicroSampler
+samples: request addresses, MSHR contents, LFB contents, TLB residency and
+prefetcher activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+    evictions: int = 0
+
+
+class SetAssocCache:
+    """A set-associative cache with LRU replacement (tags only)."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.line_shift = config.line_bytes.bit_length() - 1
+        #: Per-set list of line addresses, most-recently-used last.
+        self.sets: list[list[int]] = [[] for _ in range(config.sets)]
+        self.stats = CacheStats()
+
+    def line_address(self, address: int) -> int:
+        return address >> self.line_shift
+
+    def _set_for(self, line_addr: int) -> list[int]:
+        return self.sets[line_addr % self.config.sets]
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._set_for(line_addr)
+
+    def lookup(self, line_addr: int) -> bool:
+        """Probe for ``line_addr``; updates LRU and hit/miss statistics."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.remove(line_addr)
+            cache_set.append(line_addr)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def install(self, line_addr: int) -> int | None:
+        """Insert ``line_addr``; returns the evicted line address, if any."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.remove(line_addr)
+            cache_set.append(line_addr)
+            return None
+        victim = None
+        if len(cache_set) >= self.config.ways:
+            victim = cache_set.pop(0)
+            self.stats.evictions += 1
+        cache_set.append(line_addr)
+        return victim
+
+    def flush_line(self, address: int) -> bool:
+        """Remove the line containing ``address`` (a clflush analog)."""
+        line_addr = self.line_address(address)
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.remove(line_addr)
+            return True
+        return False
+
+    def resident_lines(self) -> list[int]:
+        return [line for cache_set in self.sets for line in cache_set]
+
+
+@dataclass
+class Mshr:
+    """One miss-status holding register: an in-flight miss.
+
+    ``fills`` distinguishes line fills (load/prefetch misses, which install
+    the line via the LFB) from posted store-miss writes (the L1 is
+    write-through, no-write-allocate: a store miss goes to memory without
+    allocating the line).
+    """
+
+    line_addr: int
+    ready_cycle: int
+    is_prefetch: bool = False
+    fills: bool = True
+
+
+@dataclass
+class LfbEntry:
+    """One line-fill-buffer entry: fill data en route to the cache."""
+
+    line_addr: int
+    ready_cycle: int
+    data_digest: int = 0
+    is_prefetch: bool = False
+
+
+class LineFillBuffer:
+    """Holds lines being filled before they are written into the data array."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self.entries: list[LfbEntry] = []
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def add(self, entry: LfbEntry) -> None:
+        self.entries.append(entry)
+
+    def pop_ready(self, cycle: int) -> list[LfbEntry]:
+        ready = [e for e in self.entries if e.ready_cycle <= cycle]
+        if ready:
+            self.entries = [e for e in self.entries if e.ready_cycle > cycle]
+        return ready
+
+
+class Tlb:
+    """A fully-associative LRU TLB with identity translation.
+
+    Translation is identity (the proxy-kernel maps memory flat), but TLB
+    *residency* and miss latency are modeled, which is what the TLB-ADDR
+    feature and TLBleed-style effects depend on.
+    """
+
+    def __init__(self, entries: int, page_size: int, miss_latency: int):
+        self.capacity = entries
+        self.page_size = page_size
+        self.miss_latency = miss_latency
+        self.pages: list[int] = []  # most-recently-used last
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, address: int) -> int:
+        """Return the extra latency for translating ``address`` (0 on hit)."""
+        page = address // self.page_size
+        if page in self.pages:
+            self.pages.remove(page)
+            self.pages.append(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(self.pages) >= self.capacity:
+            self.pages.pop(0)
+        self.pages.append(page)
+        return self.miss_latency
+
+    def resident_pages(self) -> tuple[int, ...]:
+        return tuple(self.pages)
+
+
+class NextLinePrefetcher:
+    """Issues a prefetch for line N+1 on a demand miss to line N."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.last_prefetch_line: int = 0
+        self.issued = 0
+
+    def on_demand_miss(self, line_addr: int) -> int | None:
+        """Return the line to prefetch (or None)."""
+        if not self.enabled:
+            return None
+        self.last_prefetch_line = line_addr + 1
+        self.issued += 1
+        return line_addr + 1
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache port request."""
+
+    accepted: bool
+    complete_cycle: int = 0
+    hit: bool = False
+
+
+class DataCachePort:
+    """Timing model for the L1 data cache, MSHRs, LFB, TLB and prefetcher.
+
+    ``request`` is called by the load/store unit; ``tick`` advances fills.
+    The port tracks the request address presented this cycle so the tracer
+    can sample it (the Cache-ADDR feature of Table IV).
+    """
+
+    def __init__(self, cache_config: CacheConfig, *, tlb_entries: int,
+                 page_size: int, tlb_miss_latency: int, memory_latency: int,
+                 lfb_entries: int, prefetcher_enabled: bool,
+                 memory_digest=None, l2_config: CacheConfig | None = None,
+                 l2_latency: int = 12):
+        self.cache = SetAssocCache(cache_config)
+        #: Optional second-level cache: L1 misses that hit here fill with
+        #: ``l2_latency`` instead of the full memory latency; memory fills
+        #: install into both levels.
+        self.l2 = SetAssocCache(l2_config) if l2_config is not None else None
+        self.l2_latency = l2_latency
+        self.mshrs: list[Mshr] = []
+        self.mshr_capacity = cache_config.mshrs
+        self.lfb = LineFillBuffer(lfb_entries)
+        self.tlb = Tlb(tlb_entries, page_size, tlb_miss_latency)
+        self.prefetcher = NextLinePrefetcher(prefetcher_enabled)
+        self.memory_latency = memory_latency
+        self.hit_latency = cache_config.hit_latency
+        #: addresses requested this cycle (cleared by begin_cycle).
+        self.requests_this_cycle: list[int] = []
+        #: callable line_addr -> small digest of line data, for LFB-Data.
+        self.memory_digest = memory_digest or (lambda line_addr: 0)
+
+    # -- per-cycle maintenance ------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        self.requests_this_cycle = []
+
+    def tick(self, cycle: int) -> None:
+        """Complete memory fills: MSHR -> LFB -> cache data array."""
+        for entry in self.lfb.pop_ready(cycle):
+            self.cache.install(entry.line_addr)
+            if self.l2 is not None:
+                self.l2.install(entry.line_addr)
+            if entry.is_prefetch:
+                self.cache.stats.prefetch_fills += 1
+        remaining = []
+        for mshr in self.mshrs:
+            if mshr.ready_cycle <= cycle:
+                if not mshr.fills:
+                    continue  # posted store write: done, nothing to install
+                if not self.lfb.full():
+                    self.lfb.add(
+                        LfbEntry(
+                            line_addr=mshr.line_addr,
+                            ready_cycle=cycle + 1,
+                            data_digest=self.memory_digest(mshr.line_addr),
+                            is_prefetch=mshr.is_prefetch,
+                        )
+                    )
+                    continue
+            remaining.append(mshr)
+        self.mshrs = remaining
+
+    # -- requests -------------------------------------------------------------
+
+    def _pending(self, line_addr: int, *, fills_only: bool = False) -> Mshr | None:
+        for mshr in self.mshrs:
+            if mshr.line_addr == line_addr and (mshr.fills or not fills_only):
+                return mshr
+        return None
+
+    def _lfb_pending(self, line_addr: int) -> LfbEntry | None:
+        for entry in self.lfb.entries:
+            if entry.line_addr == line_addr:
+                return entry
+        return None
+
+    def probe(self, address: int) -> bool:
+        """Side-effect-free residency check (a Flush+Flush-style timing
+        measurement: the attacker learns hit/miss without refilling).
+
+        Does not touch LRU state, statistics, MSHRs or the prefetcher.
+        """
+        return self.cache.contains(self.cache.line_address(address))
+
+    def request(self, address: int, cycle: int, *, is_store: bool = False) -> AccessResult:
+        """Present a demand request; returns acceptance and completion time.
+
+        Loads allocate on miss (fill through MSHR -> LFB -> data array).
+        Stores are write-through, no-write-allocate: a store hit completes in
+        one cycle; a store miss becomes a posted write occupying an MSHR for
+        the full memory latency, and the store-queue drain blocks on it.
+        """
+        self.requests_this_cycle.append(address)
+        extra = self.tlb.translate(address)
+        line_addr = self.cache.line_address(address)
+        if self.cache.lookup(line_addr):
+            if is_store:
+                return AccessResult(True, cycle + 1 + extra, hit=True)
+            return AccessResult(True, cycle + self.hit_latency + extra, hit=True)
+        if is_store:
+            mshr = self._pending(line_addr)
+            if mshr is not None:
+                return AccessResult(
+                    True, mshr.ready_cycle + 1 + extra, hit=False
+                )
+            if len(self.mshrs) >= self.mshr_capacity:
+                return AccessResult(False)
+            ready = cycle + self._fill_latency(line_addr)
+            self.mshrs.append(Mshr(line_addr, ready, fills=False))
+            self._maybe_prefetch(line_addr, cycle)
+            return AccessResult(True, ready + extra, hit=False)
+        lfb_entry = self._lfb_pending(line_addr)
+        if lfb_entry is not None:
+            done = max(lfb_entry.ready_cycle, cycle) + self.hit_latency + extra
+            return AccessResult(True, done, hit=False)
+        mshr = self._pending(line_addr, fills_only=True)
+        if mshr is not None:
+            mshr.is_prefetch = False  # demand hit under a prefetch
+            done = mshr.ready_cycle + 1 + self.hit_latency + extra
+            return AccessResult(True, done, hit=False)
+        if len(self.mshrs) >= self.mshr_capacity:
+            return AccessResult(False)  # retry next cycle
+        ready = cycle + self._fill_latency(line_addr)
+        self.mshrs.append(Mshr(line_addr, ready))
+        self._maybe_prefetch(line_addr, cycle)
+        return AccessResult(True, ready + 1 + self.hit_latency + extra, hit=False)
+
+    def _fill_latency(self, line_addr: int) -> int:
+        """Latency to bring a line in: L2 hit or full memory round trip."""
+        if self.l2 is not None and self.l2.lookup(line_addr):
+            return self.l2_latency
+        return self.memory_latency
+
+    def _maybe_prefetch(self, miss_line: int, cycle: int) -> None:
+        target = self.prefetcher.on_demand_miss(miss_line)
+        if target is None:
+            return
+        if (self.cache.contains(target) or self._pending(target)
+                or self._lfb_pending(target)):
+            return
+        if len(self.mshrs) >= self.mshr_capacity:
+            return
+        self.mshrs.append(Mshr(target, cycle + self.memory_latency,
+                               is_prefetch=True))
+
+    # -- state exposure for the tracer ---------------------------------------
+
+    def mshr_addresses(self) -> tuple[int, ...]:
+        return tuple(m.line_addr for m in self.mshrs)
+
+    def lfb_addresses(self) -> tuple[int, ...]:
+        return tuple(e.line_addr for e in self.lfb.entries)
+
+    def lfb_data(self) -> tuple[int, ...]:
+        return tuple(e.data_digest for e in self.lfb.entries)
+
+    def warm_line(self, address: int) -> None:
+        """Install the line containing ``address`` (models a prior access)."""
+        self.cache.install(self.cache.line_address(address))
+
+
+class InstructionCachePort:
+    """Timing model for the L1 instruction cache (no TLB modeling)."""
+
+    def __init__(self, cache_config: CacheConfig, memory_latency: int):
+        self.cache = SetAssocCache(cache_config)
+        self.memory_latency = memory_latency
+        self.hit_latency = 1
+        #: line_addr -> ready cycle for in-flight fills.
+        self.pending: dict[int, int] = {}
+        self.mshr_capacity = cache_config.mshrs
+
+    def fetch_ready(self, address: int, cycle: int) -> int | None:
+        """Probe for a fetch at ``address``.
+
+        Returns the cycle at which the fetch data is available, or None if
+        the line missed and a fill was (or already is) in flight.
+        """
+        line_addr = self.cache.line_address(address)
+        if self.cache.lookup(line_addr):
+            return cycle
+        if line_addr in self.pending:
+            return None
+        if len(self.pending) >= self.mshr_capacity:
+            return None
+        self.pending[line_addr] = cycle + self.memory_latency
+        return None
+
+    def tick(self, cycle: int) -> None:
+        arrived = [line for line, ready in self.pending.items() if ready <= cycle]
+        for line in arrived:
+            del self.pending[line]
+            self.cache.install(line)
+
+    def flush_line(self, address: int) -> bool:
+        return self.cache.flush_line(address)

@@ -1,0 +1,117 @@
+"""Text pipeline viewer (Konata-style stage timelines).
+
+Records every committed instruction's journey through the pipeline and
+renders it as a per-cycle timeline — the standard way to eyeball why two
+iterations of "constant-time" code took different paths through the machine:
+
+    cycle        0         1
+                 0123456789012345678
+    0x10000 addi F.DI_C
+    0x10004 ld   F.D..I=====_C
+    0x10008 beq  F.D...I_....C
+
+Legend: F fetch, D dispatch, I issue, ``=`` executing/memory, ``_``
+complete (waiting to commit), C commit, ``.`` in-flight between stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.disasm import format_instruction
+from repro.uarch.core import Core
+
+
+@dataclass
+class PipelineSlot:
+    """Stage timestamps for one committed instruction."""
+
+    pc: int
+    mnemonic: str
+    text: str
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    commit: int
+
+
+@dataclass
+class PipelineTrace:
+    """Committed-instruction timeline recorder."""
+
+    slots: list = field(default_factory=list)
+
+    def render(self, *, start: int = 0, count: int = 40,
+               width: int = 100) -> str:
+        window = self.slots[start:start + count]
+        if not window:
+            return "(no committed instructions recorded)"
+        base = min(s.fetch for s in window if s.fetch >= 0)
+        lines = [f"pipeline timeline (cycles relative to {base})",
+                 "F fetch  D dispatch  I issue  = execute  _ wait  C commit",
+                 ""]
+        for slot in window:
+            lane = {}
+
+            def mark(cycle, char):
+                if cycle >= 0:
+                    offset = cycle - base
+                    if 0 <= offset < width:
+                        lane[offset] = char
+
+            if slot.issue >= 0:
+                for c in range(slot.issue + 1,
+                               max(slot.complete, slot.issue)):
+                    mark(c, "=")
+            if slot.complete >= 0:
+                for c in range(slot.complete, slot.commit):
+                    mark(c, "_")
+            mark(slot.fetch, "F")
+            mark(slot.dispatch, "D")
+            mark(slot.issue, "I")
+            mark(slot.commit, "C")
+            end = max(lane) if lane else 0
+            row = "".join(lane.get(i, ".") if any(k >= i for k in lane)
+                          else " " for i in range(end + 1))
+            label = f"{slot.pc:#08x} {slot.text[:26]:<26}"
+            lines.append(f"{label} |{row}")
+        return "\n".join(lines)
+
+
+def record_pipeline(program, config, *, max_cycles: int = 2_000_000,
+                    limit: int = 2000) -> tuple[PipelineTrace, object]:
+    """Run ``program`` on a fresh core, recording commit timelines.
+
+    Returns (trace, run_result).  Recording stops after ``limit``
+    instructions to bound memory on long programs.
+    """
+    core = Core(program, config)
+    trace = PipelineTrace()
+    by_pc = {inst.pc: inst for inst in program.instructions}
+
+    def on_commit(pc, mnemonic, rd, value, cycle):
+        if len(trace.slots) >= limit:
+            return
+        # Find the committing uop at the ROB head for its timestamps; the
+        # listener fires during commit, so rob[0] is the uop in question
+        # (folded fast-bypass entries share the host's timestamps).
+        uop = core.rob[0] if core.rob else None
+        inst = by_pc.get(pc)
+        text = format_instruction(inst) if inst else mnemonic
+        if uop is not None and uop.pc == pc:
+            trace.slots.append(PipelineSlot(
+                pc=pc, mnemonic=mnemonic, text=text,
+                fetch=uop.fetch_cycle, dispatch=uop.dispatch_cycle,
+                issue=uop.issue_cycle, complete=uop.complete_cycle,
+                commit=cycle,
+            ))
+        else:
+            trace.slots.append(PipelineSlot(
+                pc=pc, mnemonic=mnemonic, text=text,
+                fetch=-1, dispatch=-1, issue=-1, complete=-1, commit=cycle,
+            ))
+
+    core.commit_listener = on_commit
+    result = core.run(max_cycles=max_cycles)
+    return trace, result

@@ -1,0 +1,104 @@
+"""Micro-operation record flowing through the out-of-order pipeline."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+
+
+class MicroOp:
+    """One in-flight instruction and all its pipeline bookkeeping."""
+
+    __slots__ = (
+        "inst", "pc", "seq",
+        # rename
+        "prs1", "prs2", "prd", "old_prd", "uses_imm",
+        # status
+        "in_iq", "executing", "complete", "committed",
+        # result
+        "result",
+        # control flow
+        "predicted_taken", "predicted_target", "ghr_at_predict",
+        "predictor_checkpoint", "prediction_made",
+        "resolved_taken", "resolved_target", "mispredicted",
+        # memory
+        "is_load", "is_store", "mem_addr", "addr_ready",
+        "store_data", "data_ready", "mem_issued", "forwarded",
+        "mem_complete_cycle", "dcache_hit", "drain_complete_cycle", "probed",
+        # stable structure slots (for RTL-faithful per-column sampling)
+        "rob_slot", "lq_slot", "sq_slot", "rob_value",
+        # fast bypass
+        "folded_pcs", "folded_frees", "fast_bypassed",
+        # recovery
+        "_squashed", "recovery_cycle", "recovery_done",
+        # stage timestamps (for the pipeline viewer; -1 = not reached)
+        "fetch_cycle", "dispatch_cycle", "issue_cycle", "complete_cycle",
+        "commit_cycle",
+    )
+
+    def __init__(self, inst: Instruction, seq: int):
+        self.inst = inst
+        self.pc = inst.pc
+        self.seq = seq
+        self.prs1 = -1
+        self.prs2 = -1
+        self.prd = -1
+        self.old_prd = -1
+        self.uses_imm = False
+        self.in_iq = False
+        self.executing = False
+        self.complete = False
+        self.committed = False
+        self.result = 0
+        self.predicted_taken = False
+        self.predicted_target = 0
+        self.ghr_at_predict = 0
+        self.predictor_checkpoint = None
+        self.prediction_made = False
+        self.resolved_taken = False
+        self.resolved_target = 0
+        self.mispredicted = False
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.mem_addr = 0
+        self.addr_ready = False
+        self.store_data = 0
+        self.data_ready = False
+        self.mem_issued = False
+        self.forwarded = False
+        self.mem_complete_cycle = -1
+        self.dcache_hit = False
+        self.drain_complete_cycle = -1
+        self.probed = False
+        self.rob_slot = -1
+        self.lq_slot = -1
+        self.sq_slot = -1
+        #: cached per-slot ROB-PC value (pc, or fold-combined scalar)
+        self.rob_value = inst.pc
+        #: PCs of fast-bypassed instructions folded into this ROB entry.
+        self.folded_pcs: tuple[int, ...] = ()
+        #: (logical_rd, prd, old_prd) tuples of folded instructions, for
+        #: commit-time freeing and squash-time rename undo.
+        self.folded_frees: tuple[tuple[int, int, int], ...] = ()
+        self.fast_bypassed = False
+        self._squashed = False
+        self.recovery_cycle = -1
+        self.recovery_done = False
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+
+    @property
+    def mem_size(self) -> int:
+        return self.inst.spec.mem[0]
+
+    def rob_pcs(self) -> tuple[int, ...]:
+        """PCs held by this ROB entry (own PC plus any folded-in ops)."""
+        if self.folded_pcs:
+            return self.folded_pcs + (self.pc,)
+        return (self.pc,)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"<uop seq={self.seq} pc={self.pc:#x} {self.inst.mnemonic}"
+                f"{' done' if self.complete else ''}>")

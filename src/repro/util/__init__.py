@@ -1,0 +1,5 @@
+"""Shared utilities (deterministic hashing)."""
+
+from repro.util.hashing import DEFAULT_KEY, combine_digests, row_digest, siphash24
+
+__all__ = ["DEFAULT_KEY", "combine_digests", "row_digest", "siphash24"]

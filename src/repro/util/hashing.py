@@ -1,0 +1,79 @@
+"""Deterministic hashing utilities.
+
+The paper hashes each microarchitectural iteration snapshot to a 64-bit
+scalar using Python's default SipHash.  Python's own ``hash()`` over bytes is
+salted per process, so this module provides an explicit, keyed SipHash-2-4
+implementation whose output is stable across runs and machines.
+
+For speed, per-cycle state rows are first reduced with :func:`row_digest`
+(CPython's deterministic tuple-of-ints hash, computed in C) and the final
+per-iteration hash is SipHash-2-4 over the packed row digests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Fixed 128-bit SipHash key: the analysis must be reproducible run to run.
+DEFAULT_KEY = (0x0706050403020100, 0x0F0E0D0C0B0A0908)
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (64 - amount))) & _MASK64
+
+
+def siphash24(data: bytes, key: tuple[int, int] = DEFAULT_KEY) -> int:
+    """SipHash-2-4 of ``data`` with a 128-bit ``key``; returns a 64-bit int."""
+    k0, k1 = key
+    v0 = k0 ^ 0x736F6D6570736575
+    v1 = k1 ^ 0x646F72616E646F6D
+    v2 = k0 ^ 0x6C7967656E657261
+    v3 = k1 ^ 0x7465646279746573
+
+    def rounds(n, a, b, c, d):
+        for _ in range(n):
+            a = (a + b) & _MASK64
+            b = _rotl(b, 13) ^ a
+            a = _rotl(a, 32)
+            c = (c + d) & _MASK64
+            d = _rotl(d, 16) ^ c
+            a = (a + d) & _MASK64
+            d = _rotl(d, 21) ^ a
+            c = (c + b) & _MASK64
+            b = _rotl(b, 17) ^ c
+            c = _rotl(c, 32)
+        return a, b, c, d
+
+    length = len(data)
+    end = length - (length % 8)
+    for offset in range(0, end, 8):
+        m = int.from_bytes(data[offset:offset + 8], "little")
+        v3 ^= m
+        v0, v1, v2, v3 = rounds(2, v0, v1, v2, v3)
+        v0 ^= m
+    tail = data[end:]
+    m = (length & 0xFF) << 56
+    m |= int.from_bytes(tail, "little")
+    v3 ^= m
+    v0, v1, v2, v3 = rounds(2, v0, v1, v2, v3)
+    v0 ^= m
+    v2 ^= 0xFF
+    v0, v1, v2, v3 = rounds(4, v0, v1, v2, v3)
+    return (v0 ^ v1 ^ v2 ^ v3) & _MASK64
+
+
+def row_digest(row: tuple) -> int:
+    """Deterministic 64-bit digest of one state row (a tuple of ints).
+
+    CPython's tuple hash over ints does not depend on ``PYTHONHASHSEED``
+    (only str/bytes hashing is salted), so this is stable across runs while
+    running at C speed.
+    """
+    return hash(row) & _MASK64
+
+
+def combine_digests(digests: list[int], key: tuple[int, int] = DEFAULT_KEY) -> int:
+    """SipHash-2-4 over a sequence of 64-bit row digests."""
+    return siphash24(struct.pack(f"<{len(digests)}Q", *digests), key)

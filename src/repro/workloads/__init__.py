@@ -1,0 +1,86 @@
+"""Verification workloads: the paper's case studies as assembly programs."""
+
+from repro.workloads.bignum import (
+    MERSENNE_127,
+    expected_mp_results,
+    make_mp_modexp_ct,
+    make_mp_modexp_leaky,
+    make_mulmod_selftest,
+    mp_modexp_reference,
+)
+from repro.workloads.chacha import (
+    chacha20_block,
+    expected_keystreams,
+    generate_chacha_source,
+    make_chacha20,
+)
+from repro.workloads.cipher import (
+    expected_sbox_results,
+    make_sbox_ct,
+    make_sbox_lookup,
+    sbox_table,
+)
+from repro.workloads.keygen import balanced_keys, memcmp_input_pairs, random_keys
+from repro.workloads.memcmp import make_ct_memcmp, reference_results
+from repro.workloads.modexp import (
+    DEFAULT_BASE,
+    DEFAULT_MODULUS,
+    expected_results,
+    make_me_v1_cv,
+    make_me_v1_mv,
+    make_div_timing,
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_ct_window,
+    make_sam_leaky,
+    modexp_reference,
+)
+from repro.workloads.spectre import make_spectre_v1
+from repro.workloads.openssl import (
+    N_PRIMITIVES_TOTAL,
+    PRIMITIVES,
+    PrimitiveSpec,
+    expected_primitive_results,
+    make_primitive_workload,
+    primitive_names,
+)
+
+__all__ = [
+    "DEFAULT_BASE",
+    "DEFAULT_MODULUS",
+    "N_PRIMITIVES_TOTAL",
+    "PRIMITIVES",
+    "PrimitiveSpec",
+    "balanced_keys",
+    "chacha20_block",
+    "expected_primitive_results",
+    "expected_results",
+    "expected_keystreams",
+    "generate_chacha_source",
+    "make_chacha20",
+    "make_ct_memcmp",
+    "make_me_v1_cv",
+    "make_me_v1_mv",
+    "make_div_timing",
+    "MERSENNE_127",
+    "make_me_v2_safe",
+    "make_primitive_workload",
+    "make_mp_modexp_ct",
+    "make_mp_modexp_leaky",
+    "make_mulmod_selftest",
+    "mp_modexp_reference",
+    "expected_mp_results",
+    "make_sbox_ct",
+    "make_sbox_lookup",
+    "make_spectre_v1",
+    "make_sam_ct",
+    "make_sam_ct_window",
+    "make_sam_leaky",
+    "memcmp_input_pairs",
+    "modexp_reference",
+    "primitive_names",
+    "random_keys",
+    "sbox_table",
+    "expected_sbox_results",
+    "reference_results",
+]

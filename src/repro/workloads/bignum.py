@@ -1,0 +1,281 @@
+"""Multi-limb (128-bit) modular exponentiation workloads.
+
+The paper's case studies run libgcrypt/BearSSL on 1024-bit keys, where every
+algorithmic iteration is hundreds of instructions of multi-precision
+arithmetic.  This module provides a faithful scaled-down analog: 2-limb
+(128-bit) arithmetic modulo the Mersenne prime 2^127 - 1, whose reduction is
+cheap enough to simulate while keeping the multi-limb carry/fold structure
+of real bignum code.
+
+``mp_mulmod`` is a fully branchless 128x128 -> 128-bit modular multiply
+(schoolbook product, two Mersenne folds, branchless final conditional
+subtract).  On top of it:
+
+``mp-modexp-ct``
+    Constant-time square-and-multiply with a branchless 2-limb cmov.
+``mp-modexp-leaky``
+    The classic version that multiplies only when the key bit is set.
+
+Exponents are 16 bits, so each key contributes 16 long iterations —
+each one several hundred instructions, within an order of magnitude of the
+paper's per-bit workload shape.
+"""
+
+from __future__ import annotations
+
+from repro.sampler.runner import Workload
+from repro.workloads.keygen import balanced_keys
+
+#: The Mersenne prime 2^127 - 1.
+MERSENNE_127 = (1 << 127) - 1
+
+#: Fixed public base (two limbs worth of entropy).
+DEFAULT_MP_BASE = 0x0123456789ABCDEF0FEDCBA987654321
+
+
+def mp_modexp_reference(base: int, exponent_bytes: bytes) -> int:
+    """Golden-model result: base^exponent mod 2^127 - 1."""
+    exponent = int.from_bytes(exponent_bytes, "little")
+    return pow(base, exponent, MERSENNE_127)
+
+
+_MP_MULMOD = """
+# mp_mulmod: (a0,a1) * (a2,a3) mod 2^127-1 -> (a0,a1).  Branchless.
+mp_mulmod:
+    # 256-bit schoolbook product into t0..t3 (c0..c3).
+    mul   t0, a0, a2
+    mulhu t4, a0, a2
+    mul   t5, a0, a3
+    mulhu t6, a0, a3
+    mul   a4, a1, a2
+    mulhu a5, a1, a2
+    mul   a6, a1, a3
+    mulhu a7, a1, a3
+    # c1 = hi(a0b0) + lo(a0b1) + lo(a1b0), carries into c2.
+    add   t1, t4, t5
+    sltu  t4, t1, t5
+    add   t1, t1, a4
+    sltu  t5, t1, a4
+    add   t4, t4, t5
+    # c2 = hi(a0b1) + hi(a1b0) + lo(a1b1) + carries.
+    add   t2, t6, a5
+    sltu  t5, t2, a5
+    add   t2, t2, a6
+    sltu  t6, t2, a6
+    add   t5, t5, t6
+    add   t2, t2, t4
+    sltu  t6, t2, t4
+    add   t5, t5, t6
+    # c3 = hi(a1b1) + carries (cannot overflow: product < 2^254).
+    add   t3, a7, t5
+    # Mersenne fold 1: x = (x & (2^127-1)) + (x >> 127).
+    srli  a4, t1, 63
+    slli  a5, t2, 1
+    or    a4, a4, a5          # hi limb 0
+    srli  a5, t2, 63
+    slli  a6, t3, 1
+    or    a5, a5, a6          # hi limb 1
+    li    a6, 0x7fffffffffffffff
+    and   t1, t1, a6          # lo limb 1
+    add   a0, t0, a4
+    sltu  t4, a0, a4
+    add   a1, t1, a5
+    add   a1, a1, t4
+    # Fold 2: sum < 2^128, so sum>>127 is bit 63 of the high limb.
+    srli  t4, a1, 63
+    and   a1, a1, a6
+    add   a0, a0, t4
+    sltu  t5, a0, t4
+    add   a1, a1, t5
+    # Fold 3: absorb a possible carry back into bit 127.
+    srli  t4, a1, 63
+    and   a1, a1, a6
+    add   a0, a0, t4
+    # Final branchless correction: subtract p iff sum >= p.
+    # p = (0xFFFF..FF, 0x7FFF..FF); sum >= p iff a1 == p1 and a0 == p0
+    # (a1 > p1 is impossible after the folds).
+    xor   t4, a1, a6
+    sltiu t4, t4, 1
+    not   t5, a0
+    sltiu t5, t5, 1
+    and   t4, t4, t5
+    neg   t4, t4              # mask
+    sub   a0, a0, t4          # a0 - mask (mask == p0 when set)
+    and   t5, a6, t4
+    sub   a1, a1, t5
+    ret
+"""
+
+_MP_PROLOGUE = """
+.data
+base_lo:   .dword {base_lo}
+base_hi:   .dword {base_hi}
+key:       .byte 0, 0
+result_lo: .dword 0
+result_hi: .dword 0
+
+.text
+main:
+    la   t0, base_lo
+    ld   s4, 0(t0)
+    la   t0, base_hi
+    ld   s5, 0(t0)
+    la   s1, key
+    li   s2, 1               # r = (1, 0)
+    li   s3, 0
+    li   s6, 1               # byte index, MSB byte first
+    roi.begin
+outer:
+    add  t0, s1, s6
+    lbu  s7, 0(t0)
+    li   s8, 7
+inner:
+    srl  t0, s7, s8
+    andi s9, t0, 1
+    iter.begin s9
+{body}
+    iter.end
+    addi s8, s8, -1
+    bgez s8, inner
+    addi s6, s6, -1
+    bgez s6, outer
+    roi.end
+    la   t0, result_lo
+    sd   s2, 0(t0)
+    la   t0, result_hi
+    sd   s3, 0(t0)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+#: Constant-time body: square, multiply, branchless 2-limb cmov.
+_CT_BODY = """
+    mv   a0, s2
+    mv   a1, s3
+    mv   a2, s2
+    mv   a3, s3
+    call mp_mulmod           # r = r^2 mod p
+    mv   s2, a0
+    mv   s3, a1
+    mv   a2, s4
+    mv   a3, s5
+    call mp_mulmod           # t = r * base mod p
+    mv   s10, a0
+    mv   s11, a1
+    neg  t4, s9              # mask from the key bit
+    xor  t5, s2, s10
+    and  t5, t5, t4
+    xor  s2, s2, t5
+    xor  t5, s3, s11
+    and  t5, t5, t4
+    xor  s3, s3, t5
+"""
+
+#: Leaky body: the multiply happens only when the key bit is set.
+_LEAKY_BODY = """
+    mv   a0, s2
+    mv   a1, s3
+    mv   a2, s2
+    mv   a3, s3
+    call mp_mulmod           # r = r^2 mod p
+    mv   s2, a0
+    mv   s3, a1
+    beqz s9, 3f
+    mv   a0, s2
+    mv   a1, s3
+    mv   a2, s4
+    mv   a3, s5
+    call mp_mulmod           # r = r * base mod p (secret-gated!)
+    mv   s2, a0
+    mv   s3, a1
+3:
+    addi t0, zero, 0
+"""
+
+
+def _build(name: str, body: str, *, n_keys: int, seed: int,
+           description: str) -> Workload:
+    base = DEFAULT_MP_BASE % MERSENNE_127
+    source = _MP_PROLOGUE.format(
+        base_lo=base & 0xFFFFFFFFFFFFFFFF,
+        base_hi=base >> 64,
+        body=body,
+    ) + _MP_MULMOD
+    inputs = [{"key": key} for key in balanced_keys(n_keys, 2, seed)]
+    return Workload(name=name, source=source, entry="main", inputs=inputs,
+                    description=description)
+
+
+def make_mp_modexp_ct(n_keys: int = 6, seed: int = 2) -> Workload:
+    """Constant-time 128-bit modular exponentiation (2-limb cmov)."""
+    return _build(
+        "mp-modexp-ct", _CT_BODY, n_keys=n_keys, seed=seed,
+        description="branchless 2-limb modexp mod 2^127-1",
+    )
+
+
+def make_mp_modexp_leaky(n_keys: int = 6, seed: int = 2) -> Workload:
+    """Square-and-multiply over 128-bit limbs with a secret branch."""
+    return _build(
+        "mp-modexp-leaky", _LEAKY_BODY, n_keys=n_keys, seed=seed,
+        description="secret-gated multiply over 2-limb arithmetic",
+    )
+
+
+def expected_mp_results(workload: Workload) -> list[int]:
+    """Reference results for each run's key."""
+    base = DEFAULT_MP_BASE % MERSENNE_127
+    return [mp_modexp_reference(base, patches["key"])
+            for patches in workload.inputs]
+
+
+_MULMOD_SELFTEST = """
+.data
+ops:      .zero {ops_bytes}     # n_sets * 4 dwords: a_lo, a_hi, b_lo, b_hi
+results:  .zero {res_bytes}     # n_sets * 2 dwords
+
+.text
+main:
+    li   s6, 0
+    la   s1, ops
+    la   s2, results
+loop:
+    slli t0, s6, 5
+    add  t0, t0, s1
+    ld   a0, 0(t0)
+    ld   a1, 8(t0)
+    ld   a2, 16(t0)
+    ld   a3, 24(t0)
+    call mp_mulmod
+    slli t0, s6, 4
+    add  t0, t0, s2
+    sd   a0, 0(t0)
+    sd   a1, 8(t0)
+    addi s6, s6, 1
+    li   t0, {n_sets}
+    blt  s6, t0, loop
+    li   a0, 0
+    li   a7, 93
+    ecall
+""" + _MP_MULMOD
+
+
+def make_mulmod_selftest(operand_pairs) -> Workload:
+    """A program that runs ``mp_mulmod`` over explicit operand pairs.
+
+    Used by the test suite to fuzz the branchless multiply against Python's
+    big integers, including the Mersenne fold edge cases.
+    """
+    n_sets = len(operand_pairs)
+    blob = bytearray()
+    for a, b in operand_pairs:
+        for value in (a & ((1 << 64) - 1), a >> 64,
+                      b & ((1 << 64) - 1), b >> 64):
+            blob += value.to_bytes(8, "little")
+    source = _MULMOD_SELFTEST.format(
+        ops_bytes=32 * n_sets, res_bytes=16 * n_sets, n_sets=n_sets,
+    )
+    return Workload(name="mp-mulmod-selftest", source=source,
+                    inputs=[{"ops": bytes(blob)}],
+                    description="mp_mulmod fuzz harness")

@@ -1,0 +1,162 @@
+"""S-box substitution case study: table lookup vs constant-time scan.
+
+The motivating domain of the paper is applied cryptography; the classic
+cache leak there is the table-driven S-box (T-table AES being the canonical
+victim).  Two implementations of the same 64-entry S-box substitution:
+
+``sbox-lookup``
+    Direct indexed load ``sbox[x ^ k]`` — the load address is a function of
+    the secret, the textbook cache side channel.
+``sbox-ct``
+    Constant-time scan: reads *all* 64 entries and mask-selects the right
+    one (`constant_time_lookup` style) — address stream independent of the
+    secret.
+
+The iteration label is one bit of the secret index, so the lookup version
+must flag the address-carrying units while the scan version verifies clean.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sampler.runner import Workload
+
+SBOX_SIZE = 64
+
+
+def sbox_table(seed: int = 99) -> list[int]:
+    """A fixed pseudo-random 6-bit S-box permutation."""
+    rng = random.Random(seed)
+    table = list(range(SBOX_SIZE))
+    rng.shuffle(table)
+    return table
+
+
+_TEMPLATE = """
+.data
+sbox:     .word {table}
+inputs:   .zero {arr}
+keys:     .zero {arr}
+labels:   .zero {arr}
+results:  .zero {arr}
+
+.text
+main:
+    li   s6, 0
+    la   s1, inputs
+    la   s2, keys
+    la   s3, labels
+    la   s4, results
+    la   s5, sbox
+    roi.begin
+driver:
+    slli s7, s6, 3
+    add  t0, s1, s7
+    ld   a0, 0(t0)
+    add  t0, s2, s7
+    ld   a1, 0(t0)
+    add  t0, s3, s7
+    ld   s9, 0(t0)
+    iter.begin s9
+    call substitute
+    iter.end
+    add  t0, s4, s7
+    sd   a0, 0(t0)
+    addi s6, s6, 1
+    li   t0, {n_sets}
+    blt  s6, t0, driver
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+{body}
+"""
+
+_LOOKUP_BODY = """
+substitute:                  # a0 = state byte, a1 = key byte
+    xor  t0, a0, a1
+    andi t0, t0, 63          # secret index
+    slli t0, t0, 2           # word-sized entries: the table spans 4 lines
+    add  t0, t0, s5
+    lwu  a0, 0(t0)           # secret-dependent load address
+    ret
+"""
+
+_CT_BODY = """
+substitute:                  # a0 = state byte, a1 = key byte
+    xor  t0, a0, a1
+    andi t0, t0, 63          # secret index
+    li   t1, 0               # i
+    li   t2, 0               # acc
+    mv   t3, s5
+    li   t4, 64
+1:
+    xor  t5, t1, t0
+    sltiu t5, t5, 1
+    neg  t5, t5              # mask = (i == index)
+    lwu  t6, 0(t3)           # every entry is read, every time
+    and  t6, t6, t5
+    or   t2, t2, t6
+    addi t3, t3, 4
+    addi t1, t1, 1
+    blt  t1, t4, 1b
+    mv   a0, t2
+    ret
+"""
+
+
+def _make(name: str, body: str, *, n_sets: int, n_runs: int,
+          seed: int) -> Workload:
+    table = sbox_table()
+    source = _TEMPLATE.format(
+        table=", ".join(str(v) for v in table),
+        arr=8 * n_sets, n_sets=n_sets, body=body,
+    )
+    inputs = []
+    for run_index in range(n_runs):
+        rng = random.Random(seed + 53 * run_index)
+        states, keys, labels = [], [], []
+        for _ in range(n_sets):
+            state = rng.randrange(SBOX_SIZE)
+            key = rng.randrange(SBOX_SIZE)
+            states.append(state)
+            keys.append(key)
+            # label: the top bit of the secret index (which table half the
+            # lookup touches — the granularity a cache attacker resolves).
+            labels.append(((state ^ key) >> 5) & 1)
+        pack = lambda xs: b"".join(x.to_bytes(8, "little") for x in xs)
+        inputs.append({"inputs": pack(states), "keys": pack(keys),
+                       "labels": pack(labels)})
+    workload = Workload(name=name, source=source, inputs=inputs,
+                        description="6-bit S-box substitution")
+    workload.sbox = table
+    return workload
+
+
+def make_sbox_lookup(n_sets: int = 16, n_runs: int = 4,
+                     seed: int = 77) -> Workload:
+    """Table-lookup S-box: the textbook cache side channel."""
+    return _make("sbox-lookup", _LOOKUP_BODY, n_sets=n_sets, n_runs=n_runs,
+                 seed=seed)
+
+
+def make_sbox_ct(n_sets: int = 16, n_runs: int = 4,
+                 seed: int = 77) -> Workload:
+    """Constant-time scan S-box: data-oblivious replacement."""
+    return _make("sbox-ct", _CT_BODY, n_sets=n_sets, n_runs=n_runs,
+                 seed=seed)
+
+
+def expected_sbox_results(workload: Workload) -> list[list[int]]:
+    """Reference substitution outputs, one list per run."""
+    table = workload.sbox
+    out = []
+    for patches in workload.inputs:
+        states = [int.from_bytes(patches["inputs"][i:i + 8], "little")
+                  for i in range(0, len(patches["inputs"]), 8)]
+        keys = [int.from_bytes(patches["keys"][i:i + 8], "little")
+                for i in range(0, len(patches["keys"]), 8)]
+        out.append([table[(s ^ k) & 63] for s, k in zip(states, keys)])
+    return out

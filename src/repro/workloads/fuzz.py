@@ -1,0 +1,174 @@
+"""Random program generation for differential testing (Cascade-style).
+
+Generates seeded, always-terminating RV64IM programs that mix ALU
+arithmetic, M-extension ops, memory traffic within a scratch buffer, bounded
+data-dependent branches and leaf calls.  Used by the co-simulation test
+suite to check the out-of-order core against the golden-model interpreter,
+the same methodology CPU fuzzers like Cascade [45] apply to RTL.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import Program, assemble
+
+_ALU_RR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+           "slt", "sltu", "addw", "subw", "mul", "mulh", "mulhu",
+           "div", "divu", "rem", "remu", "mulw", "divw", "remw"]
+_ALU_RI = ["addi", "andi", "ori", "xori", "slti", "sltiu", "addiw"]
+_SHIFT_RI = ["slli", "srli", "srai"]
+_LOADS = ["lb", "lbu", "lh", "lhu", "lw", "lwu", "ld"]
+_STORES = ["sb", "sh", "sw", "sd"]
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+#: Registers the generator is allowed to clobber freely.
+_WORK_REGS = ["t0", "t1", "t2", "t3", "t4", "t5", "t6",
+              "a1", "a2", "a3", "a4", "a5", "a6"]
+_SCRATCH_BYTES = 256
+
+
+def generate_program(seed: int, *, blocks: int = 6,
+                     block_len: int = 8) -> str:
+    """Generate random assembly text; deterministic per seed."""
+    rng = random.Random(seed)
+    lines = [
+        ".data",
+        f"scratch: .zero {_SCRATCH_BYTES}",
+        "out: .zero 8",
+        ".text",
+        "main:",
+        "    la   s0, scratch",
+    ]
+    for i, reg in enumerate(_WORK_REGS):
+        lines.append(f"    li   {reg}, {rng.getrandbits(32) - (1 << 31)}")
+    for block in range(blocks):
+        lines.extend(_block(rng, block, block_len))
+    # Checksum every work register and the scratch buffer.
+    lines.extend([
+        "    li   a0, 0",
+    ])
+    for reg in _WORK_REGS:
+        lines.append(f"    xor  a0, a0, {reg}")
+    lines.extend([
+        "    li   t0, 0",
+        f"    li   t1, {_SCRATCH_BYTES // 8}",
+        "    mv   t2, s0",
+        "csum:",
+        "    ld   t3, 0(t2)",
+        "    xor  t0, t0, t3",
+        "    addi t2, t2, 8",
+        "    addi t1, t1, -1",
+        "    bgtz t1, csum",
+        "    xor  a0, a0, t0",
+        "    la   t4, out",
+        "    sd   a0, 0(t4)",
+        "    li   a0, 0",
+        "    li   a7, 93",
+        "    ecall",
+        "leaf:",
+        "    xor  a1, a1, a2",
+        "    addi a1, a1, 17",
+        "    ret",
+    ])
+    return "\n".join(lines)
+
+
+def _block(rng: random.Random, block: int, block_len: int) -> list:
+    """One basic block wrapped in a bounded loop with a branchy body."""
+    loop_reg = "s2"
+    trips = rng.randint(1, 4)
+    lines = [f"    li   {loop_reg}, {trips}", f"block{block}:"]
+    for _ in range(block_len):
+        lines.append("    " + _instruction(rng))
+    # A data-dependent forward branch inside the block.
+    skip = f"skip{block}"
+    reg_a, reg_b = rng.sample(_WORK_REGS, 2)
+    lines.append(f"    {rng.choice(_BRANCHES)} {reg_a}, {reg_b}, {skip}")
+    lines.append("    " + _instruction(rng))
+    if rng.random() < 0.5:
+        lines.append("    call leaf")
+    lines.append(f"{skip}:")
+    lines.append(f"    addi {loop_reg}, {loop_reg}, -1")
+    lines.append(f"    bgtz {loop_reg}, block{block}")
+    return lines
+
+
+def _instruction(rng: random.Random) -> str:
+    kind = rng.random()
+    rd = rng.choice(_WORK_REGS)
+    rs1 = rng.choice(_WORK_REGS)
+    rs2 = rng.choice(_WORK_REGS)
+    if kind < 0.45:
+        return f"{rng.choice(_ALU_RR)} {rd}, {rs1}, {rs2}"
+    if kind < 0.6:
+        return f"{rng.choice(_ALU_RI)} {rd}, {rs1}, {rng.randint(-2048, 2047)}"
+    if kind < 0.7:
+        return f"{rng.choice(_SHIFT_RI)} {rd}, {rs1}, {rng.randint(0, 63)}"
+    offset = rng.randrange(0, _SCRATCH_BYTES - 8, 8)
+    if kind < 0.85:
+        return f"{rng.choice(_LOADS)} {rd}, {offset}(s0)"
+    return f"{rng.choice(_STORES)} {rs1}, {offset}(s0)"
+
+
+def generate(seed: int, **kwargs) -> Program:
+    """Generate and assemble a random program."""
+    return assemble(generate_program(seed, **kwargs), entry="main")
+
+
+def generate_memory_torture(seed: int, *, operations: int = 60) -> str:
+    """Dense mixed-size loads/stores over a tiny region.
+
+    Targets the load/store unit's hardest corners: store-to-load forwarding
+    at every containment relation, partial overlaps that must stall, and
+    rapid-fire drains — all within a 24-byte window so nearly every access
+    conflicts with an in-flight neighbour.
+    """
+    rng = random.Random(seed)
+    lines = [
+        ".data",
+        "window: .zero 32",
+        "out:    .zero 8",
+        ".text",
+        "main:",
+        "    la   s0, window",
+        "    li   t1, 0x0123456789abcdef",
+        "    sd   t1, 0(s0)",
+        "    sd   t1, 8(s0)",
+        "    sd   t1, 16(s0)",
+    ]
+    sizes = [("sb", "lb", 1), ("sb", "lbu", 1), ("sh", "lhu", 2),
+             ("sw", "lw", 4), ("sd", "ld", 8)]
+    for index in range(operations):
+        store_m, load_m, size = rng.choice(sizes)
+        offset = rng.randrange(0, 24 - size + 1)
+        if rng.random() < 0.55:
+            source = rng.choice(["t1", "t2", "t3"])
+            lines.append(f"    addi {source}, {source}, {rng.randint(-64, 63)}")
+            lines.append(f"    {store_m} {source}, {offset}(s0)")
+        else:
+            dest = rng.choice(["t1", "t2", "t3"])
+            lines.append(f"    {load_m} {dest}, {offset}(s0)")
+    lines += [
+        "    # checksum the window",
+        "    li   t4, 0",
+        "    li   t5, 3",
+        "    mv   t6, s0",
+        "csum:",
+        "    ld   t0, 0(t6)",
+        "    xor  t4, t4, t0",
+        "    addi t6, t6, 8",
+        "    addi t5, t5, -1",
+        "    bgtz t5, csum",
+        "    la   t6, out",
+        "    sd   t4, 0(t6)",
+        "    li   a0, 0",
+        "    li   a7, 93",
+        "    ecall",
+    ]
+    return "\n".join(lines)
+
+
+def generate_torture(seed: int, **kwargs) -> Program:
+    """Generate and assemble a memory-torture program."""
+    return assemble(generate_memory_torture(seed, **kwargs), entry="main")

@@ -1,0 +1,52 @@
+"""Deterministic generation of secret inputs for verification campaigns."""
+
+from __future__ import annotations
+
+import random
+
+
+def random_keys(n_keys: int, key_bytes: int = 4, seed: int = 1) -> list[bytes]:
+    """Generate ``n_keys`` uniformly random keys of ``key_bytes`` bytes."""
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(key_bytes))
+            for _ in range(n_keys)]
+
+
+def balanced_keys(n_keys: int, key_bytes: int = 4, seed: int = 1) -> list[bytes]:
+    """Random keys filtered to have a roughly balanced 0/1 bit mix.
+
+    Ensures both classes get enough samples even for small campaigns.
+    """
+    rng = random.Random(seed)
+    total_bits = 8 * key_bytes
+    keys = []
+    while len(keys) < n_keys:
+        key = rng.getrandbits(total_bits)
+        ones = bin(key).count("1")
+        if abs(ones - total_bits // 2) <= total_bits // 4:
+            keys.append(key.to_bytes(key_bytes, "little"))
+    return keys
+
+
+def memcmp_input_pairs(n_pairs: int, length: int = 32,
+                       seed: int = 2) -> list[tuple[bytes, bytes]]:
+    """Input pairs with varying distributions of (in)equal bytes (Sec VII-C1).
+
+    Roughly half the pairs are fully equal; the rest differ first at a
+    varying byte position, increasing coverage of the comparison loop.
+    """
+    rng = random.Random(seed)
+    pairs = []
+    for index in range(n_pairs):
+        a = bytes(rng.randrange(256) for _ in range(length))
+        if index % 2 == 0:
+            pairs.append((a, a))
+        else:
+            b = bytearray(a)
+            first_diff = rng.randrange(length)
+            for position in range(first_diff, length):
+                if rng.random() < 0.5 or position == first_diff:
+                    b[position] = (b[position] + 1 + rng.randrange(255)) % 256
+            pairs.append((a, bytes(b)))
+    rng.shuffle(pairs)  # avoid a strictly alternating class sequence
+    return pairs

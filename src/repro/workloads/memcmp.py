@@ -1,0 +1,163 @@
+"""CT-MEM-CMP: OpenSSL's constant-time memory compare under speculation
+(Section VII-C1, Listings 7 and 8).
+
+``CRYPTO_memcmp`` itself is data-oblivious, but callers immediately branch on
+its return value.  When the loop-back branch inside ``CRYPTO_memcmp``
+mispredicts, the function *speculatively returns prematurely* and the partial
+comparison result transiently drives the caller's branch — so the wrong-path
+``equal``/``inequal`` call pattern visible in the ROB depends on the secret
+byte comparison.  The paper disclosed this to OpenSSL as a previously
+unreported vulnerability.
+
+As in the paper, all input pairs are processed by a single simulation: a
+driver loop copies each pair into fixed comparison buffers and invokes the
+``run`` consumer (Listing 8).  Branch-predictor and cache state evolve across
+invocations, providing natural within-class variation; the sampling window
+covers ``CRYPTO_memcmp`` plus a few instructions consuming its return value.
+"""
+
+from __future__ import annotations
+
+from repro.sampler.runner import Workload
+from repro.workloads.keygen import memcmp_input_pairs
+
+_SOURCE_TEMPLATE = """
+.data
+pairs:      .zero {pairs_bytes}
+labels:     .zero {labels_bytes}
+cur_a:      .zero {length}
+cur_b:      .zero {length}
+result_out: .zero {labels_bytes}
+
+.text
+main:
+    # Warm the consumer functions once, as in a steady-state victim.
+    li   a0, 0
+    call equal
+    li   a0, 1
+    call inequal
+    li   s6, 0               # pair index
+    la   s1, pairs
+    la   s2, labels
+    la   s3, result_out
+    roi.begin
+driver:
+    # Copy pair s6 into the fixed comparison buffers (outside the window).
+    li   t0, {pair_stride}
+    mul  t0, t0, s6
+    add  t0, t0, s1          # &pairs[s6]
+    la   t1, cur_a
+    li   t2, {length}
+7:
+    lbu  t3, 0(t0)
+    sb   t3, 0(t1)
+    lbu  t4, {length}(t0)
+    sb   t4, {length}(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    bgtz t2, 7b
+    slli t0, s6, 3
+    add  t0, t0, s2
+    ld   s9, 0(t0)           # label for this pair
+    iter.begin s9
+    la   a0, cur_a
+    la   a1, cur_b
+    li   a2, {length}
+    call run
+    slli t0, s6, 3
+    add  t0, t0, s3
+    sd   a0, 0(t0)
+    addi s6, s6, 1
+    li   t0, {n_pairs}
+    blt  s6, t0, driver
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+run:                         # Listing 8: branch on CRYPTO_memcmp's result
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    call CRYPTO_memcmp
+    beqz a0, 5f
+    li   a0, 1
+    # The sampling window extends a few instructions past CRYPTO_memcmp's
+    # return-value consumer (Section VII-C1).  The (in)equal bodies commit
+    # architecturally outside the window, but their transiently and
+    # run-ahead fetched PCs are resident in the ROB within it.
+    iter.end
+    call inequal
+    j    6f
+5:
+    li   a0, 0
+    iter.end
+    call equal
+6:
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret
+
+CRYPTO_memcmp:               # Listing 7: OpenSSL constant-time memcmp
+    li   t0, 0               # x = 0
+    beqz a2, 2f
+1:
+    lbu  t1, 0(a0)
+    lbu  t2, 0(a1)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    xor  t1, t1, t2
+    or   t0, t0, t1
+    bgtz a2, 1b
+2:
+    mv   a0, t0
+    ret
+
+equal:                       # consumers with distinct instruction streams
+    slli a0, a0, 1
+    addi a0, a0, 100
+    ret
+
+inequal:
+    slli a0, a0, 2
+    addi a0, a0, 200
+    ret
+"""
+
+
+def make_ct_memcmp(n_pairs: int = 32, length: int = 32, seed: int = 2,
+                   n_runs: int = 2) -> Workload:
+    """Build the CT-MEM-CMP workload.
+
+    Each of the ``n_runs`` simulations processes ``n_pairs`` input pairs
+    through one driver loop (the paper uses a single 32-pair campaign).
+    """
+    source = _SOURCE_TEMPLATE.format(
+        pairs_bytes=n_pairs * 2 * length,
+        labels_bytes=8 * n_pairs,
+        length=length,
+        pair_stride=2 * length,
+        n_pairs=n_pairs,
+    )
+    inputs = []
+    for run_index in range(n_runs):
+        pairs = memcmp_input_pairs(n_pairs, length, seed + 101 * run_index)
+        blob = b"".join(a + b for a, b in pairs)
+        labels = b"".join(
+            (1 if a == b else 0).to_bytes(8, "little") for a, b in pairs
+        )
+        inputs.append({"pairs": blob, "labels": labels})
+    return Workload(
+        name="ct-mem-cmp",
+        source=source,
+        entry="main",
+        inputs=inputs,
+        description="OpenSSL CRYPTO_memcmp + control-flow consumer "
+                    "(Listings 7-8)",
+    )
+
+
+def reference_results(pairs: list[tuple[bytes, bytes]]) -> list[int]:
+    """Architectural result of run() per pair: equal->100, inequal->204."""
+    return [100 if a == b else 204 for a, b in pairs]

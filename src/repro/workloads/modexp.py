@@ -1,0 +1,481 @@
+"""Modular exponentiation case studies (Sections II, VII-A, VII-B).
+
+Five workload variants are provided, mirroring the paper's listings:
+
+``sam-leaky``
+    Classic square-and-multiply with a secret-dependent branch (Listing 1).
+``sam-ct``
+    Constant-time square-and-multiply with a register cmov (Listing 2).
+``me-v1-cv``
+    libgcrypt-style conditional copy with a branch; the assembly mirrors the
+    compiler output of Listing 4 where ``dst`` is preloaded before ``ctl`` is
+    checked, leaking through two extra instructions on the ctl==0 path.
+``me-v1-mv``
+    Branchless conditional copy (Listing 5) whose ``memmove`` destination
+    address is still secret-selected between ``dst`` and ``dummy``.
+``me-v2-safe``
+    BearSSL's byte-wise branchless conditional copy (Listing 6), which is
+    constant-time on the baseline core — and the victim of the fast-bypass
+    optimization in case ME-V2-FB.
+
+All variants scan a 32-bit exponent MSB-first, one ``iter.begin``/``iter.end``
+pair per key bit, labeling each iteration with the bit value.
+"""
+
+from __future__ import annotations
+
+from repro.sampler.runner import Workload
+from repro.workloads.keygen import balanced_keys
+
+#: Fixed public parameters: a Mersenne-prime modulus and a fixed base.
+DEFAULT_MODULUS = 2147483647  # 2^31 - 1
+DEFAULT_BASE = 0x12345
+
+
+def modexp_reference(base: int, exponent_bytes: bytes, modulus: int) -> int:
+    """Golden-model result of the assembly workloads."""
+    exponent = int.from_bytes(exponent_bytes, "little")
+    return pow(base, exponent, modulus)
+
+
+_DATA_SECTION = """
+.data
+base_val:  .dword {base}
+mod_val:   .dword {modulus}
+key:       .byte 0, 0, 0, 0
+result:    .dword 0
+t_buf:     .zero 64
+r_local:   .zero 8
+.align 12
+dst_buf:   .zero 64
+.align 12
+dummy_buf: .zero 64
+"""
+
+_PROLOGUE = """
+.text
+main:
+    la   s1, key
+    la   t0, base_val
+    ld   s4, 0(t0)
+    la   t0, mod_val
+    ld   s5, 0(t0)
+    li   s2, 1              # r = 1
+    li   s6, 3              # i = 3 (MSB byte first)
+    roi.begin
+outer:
+    add  t0, s1, s6
+    lbu  s7, 0(t0)          # exp[i]
+    li   s8, 7              # j = 7
+inner:
+    srl  t0, s7, s8
+    andi s9, t0, 1          # bit = (exp[i] >> j) & 1
+    iter.begin s9
+{body}
+    iter.end
+    addi s8, s8, -1
+    bgez s8, inner
+    addi s6, s6, -1
+    bgez s6, outer
+    roi.end
+{epilogue}
+    la   t0, result
+    sd   s2, 0(t0)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+#: Shared square step: r = r*r % mod ; t = a*r % mod  (r in s2, t in s3).
+_SQUARE_AND_MULT = """
+    mul  t0, s2, s2
+    remu s2, t0, s5
+    mul  t0, s4, s2
+    remu s3, t0, s5
+"""
+
+#: Branchless register cmov: r = bit ? t : r (Listing 2 / Equation 1).
+_REGISTER_CMOV = """
+    neg  t1, s9
+    xor  t2, s2, s3
+    and  t2, t2, t1
+    xor  s2, s2, t2
+"""
+
+#: Commit the candidate result to memory through the conditional copy under
+#: test: t is written to t_buf (uniform addresses), then CCOPY moves it to
+#: dst_buf or dummy_buf depending on ctl.
+_STORE_T_AND_CCOPY = """
+    la   t3, t_buf
+    sd   s3, 0(t3)
+    sd   s3, 8(t3)
+    sd   s3, 16(t3)
+    sd   s3, 24(t3)
+    mv   a0, s9
+    la   a1, dst_buf
+    la   a2, dummy_buf
+    la   a3, t_buf
+    li   a4, 32
+    call {ccopy}
+"""
+
+_MEMMOVE = """
+memmove:                     # a0=dst, a1=src, a2=len (multiple of 8)
+    beqz a2, 2f
+1:
+    ld   t2, 0(a1)
+    sd   t2, 0(a0)
+    addi a1, a1, 8
+    addi a0, a0, 8
+    addi a2, a2, -8
+    bgtz a2, 1b
+2:
+    ret
+"""
+
+#: Listing 4: the compiler preloads dst into a0 *before* checking ctl, so the
+#: ctl==0 path executes two extra instructions (mv + j).
+_CCOPY_V1_BRANCHY = """
+ccopy_v1:                    # a0=ctl, a1=dst, a2=dummy, a3=src, a4=len
+    mv   a6, a0
+    mv   a5, a2
+    mv   a0, a1              # preload dst as memmove's first argument
+    mv   a2, a4
+    mv   a1, a3
+    beqz a6, 2f
+1:
+    j    memmove
+2:
+    mv   a0, a5              # correct the destination to dummy
+    j    1b
+"""
+
+#: Listing 5: branchless destination select -> secret-dependent address.
+_CCOPY_V2_BRANCHLESS = """
+ccopy_v2:                    # a0=ctl, a1=dst, a2=dummy, a3=src, a4=len
+    neg  a0, a0              # mask = -ctl
+    and  a1, a1, a0
+    not  a0, a0
+    and  a2, a2, a0
+    or   a0, a1, a2          # dst if ctl else dummy
+    mv   a1, a3
+    mv   a2, a4
+    j    memmove
+"""
+
+#: Listing 6: BearSSL byte-wise branchless conditional copy.
+_CCOPY_BEARSSL = """
+ccopy_bear:                  # a0=ctl, a1=dst, a2=src, a3=len
+    add  a3, a3, a2
+    negw a0, a0
+1:
+    bne  a2, a3, 2f
+    ret
+2:
+    lbu  a4, 0(a1)
+    lbu  a5, 0(a2)
+    addi a2, a2, 1
+    addi a1, a1, 1
+    xor  a5, a5, a4
+    and  a5, a5, a0
+    xor  a5, a5, a4
+    sb   a5, -1(a1)
+    j    1b
+"""
+
+
+def _key_inputs(n_keys: int, seed: int) -> list[dict]:
+    return [{"key": key} for key in balanced_keys(n_keys, 4, seed)]
+
+
+def _build(name: str, body: str, functions: str, *, epilogue: str = "",
+           n_keys: int, seed: int, description: str,
+           base: int = DEFAULT_BASE, modulus: int = DEFAULT_MODULUS,
+           warm_regions=()) -> Workload:
+    source = (
+        _DATA_SECTION.format(base=base, modulus=modulus)
+        + _PROLOGUE.format(body=body, epilogue=epilogue)
+        + functions
+    )
+    return Workload(
+        name=name,
+        source=source,
+        entry="main",
+        inputs=_key_inputs(n_keys, seed),
+        description=description,
+        warm_regions=list(warm_regions),
+    )
+
+
+#: Listing 1 iteration body: the multiply happens only when the bit is set.
+_SQUARE_BODY_LEAKY = """
+    mul  t0, s2, s2
+    remu s2, t0, s5
+    beqz s9, 3f
+    mul  t0, s4, s2
+    remu s2, t0, s5
+3:
+    addi t0, zero, 0
+"""
+
+
+def make_sam_leaky(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Listing 1: square-and-multiply with a secret-dependent branch."""
+    return _build(
+        "sam-leaky", _SQUARE_BODY_LEAKY, "", n_keys=n_keys, seed=seed,
+        description="Square-and-multiply with secret-dependent control flow",
+    )
+
+
+def make_sam_ct(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Listing 2: constant-time square-and-multiply with a register cmov."""
+    return _build(
+        "sam-ct", _SQUARE_AND_MULT + _REGISTER_CMOV, "",
+        n_keys=n_keys, seed=seed,
+        description="Constant-time square-and-multiply (register cmov)",
+    )
+
+
+def make_me_v1_cv(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Case ME-V1-CV: branchy conditional copy, compiler preloads dst."""
+    body = (_SQUARE_AND_MULT + _REGISTER_CMOV
+            + _STORE_T_AND_CCOPY.format(ccopy="ccopy_v1"))
+    return _build(
+        "me-v1-cv", body, _CCOPY_V1_BRANCHY + _MEMMOVE,
+        n_keys=n_keys, seed=seed,
+        description="libgcrypt-style CCOPY with compiler-introduced "
+                    "secret-dependent control flow (Listing 4)",
+    )
+
+
+def make_me_v1_mv(n_keys: int = 8, seed: int = 1, *,
+                  warm_dst: bool = False) -> Workload:
+    """Case ME-V1-MV: branchless ctl, secret-dependent memmove destination.
+
+    ``warm_dst=True`` reproduces the Figure 6b experiment: the ``dst`` region
+    is present in the L1D before each run, so bit==1 iterations' stores hit
+    while bit==0 iterations keep missing on ``dummy``.
+    """
+    body = (_SQUARE_AND_MULT + _REGISTER_CMOV
+            + _STORE_T_AND_CCOPY.format(ccopy="ccopy_v2"))
+    warm = [("dst_buf", 64)] if warm_dst else []
+    return _build(
+        "me-v1-mv" + ("-warm" if warm_dst else ""),
+        body, _CCOPY_V2_BRANCHLESS + _MEMMOVE,
+        n_keys=n_keys, seed=seed,
+        description="Branchless CCOPY with secret-dependent store addresses "
+                    "(Listing 5)",
+        warm_regions=warm,
+    )
+
+
+def make_me_v2_safe(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Case ME-V2-Safe: BearSSL branchless byte-wise conditional copy.
+
+    The accumulator ``r`` lives in memory (``r_local``); each iteration
+    stores the candidate ``t`` to ``t_buf`` and conditionally copies it into
+    ``r_local`` with the Listing 6 routine.  Run on a fast-bypass core
+    (``CoreConfig.fast_bypass``) this same workload is case ME-V2-FB.
+    """
+    body = """
+    la   t3, r_local
+    ld   s2, 0(t3)
+""" + _SQUARE_AND_MULT + """
+    la   t3, r_local
+    sd   s2, 0(t3)           # commit the unconditional squaring
+    la   t3, t_buf
+    sd   s3, 0(t3)
+    mv   a0, s9
+    la   a1, r_local
+    la   a2, t_buf
+    li   a3, 8
+    call ccopy_bear
+"""
+    epilogue = """
+    la   t3, r_local
+    ld   s2, 0(t3)
+"""
+    workload = _build(
+        "me-v2-safe", body, _CCOPY_BEARSSL,
+        epilogue=epilogue, n_keys=n_keys, seed=seed,
+        description="BearSSL constant-time conditional copy (Listing 6)",
+    )
+    # r_local starts at 0 but r must start at 1: patch the initial value.
+    for patches in workload.inputs:
+        patches["r_local"] = (1).to_bytes(8, "little")
+    return workload
+
+
+def expected_results(workload: Workload, *, base: int = DEFAULT_BASE,
+                     modulus: int = DEFAULT_MODULUS) -> list[int]:
+    """Reference modexp result for each of the workload's runs."""
+    return [modexp_reference(base, patches["key"], modulus)
+            for patches in workload.inputs]
+
+
+_WINDOWED_SOURCE = """
+.data
+base_val:  .dword {base}
+mod_val:   .dword {modulus}
+key:       .byte 0, 0, 0, 0
+result:    .dword 0
+pow_table: .zero 32
+
+.text
+main:
+    la   s1, key
+    la   t0, base_val
+    ld   s4, 0(t0)
+    la   t0, mod_val
+    ld   s5, 0(t0)
+    # Precompute base^0..base^3 mod m (public values).
+    la   s0, pow_table
+    li   t1, 1
+    sd   t1, 0(s0)
+    sd   s4, 8(s0)
+    mul  t0, s4, s4
+    remu t1, t0, s5
+    sd   t1, 16(s0)
+    mul  t0, t1, s4
+    remu t1, t0, s5
+    sd   t1, 24(s0)
+    li   s2, 1              # r = 1
+    li   s6, 15             # window index, MSB window first
+    roi.begin
+wloop:
+    slli t0, s6, 1          # bit position = 2*window
+    srl  t1, zero, zero     # (placeholder, keeps alignment)
+    la   t2, key
+    lwu  t3, 0(t2)          # whole 32-bit exponent
+    srl  t3, t3, t0
+    andi s9, t3, 3          # window value: the 4-way class label
+    iter.begin s9
+    # r = r^4 mod m  (two squarings, unconditionally)
+    mul  t0, s2, s2
+    remu s2, t0, s5
+    mul  t0, s2, s2
+    remu s2, t0, s5
+    # t = constant-time table lookup of base^w
+    li   t1, 0              # i
+    li   t4, 0              # acc
+    la   t5, pow_table
+    li   t6, 4
+1:
+    xor  t0, t1, s9
+    sltiu t0, t0, 1
+    neg  t0, t0             # mask = (i == w)
+    ld   t3, 0(t5)
+    and  t3, t3, t0
+    or   t4, t4, t3
+    addi t5, t5, 8
+    addi t1, t1, 1
+    blt  t1, t6, 1b
+    # r = r * t mod m (multiply by base^0 = 1 when the window is 0)
+    mul  t0, s2, t4
+    remu s2, t0, s5
+    iter.end
+    addi s6, s6, -1
+    bgez s6, wloop
+    roi.end
+    la   t0, result
+    sd   s2, 0(t0)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+def make_sam_ct_window(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Windowed constant-time exponentiation with a CT table lookup.
+
+    Processes the exponent in 2-bit windows, so iterations carry a 4-way
+    class label — exercising the contingency analysis beyond binary classes
+    (the paper notes many algorithms operate on secrets in windows of bits).
+    Should verify clean: squarings, lookup and multiply are unconditional.
+    """
+    return Workload(
+        name="sam-ct-window",
+        source=_WINDOWED_SOURCE.format(base=DEFAULT_BASE,
+                                       modulus=DEFAULT_MODULUS),
+        entry="main",
+        inputs=_key_inputs(n_keys, seed),
+        description="2-bit-window constant-time exponentiation "
+                    "(constant_time_lookup based)",
+    )
+
+
+_DIV_TIMING_SOURCE = """
+.data
+key:      .byte 0, 0, 0, 0
+result:   .dword 0
+numer:    .dword 0x7fffffffffffffff
+
+.text
+main:
+    la   s1, key
+    la   t0, numer
+    ld   s4, 0(t0)
+    li   s2, 0              # accumulator
+    li   s6, 3
+    roi.begin
+outer:
+    add  t0, s1, s6
+    lbu  s7, 0(t0)
+    li   s8, 7
+inner:
+    srl  t0, s7, s8
+    andi s9, t0, 1
+    iter.begin s9
+    # Branchless select of the divisor: small when bit=0, huge when bit=1.
+    neg  t1, s9
+    li   t2, 0x0fffffffffff0000
+    and  t2, t2, t1
+    ori  t3, t2, 3          # divisor = 3 or 0x0fffffffffff0003
+    divu t4, s4, t3         # quotient width depends on the secret bit
+    add  s2, s2, t4
+    iter.end
+    addi s8, s8, -1
+    bgez s8, inner
+    addi s6, s6, -1
+    bgez s6, outer
+    roi.end
+    la   t0, result
+    sd   s2, 0(t0)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+def make_div_timing(n_keys: int = 8, seed: int = 1) -> Workload:
+    """Secret-dependent divisor magnitude (constant-time principle 3).
+
+    The code is branchless with fixed addresses, but it divides by a
+    secret-selected divisor.  On a core with an early-exit divider
+    (``CoreConfig.variable_div_latency``) the operation's latency depends on
+    the quotient width and MicroSampler flags EUU-DIV; on a fixed-latency
+    divider the same code verifies clean — an ablation of the paper's
+    "no secrets in variable-timing arithmetic" principle.
+    """
+    return Workload(
+        name="div-timing",
+        source=_DIV_TIMING_SOURCE,
+        entry="main",
+        inputs=_key_inputs(n_keys, seed),
+        description="secret-dependent divisor on an early-exit divider",
+    )
+
+
+def expected_div_timing_results(workload: Workload) -> list[int]:
+    """Reference accumulator value for each div-timing run."""
+    numer = 0x7FFFFFFFFFFFFFFF
+    out = []
+    for patches in workload.inputs:
+        key = int.from_bytes(patches["key"], "little")
+        total = 0
+        for bit_index in range(31, -1, -1):
+            bit = (key >> bit_index) & 1
+            divisor = 0x0FFFFFFFFFFF0003 if bit else 3
+            total = (total + numer // divisor) & 0xFFFFFFFFFFFFFFFF
+        out.append(total)
+    return out

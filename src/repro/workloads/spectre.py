@@ -1,0 +1,137 @@
+"""Spectre-PHT (bounds-check-bypass) litmus workload.
+
+MicroSampler's related work (IntroSpectre [21], SpecDoctor [25]) hunts
+transient-execution vulnerabilities with dedicated fuzzers; the paper argues
+its statistical machinery catches transient secret flows as microarchitectural
+state correlations.  This litmus implements the canonical Spectre v1 gadget:
+
+    if (idx < len)                  // len arrives late (slow dependency)
+        y = probe[array1[idx] << 6];
+
+Each iteration mistrains the bounds check with in-bounds accesses, then
+calls the gadget with an out-of-bounds ``idx`` whose target is a planted
+secret byte.  Architecturally nothing secret-dependent ever executes (the
+bounds check fails and the access is skipped), so software-level tools see
+identical traces for every secret; transiently, the wrong path loads
+``probe[secret << 6]`` — and the D-cache request stream, MSHRs and
+prefetcher state correlate perfectly with the secret bit.
+
+The bounds length is routed through two divisions so its value resolves
+~25 cycles late, giving the transient window room — the same role the
+attacker's "flush the length variable" plays in real exploits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sampler.runner import Workload
+
+_SOURCE = """
+.data
+array1:    .byte 0, 1, 2, 3, 4, 5, 6, 7   # in-bounds training values
+secret:    .byte 0                        # planted at array1 + 8
+pad:       .zero 7
+len_var:   .dword 8
+labels:    .zero {labels_bytes}
+sink:      .dword 0
+.align 12
+probe:     .zero 8192                     # 2 pages of probe lines
+
+.text
+main:
+    li   s6, 0                 # iteration index
+    la   s1, labels
+    roi.begin
+driver:
+    slli t0, s6, 3
+    add  t0, t0, s1
+    ld   s9, 0(t0)             # secret bit planted this iteration
+    iter.begin s9
+    la   t0, secret
+    addi t1, s9, 8             # planted byte is 8 or 9: the transient
+    sb   t1, 0(t0)             # probe lines sit beyond the training range
+    # Mistrain: five in-bounds calls so the bounds check predicts taken.
+    li   s7, 5
+train:
+    andi a0, s7, 7
+    call gadget
+    addi s7, s7, -1
+    bgtz s7, train
+    # Scramble global branch history with the (public) iteration index,
+    # modeling the varied caller paths of a real victim: it steers the
+    # attack's bounds check to an untrained predictor entry, so the
+    # transient window reopens every episode instead of the predictor
+    # learning the attack context after the first one.
+    li   t5, 2654435761
+    mul  t5, t5, s6
+    xori t5, t5, 1365
+    li   t6, 11
+hist:
+    andi t4, t5, 1
+    srli t5, t5, 1
+    beqz t4, 8f
+    addi t4, t4, 0
+8:
+    addi t6, t6, -1
+    bgtz t6, hist
+    # Attack: out-of-bounds index 8 points at the planted secret byte.
+    li   a0, 8
+    call gadget
+    iter.end
+    la   t0, sink
+    sd   a0, 0(t0)
+    addi s6, s6, 1
+    li   t0, {n_iters}
+    blt  s6, t0, driver
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+gadget:                        # a0 = idx; returns probe value or 0
+    la   t0, len_var
+    ld   t1, 0(t0)
+    # Delay the bound: len = (len * 1) / 1 twice through the divider, so
+    # the branch below resolves late and the wrong path runs transiently.
+    li   t2, 1
+    divu t1, t1, t2
+    divu t1, t1, t2
+    bgeu a0, t1, 9f            # bounds check (predicted not-taken after training)
+    la   t3, array1
+    add  t3, t3, a0
+    lbu  t4, 0(t3)             # array1[idx] -- the secret, transiently
+    slli t4, t4, 6             # one probe cache line per value
+    la   t5, probe
+    add  t5, t5, t4
+    ld   a0, 0(t5)             # transmits through the cache state
+    ret
+9:
+    li   a0, 0
+    ret
+"""
+
+
+def make_spectre_v1(n_iters: int = 16, n_runs: int = 4,
+                    seed: int = 23) -> Workload:
+    """Build the Spectre v1 litmus.
+
+    Each iteration's planted secret byte is 0 or 1, so the transient probe
+    access touches ``probe[0]`` or ``probe[64]`` — one cache line apart.
+    """
+    inputs = []
+    for run_index in range(n_runs):
+        rng = random.Random(seed + 31 * run_index)
+        bits = [rng.randrange(2) for _ in range(n_iters)]
+        # The label array doubles as the planted secret: the driver writes
+        # labels[i] into the byte at array1 + 8 before each attack call.
+        inputs.append({
+            "labels": b"".join(b.to_bytes(8, "little") for b in bits),
+        })
+    workload = Workload(
+        name="spectre-v1",
+        source=_SOURCE.format(labels_bytes=8 * n_iters, n_iters=n_iters),
+        inputs=inputs,
+        description="Spectre-PHT bounds-check-bypass litmus",
+    )
+    return workload

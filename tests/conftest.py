@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.uarch import MEGA_BOOM, SMALL_BOOM
+
+
+@pytest.fixture(scope="session")
+def mega():
+    return MEGA_BOOM
+
+
+@pytest.fixture(scope="session")
+def small():
+    return SMALL_BOOM
+
+
+#: A small program exercising loops, calls, memory and M-extension ops;
+#: exits with a deterministic checksum.
+SUM_PROGRAM = """
+.data
+arr: .word 3, 1, 4, 1, 5, 9, 2, 6
+out: .zero 8
+.text
+main:
+    la   s0, arr
+    li   s1, 0
+    li   s2, 0
+loop:
+    slli t0, s2, 2
+    add  t0, t0, s0
+    lw   t1, 0(t0)
+    add  s1, s1, t1
+    addi s2, s2, 1
+    li   t2, 8
+    blt  s2, t2, loop
+    mv   a0, s1
+    call double
+    la   t0, out
+    sd   a0, 0(t0)
+    li   a7, 93
+    ecall
+double:
+    slli a0, a0, 1
+    ret
+"""
+
+SUM_PROGRAM_EXIT = 62  # 2 * (3+1+4+1+5+9+2+6)
+
+
+@pytest.fixture(scope="session")
+def sum_program():
+    return assemble(SUM_PROGRAM, entry="main")

@@ -1,0 +1,277 @@
+"""Assembler tests: labels, pseudo-instructions, directives, diagnostics."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, format_instruction, run_program
+from repro.isa.assembler import Assembler
+
+
+def _single(source, **kwargs):
+    program = assemble(".text\n" + source, **kwargs)
+    assert len(program.instructions) >= 1
+    return program.instructions
+
+
+def test_basic_r_type():
+    (inst,) = _single("add a0, a1, a2")
+    assert (inst.mnemonic, inst.rd, inst.rs1, inst.rs2) == ("add", 10, 11, 12)
+
+
+def test_memory_operand_forms():
+    (load,) = _single("lw t0, 8(sp)")
+    assert (load.mnemonic, load.rd, load.rs1, load.imm) == ("lw", 5, 2, 8)
+    (store,) = _single("sd a0, -16(s0)")
+    assert (store.mnemonic, store.rs2, store.rs1, store.imm) == ("sd", 10, 8, -16)
+
+
+def test_negative_and_hex_immediates():
+    (inst,) = _single("addi t0, t0, -1")
+    assert inst.imm == -1
+    (inst,) = _single("andi t0, t0, 0xff")
+    assert inst.imm == 0xFF
+
+
+@pytest.mark.parametrize("pseudo,expansion", [
+    ("mv a0, a1", ("addi", 10, 11, 0)),
+    ("not a0, a1", ("xori", 10, 11, -1)),
+    ("neg a0, a1", ("sub", 10, 0, 11)),
+    ("seqz a0, a1", ("sltiu", 10, 11, 1)),
+    ("snez a0, a1", ("sltu", 10, 0, 11)),
+    ("nop", ("addi", 0, 0, 0)),
+    ("sext.w a0, a1", ("addiw", 10, 11, 0)),
+])
+def test_simple_pseudos(pseudo, expansion):
+    (inst,) = _single(pseudo)
+    mnemonic, rd, rs1_or_rs2a, imm_or_rs2 = expansion
+    assert inst.mnemonic == mnemonic
+
+
+def test_ret_expansion():
+    (inst,) = _single("ret")
+    assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("jalr", 0, 1, 0)
+
+
+def test_jalr_three_operand_form():
+    (inst,) = _single("jalr ra, t0, 4")
+    assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("jalr", 1, 5, 4)
+
+
+def test_jalr_offset_form():
+    (inst,) = _single("jalr zero, 0(ra)")
+    assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("jalr", 0, 1, 0)
+
+
+@pytest.mark.parametrize("value", [
+    0, 1, -1, 2047, -2048, 2048, 0x12345000, 0x7FFFFFFF, -0x80000000,
+    0x123456789, 0x7FFFFFFFFFFFFFFF, -0x8000000000000000, 0xDEADBEEFCAFEBABE,
+])
+def test_li_value_via_memory(value):
+    source = f"""
+.data
+out: .zero 8
+.text
+main:
+    li t0, {value}
+    la t1, out
+    sd t0, 0(t1)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+    program = assemble(source, entry="main")
+    from repro.isa import Interpreter
+    interp = Interpreter(program)
+    interp.run()
+    stored = int.from_bytes(interp.memory.read_bytes(program.symbols["out"], 8),
+                            "little")
+    assert stored == value & 0xFFFFFFFFFFFFFFFF
+
+
+def test_la_loads_symbol_address():
+    source = """
+.data
+x: .dword 7
+.text
+main:
+    la a0, x
+"""
+    program = assemble(source)
+    from repro.isa import Interpreter
+    interp = Interpreter(program)
+    interp.step()
+    interp.step()
+    assert interp.read_reg(10) == program.symbols["x"]
+
+
+def test_branch_to_label_offsets():
+    source = """
+.text
+top:
+    addi t0, t0, 1
+    beq t0, t1, top
+    j top
+"""
+    program = assemble(source)
+    beq = program.instructions[1]
+    assert beq.imm == -4
+    jal = program.instructions[2]
+    assert jal.imm == -8
+
+
+def test_numeric_local_labels():
+    source = """
+.text
+1:
+    addi t0, t0, 1
+    bnez t0, 1b
+    j 1f
+1:
+    nop
+"""
+    program = assemble(source)
+    bnez = program.instructions[1]
+    assert bnez.branch_target() == program.instructions[0].pc
+    jal = program.instructions[2]
+    assert jal.branch_target() == program.instructions[3].pc
+
+
+def test_data_directives_layout():
+    source = """
+.data
+bytes: .byte 1, 2, 3
+half:  .half 0x1234
+word:  .word -1
+dword: .dword 0x1122334455667788
+pad:   .zero 4
+text_str: .asciz "hi"
+.text
+main: nop
+"""
+    program = assemble(source)
+    data = bytes(program.data)
+    assert data[0:3] == b"\x01\x02\x03"
+    offset = program.symbols["half"] - program.data_base
+    assert data[offset:offset + 2] == b"\x34\x12"
+    offset = program.symbols["word"] - program.data_base
+    assert data[offset:offset + 4] == b"\xff\xff\xff\xff"
+    offset = program.symbols["dword"] - program.data_base
+    assert data[offset:offset + 8] == bytes.fromhex("8877665544332211")
+    offset = program.symbols["text_str"] - program.data_base
+    assert data[offset:offset + 3] == b"hi\x00"
+
+
+def test_align_directive_pads_data():
+    source = """
+.data
+a: .byte 1
+.align 3
+b: .dword 2
+.text
+main: nop
+"""
+    program = assemble(source)
+    assert program.symbols["b"] % 8 == 0
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble(".text\nx: nop\nx: nop")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError, match="undefined"):
+        assemble(".text\nj nowhere")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble(".text\nfrobnicate a0, a1")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AssemblerError, match="outside .text"):
+        assemble(".data\nadd a0, a0, a0")
+
+
+def test_missing_entry_label_rejected():
+    with pytest.raises(AssemblerError, match="entry"):
+        assemble(".text\nnop", entry="main")
+
+
+def test_no_following_numeric_label():
+    # With at least one definition present, a dangling forward ref is precise.
+    with pytest.raises(AssemblerError, match="no following label"):
+        assemble(".text\n1: nop\nj 2f\n2: nop\nj 2f")
+    # With no numeric definitions at all it degrades to an undefined label.
+    with pytest.raises(AssemblerError, match="undefined"):
+        assemble(".text\nj 1f")
+
+
+def test_comments_are_stripped():
+    program = assemble(".text\nnop # a comment\nnop // another\n")
+    assert len(program.instructions) == 2
+
+
+def test_label_and_instruction_on_one_line():
+    program = assemble(".text\nstart: nop\n")
+    assert program.symbols["start"] == program.instructions[0].pc
+
+
+def test_custom_bases():
+    program = Assembler(text_base=0x2000, data_base=0x8000).assemble(
+        ".data\nv: .word 1\n.text\nmain: nop\n"
+    )
+    assert program.text_base == 0x2000
+    assert program.symbols["v"] == 0x8000
+
+
+def test_format_instruction_is_readable(sum_program):
+    rendered = [format_instruction(i) for i in sum_program.instructions]
+    assert any("lw" in r for r in rendered)
+    assert all(isinstance(r, str) and r for r in rendered)
+
+
+def test_instruction_at_bounds(sum_program):
+    assert sum_program.instruction_at(sum_program.text_base) is not None
+    end = sum_program.text_base + sum_program.text_size
+    assert sum_program.instruction_at(end) is None
+    assert sum_program.instruction_at(sum_program.text_base + 2) is None
+
+
+def test_branch_relaxation_long_loop():
+    """A backward branch over >4 KiB of code relaxes to bne+jal."""
+    filler = "\n".join("    addi t1, t1, 1" for _ in range(1200))
+    source = f"""
+.text
+main:
+    li t0, 2
+    li t1, 0
+loop:
+{filler}
+    addi t0, t0, -1
+    bgtz t0, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+    program = assemble(source, entry="main")
+    # The relaxed pair: an inverted branch skipping a jal back to the loop.
+    mnemonics = [i.mnemonic for i in program.instructions]
+    assert "jal" in mnemonics
+    from repro.isa import encode
+    for inst in program.instructions:
+        encode(inst)  # everything must fit its encoding
+    result = run_program(assemble(source, entry="main"))
+    assert result.exit_code == 2400
+
+
+def test_short_branches_not_relaxed():
+    program = assemble(".text\nmain:\n beqz t0, main\n")
+    assert [i.mnemonic for i in program.instructions] == ["beq"]
+
+
+def test_immediate_out_of_range_rejected_at_assembly():
+    with pytest.raises(AssemblerError, match="12-bit"):
+        assemble(".text\naddi t0, t0, 5000")
+    with pytest.raises(AssemblerError, match="shift amount"):
+        assemble(".text\nslliw t0, t0, 40")

@@ -1,0 +1,73 @@
+"""Flush+Reload attack-harness tests."""
+
+import pytest
+
+from repro.attacks import flush_reload_attack, lowest_touched_line
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM
+from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
+
+
+def _attack(make, n_sets=16):
+    workload = make(n_sets=n_sets, n_runs=1, seed=77)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    sbox = program.symbols["sbox"]
+    monitored = [sbox + 64 * i for i in range(4)]
+    return sbox, flush_reload_attack(program, MEGA_BOOM, monitored)
+
+
+class TestLowestTouchedLine:
+    def test_picks_demand_line_under_prefetch(self):
+        assert lowest_touched_line({100: False, 164: True, 228: True}) == 164
+
+    def test_none_when_nothing_touched(self):
+        assert lowest_touched_line({100: False, 164: False}) is None
+
+
+class TestFlushReload:
+    def test_observations_per_iteration(self):
+        _, result = _attack(make_sbox_lookup, n_sets=12)
+        assert len(result.observations) == 12
+        assert all(len(obs.touched) == 4 for obs in result.observations)
+
+    def test_recovers_lookup_secret_bits(self):
+        sbox, result = _attack(make_sbox_lookup)
+
+        def predict(touched):
+            line = lowest_touched_line(touched)
+            return -1 if line is None else int(line >= sbox + 128)
+
+        assert result.accuracy(predict) == 1.0
+
+    def test_ct_scan_leaks_nothing(self):
+        _, result = _attack(make_sbox_ct)
+        patterns = {tuple(obs.touched.values())
+                    for obs in result.observations}
+        assert len(patterns) == 1  # identical observation for every class
+        assert all(all(obs.touched.values())
+                   for obs in result.observations)  # scan touches all lines
+
+    def test_labels_are_ground_truth(self):
+        _, result = _attack(make_sbox_lookup, n_sets=12)
+        labels = {obs.label for obs in result.observations}
+        assert labels == {0, 1}
+
+    def test_accuracy_empty(self):
+        from repro.attacks import FlushReloadResult
+        assert FlushReloadResult().accuracy(lambda touched: 0) == 0.0
+
+    def test_probe_is_side_effect_free(self):
+        from repro.uarch.config import CacheConfig
+        from repro.uarch.memsys import DataCachePort
+        port = DataCachePort(
+            CacheConfig(sets=4, ways=2, mshrs=2),
+            tlb_entries=4, page_size=4096, tlb_miss_latency=0,
+            memory_latency=20, lfb_entries=4, prefetcher_enabled=True,
+        )
+        assert port.probe(0x1000) is False
+        assert not port.mshrs and not port.requests_this_cycle
+        assert port.cache.stats.misses == 0
+        port.warm_line(0x1000)
+        lru_before = [list(s) for s in port.cache.sets]
+        assert port.probe(0x1000) is True
+        assert [list(s) for s in port.cache.sets] == lru_before

@@ -1,0 +1,118 @@
+"""Tests for the 128-bit (2-limb) bignum workloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Interpreter
+from repro.sampler import MicroSampler
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM, Core
+from repro.workloads.bignum import (
+    MERSENNE_127,
+    expected_mp_results,
+    make_mp_modexp_ct,
+    make_mp_modexp_leaky,
+    make_mulmod_selftest,
+    mp_modexp_reference,
+)
+
+
+def _run_mulmod(pairs):
+    workload = make_mulmod_selftest(pairs)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    interp = Interpreter(program)
+    assert interp.run().exit_code == 0
+    raw = interp.memory.read_bytes(program.symbols["results"], 16 * len(pairs))
+    out = []
+    for k in range(len(pairs)):
+        lo = int.from_bytes(raw[16 * k:16 * k + 8], "little")
+        hi = int.from_bytes(raw[16 * k + 8:16 * k + 16], "little")
+        out.append((hi << 64) | lo)
+    return out
+
+
+class TestMulmod:
+    def test_edge_cases(self):
+        pairs = [
+            (0, 0), (1, 1), (0, MERSENNE_127 - 1),
+            (MERSENNE_127 - 1, MERSENNE_127 - 1),
+            (MERSENNE_127 - 1, 1), (1, MERSENNE_127 - 1),
+            (1 << 126, 2), (1 << 63, 1 << 63),
+            ((1 << 64) - 1, (1 << 64) - 1),
+        ]
+        results = _run_mulmod(pairs)
+        for (a, b), got in zip(pairs, results):
+            assert got == (a * b) % MERSENNE_127, (hex(a), hex(b))
+
+    def test_random_operands(self):
+        rng = random.Random(11)
+        pairs = [(rng.getrandbits(127) % MERSENNE_127,
+                  rng.getrandbits(127) % MERSENNE_127) for _ in range(24)]
+        results = _run_mulmod(pairs)
+        for (a, b), got in zip(pairs, results):
+            assert got == (a * b) % MERSENNE_127
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, MERSENNE_127 - 1), st.integers(0, MERSENNE_127 - 1))
+    def test_property_matches_python(self, a, b):
+        assert _run_mulmod([(a, b)]) == [(a * b) % MERSENNE_127]
+
+    def test_result_always_fully_reduced(self):
+        # Values engineered so folds land near p.
+        near_p = MERSENNE_127 - 1
+        results = _run_mulmod([(near_p, near_p), (near_p, 2)])
+        assert all(r < MERSENNE_127 for r in results)
+
+
+class TestMpModexp:
+    def test_reference(self):
+        assert mp_modexp_reference(3, (4).to_bytes(2, "little")) == 81
+
+    @pytest.mark.parametrize("make", [make_mp_modexp_ct, make_mp_modexp_leaky],
+                             ids=["ct", "leaky"])
+    def test_functional_interpreter(self, make):
+        workload = make(n_keys=2, seed=7)
+        program = workload.assemble()
+        for patches, expected in zip(workload.inputs,
+                                     expected_mp_results(workload)):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            assert interp.run().exit_code == 0
+            lo = int.from_bytes(
+                interp.memory.read_bytes(patched.symbols["result_lo"], 8),
+                "little")
+            hi = int.from_bytes(
+                interp.memory.read_bytes(patched.symbols["result_hi"], 8),
+                "little")
+            assert (hi << 64) | lo == expected
+
+    def test_functional_on_core(self):
+        workload = make_mp_modexp_ct(n_keys=1, seed=9)
+        program = patch_program(workload.assemble(), workload.inputs[0])
+        core = Core(program, MEGA_BOOM)
+        assert core.run().exit_code == 0
+        lo = int.from_bytes(core.memory.read_bytes(
+            program.symbols["result_lo"], 8), "little")
+        hi = int.from_bytes(core.memory.read_bytes(
+            program.symbols["result_hi"], 8), "little")
+        assert (hi << 64) | lo == expected_mp_results(workload)[0]
+
+    def test_iterations_are_long(self):
+        """Each key-bit iteration is multi-limb scale (100s of instructions)."""
+        workload = make_mp_modexp_ct(n_keys=1, seed=7)
+        program = patch_program(workload.assemble(), workload.inputs[0])
+        result = Interpreter(program).run()
+        assert result.steps / 16 > 100  # instructions per iteration
+
+    def test_ct_version_verifies_clean(self):
+        report = MicroSampler(MEGA_BOOM).analyze(
+            make_mp_modexp_ct(n_keys=4, seed=2))
+        assert not report.leakage_detected
+
+    def test_leaky_version_flags_multiplier(self):
+        report = MicroSampler(MEGA_BOOM).analyze(
+            make_mp_modexp_leaky(n_keys=4, seed=2))
+        assert report.leakage_detected
+        assert "EUU-MUL" in report.leaky_units

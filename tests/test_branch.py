@@ -1,0 +1,150 @@
+"""Branch-prediction unit tests: gshare, BTB, RAS, checkpointing."""
+
+import pytest
+
+from repro.uarch import MEGA_BOOM, BranchPredictor, GsharePredictor
+from repro.uarch.branch import BranchTargetBuffer, ReturnAddressStack
+
+
+class TestGshare:
+    def test_initial_prediction_not_taken(self):
+        gshare = GsharePredictor(64, 6)
+        assert gshare.predict(0x1000) is False
+
+    def test_training_flips_prediction(self):
+        gshare = GsharePredictor(64, 6)
+        ghr = gshare.ghr
+        gshare.train(0x1000, True, ghr)
+        gshare.train(0x1000, True, ghr)
+        assert gshare.predict(0x1000) is True
+
+    def test_counter_saturation(self):
+        gshare = GsharePredictor(64, 6)
+        ghr = gshare.ghr
+        for _ in range(10):
+            gshare.train(0x1000, True, ghr)
+        assert gshare.counters[gshare.index(0x1000)] == 3
+        for _ in range(10):
+            gshare.train(0x1000, False, ghr)
+        assert gshare.counters[gshare.index(0x1000)] == 0
+
+    def test_history_affects_index(self):
+        gshare = GsharePredictor(64, 6)
+        index_before = gshare.index(0x1000)
+        gshare.predict_and_update_history(0x1000, True)
+        assert gshare.index(0x1000) != index_before
+
+    def test_history_masked_to_width(self):
+        gshare = GsharePredictor(64, 4)
+        for _ in range(20):
+            gshare.predict_and_update_history(0, True)
+        assert gshare.ghr == 0xF
+
+    def test_table_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(100, 6)
+
+
+class TestBtb:
+    def test_update_and_lookup(self):
+        btb = BranchTargetBuffer(2)
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+        assert btb.lookup(0x3000) is None
+
+    def test_fifo_replacement(self):
+        btb = BranchTargetBuffer(2)
+        btb.update(1, 10)
+        btb.update(2, 20)
+        btb.update(3, 30)
+        assert btb.lookup(1) is None
+        assert btb.lookup(2) == 20 and btb.lookup(3) == 30
+
+    def test_update_existing_does_not_evict(self):
+        btb = BranchTargetBuffer(2)
+        btb.update(1, 10)
+        btb.update(2, 20)
+        btb.update(1, 11)
+        assert btb.lookup(1) == 11 and btb.lookup(2) == 20
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_bounded_depth_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.pop() == 1
+
+
+class TestBranchPredictorUnit:
+    def test_checkpoint_restores_ghr_and_ras(self):
+        predictor = BranchPredictor(MEGA_BOOM)
+        predictor.on_call(0x1234)
+        checkpoint = predictor.checkpoint()
+        predictor.predict_branch(0x1000)
+        predictor.ras.pop()
+        predictor.restore(checkpoint)
+        assert predictor.gshare.ghr == checkpoint.ghr
+        assert predictor.ras.pop() == 0x1234
+
+    def test_jalr_return_uses_ras(self):
+        predictor = BranchPredictor(MEGA_BOOM)
+        predictor.on_call(0x4444)
+        target = predictor.predict_jalr_target(
+            0x1000, is_return=True, is_call=False, next_pc=0x1004)
+        assert target == 0x4444
+
+    def test_jalr_indirect_uses_btb(self):
+        predictor = BranchPredictor(MEGA_BOOM)
+        assert predictor.predict_jalr_target(
+            0x1000, is_return=False, is_call=False, next_pc=0x1004) is None
+        predictor.train_indirect(0x1000, 0x8000)
+        assert predictor.predict_jalr_target(
+            0x1000, is_return=False, is_call=False, next_pc=0x1004) == 0x8000
+
+    def test_call_pushes_return_address(self):
+        predictor = BranchPredictor(MEGA_BOOM)
+        predictor.predict_jalr_target(
+            0x1000, is_return=False, is_call=True, next_pc=0x1004)
+        assert predictor.ras.pop() == 0x1004
+
+    def test_train_branch_updates_btb_for_taken(self):
+        predictor = BranchPredictor(MEGA_BOOM)
+        predictor.train_branch(0x1000, True, 0x2000, ghr_at_predict=0)
+        assert predictor.btb.lookup(0x1000) == 0x2000
+        predictor.train_branch(0x1100, False, 0x2100, ghr_at_predict=0)
+        assert predictor.btb.lookup(0x1100) is None
+
+    def test_loop_branch_learns_per_history(self):
+        """Repeated training under one history context flips the prediction."""
+        predictor = BranchPredictor(MEGA_BOOM)
+        pc = 0x1000
+        history = 0b1011
+        for _ in range(4):
+            predictor.gshare.ghr = history
+            predictor.train_branch(pc, True, pc - 32, ghr_at_predict=history)
+        predictor.gshare.ghr = history
+        taken, ghr = predictor.predict_branch(pc)
+        assert taken is True
+        assert ghr == history

@@ -1,0 +1,86 @@
+"""ChaCha20 workload tests (RFC 7539 conformance + verification verdict)."""
+
+import struct
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.sampler import MicroSampler
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM, Core
+from repro.workloads.chacha import (
+    chacha20_block,
+    expected_keystreams,
+    generate_chacha_source,
+    make_chacha20,
+)
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+RFC_BLOCK_1 = bytes.fromhex(
+    "10f1e7e4d13b5915500fdd1fa32071c4"
+    "c7d1f4c733c068030422aa9ac3d46c4e"
+    "d2826446079faa0914c2d705d98b02a2"
+    "b5129cd1de164eb9cbd083e8a2503c4e"
+)
+
+
+class TestReference:
+    def test_rfc7539_vector(self):
+        assert chacha20_block(RFC_KEY, 1, RFC_NONCE) == RFC_BLOCK_1
+
+    def test_counter_changes_block(self):
+        assert chacha20_block(RFC_KEY, 0, RFC_NONCE) != \
+            chacha20_block(RFC_KEY, 1, RFC_NONCE)
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"short", 0, RFC_NONCE)
+        with pytest.raises(ValueError):
+            chacha20_block(RFC_KEY, 0, b"short")
+
+
+class TestAssemblyImplementation:
+    def test_matches_reference_on_interpreter(self):
+        workload = make_chacha20(n_keys=3, n_blocks=2, seed=6)
+        program = workload.assemble()
+        for patches, expected in zip(workload.inputs,
+                                     expected_keystreams(workload)):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            assert interp.run().exit_code == 0
+            got = interp.memory.read_bytes(patched.symbols["out"],
+                                           len(expected))
+            assert got == expected
+
+    def test_matches_reference_on_core(self):
+        workload = make_chacha20(n_keys=1, n_blocks=1, seed=8)
+        program = patch_program(workload.assemble(), workload.inputs[0])
+        core = Core(program, MEGA_BOOM)
+        assert core.run().exit_code == 0
+        expected = expected_keystreams(workload)[0]
+        assert core.memory.read_bytes(program.symbols["out"],
+                                      len(expected)) == expected
+
+    def test_generated_source_shape(self):
+        source = generate_chacha_source(n_blocks=2)
+        assert source.count("double round") == 10
+        assert "slliw" in source and "srliw" in source  # rotates
+        assert "iter.begin" in source
+
+    def test_labels_are_key_bit(self):
+        workload = make_chacha20(n_keys=6, seed=6)
+        for patches, (key, _nonce) in zip(workload.inputs,
+                                          workload.key_nonces):
+            label = int.from_bytes(patches["label_val"], "little")
+            assert label == key[0] & 1
+
+
+class TestVerification:
+    def test_chacha_is_perfectly_constant_time(self):
+        report = MicroSampler(MEGA_BOOM).analyze(
+            make_chacha20(n_keys=6, n_blocks=1, seed=6))
+        assert not report.leakage_detected
+        # ARX with fixed-latency units: snapshots are bit-identical across
+        # classes, so measured association is exactly zero everywhere.
+        assert max(report.cramers_v_by_unit().values()) == pytest.approx(0.0)

@@ -1,0 +1,129 @@
+"""Tests for core configuration, micro-op records and the disassembler."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import Instruction, assemble, format_instruction, format_program
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, CoreConfig
+from repro.uarch.config import CacheConfig
+from repro.uarch.uop import MicroOp
+
+
+class TestCacheConfig:
+    def test_capacity(self):
+        config = CacheConfig(sets=64, ways=8)
+        assert config.capacity_bytes == 64 * 8 * 64  # 32 KiB
+
+    def test_state_bits_positive_and_monotone(self):
+        small = CacheConfig(sets=64, ways=4)
+        large = CacheConfig(sets=64, ways=8)
+        assert 0 < small.state_bits() < large.state_bits()
+
+
+class TestCoreConfig:
+    def test_table_iii_mega_values(self):
+        assert MEGA_BOOM.fetch_width == 8
+        assert MEGA_BOOM.decode_width == 4
+        assert MEGA_BOOM.issue_width == 4
+        assert MEGA_BOOM.rob_entries == 128
+        assert MEGA_BOOM.int_prf_entries == 128
+        assert MEGA_BOOM.ldq_entries == MEGA_BOOM.stq_entries == 32
+        assert MEGA_BOOM.lfb_entries == 64
+        assert MEGA_BOOM.bp_entries == 2048
+        assert MEGA_BOOM.dcache.sets == 64 and MEGA_BOOM.dcache.ways == 8
+        assert MEGA_BOOM.dtlb_entries == 32
+
+    def test_table_iii_small_values(self):
+        assert SMALL_BOOM.fetch_width == 4
+        assert SMALL_BOOM.decode_width == 1
+        assert SMALL_BOOM.rob_entries == 32
+        assert SMALL_BOOM.int_prf_entries == 52
+        assert SMALL_BOOM.dcache.ways == 4
+        assert SMALL_BOOM.dtlb_entries == 8
+
+    def test_commit_width_defaults_to_decode_width(self):
+        assert MEGA_BOOM.commit_width == MEGA_BOOM.decode_width
+        custom = MEGA_BOOM.with_(commit_width=2)
+        assert custom.commit_width == 2
+
+    def test_with_returns_modified_copy(self):
+        modified = MEGA_BOOM.with_(fast_bypass=True)
+        assert modified.fast_bypass and not MEGA_BOOM.fast_bypass
+        assert modified.rob_entries == MEGA_BOOM.rob_entries
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MEGA_BOOM.fast_bypass = True
+
+    def test_mega_is_larger_than_small(self):
+        assert MEGA_BOOM.core_structure_bits() > \
+            3 * SMALL_BOOM.core_structure_bits()
+        assert MEGA_BOOM.state_bits() > SMALL_BOOM.state_bits()
+
+    def test_state_bits_near_paper_claim(self):
+        """The paper deploys on 'approximately 700K state bits'."""
+        assert 400_000 < MEGA_BOOM.state_bits() < 900_000
+
+
+class TestMicroOp:
+    def _uop(self, mnemonic="add", **kwargs):
+        return MicroOp(Instruction(mnemonic, **kwargs), seq=7)
+
+    def test_initial_state(self):
+        uop = self._uop(rd=1, rs1=2, rs2=3)
+        assert not uop.complete and not uop.committed
+        assert uop.prd == -1 and uop.old_prd == -1
+        assert uop.rob_slot == -1
+
+    def test_mem_size(self):
+        assert self._uop("lw", rd=1, rs1=2).mem_size == 4
+        assert self._uop("sd", rs1=1, rs2=2).mem_size == 8
+
+    def test_rob_pcs_with_folds(self):
+        uop = self._uop(rd=1, rs1=2, rs2=3)
+        uop.inst.pc = 0x100
+        uop.pc = 0x100
+        assert uop.rob_pcs() == (0x100,)
+        uop.folded_pcs = (0x90, 0x94)
+        assert uop.rob_pcs() == (0x90, 0x94, 0x100)
+
+    def test_load_store_flags(self):
+        assert self._uop("ld", rd=1, rs1=2).is_load
+        assert self._uop("sb", rs1=1, rs2=2).is_store
+        assert not self._uop("add", rd=1).is_load
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("inst,text", [
+        (Instruction("add", rd=10, rs1=11, rs2=12), "add a0, a1, a2"),
+        (Instruction("addi", rd=5, rs1=5, imm=-3), "addi t0, t0, -3"),
+        (Instruction("lw", rd=6, rs1=2, imm=16), "lw t1, 16(sp)"),
+        (Instruction("sd", rs1=8, rs2=9, imm=-8), "sd s1, -8(s0)"),
+        (Instruction("lui", rd=7, imm=0x12000), "lui t2, 0x12000"),
+        (Instruction("jalr", rd=0, rs1=1, imm=0), "jalr zero, 0(ra)"),
+        (Instruction("ecall",), "ecall"),
+        (Instruction("roi.begin",), "roi.begin"),
+        (Instruction("iter.begin", rs1=25), "iter.begin s9"),
+    ])
+    def test_single_instructions(self, inst, text):
+        assert format_instruction(inst) == text
+
+    def test_branch_shows_absolute_target(self):
+        inst = Instruction("beq", rs1=1, rs2=2, imm=-8, pc=0x1000)
+        assert format_instruction(inst) == "beq ra, sp, 0xff8"
+
+    def test_jal_shows_target(self):
+        inst = Instruction("jal", rd=1, imm=0x40, pc=0x100)
+        assert format_instruction(inst) == "jal ra, 0x140"
+
+    def test_format_program_lines(self):
+        program = assemble(".text\nmain:\n nop\n nop\n")
+        text = format_program(program.instructions)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("0x00010000:")
+        assert "addi zero, zero, 0" in lines[0]
+
+    def test_str_dunder_uses_disassembler(self):
+        assert str(Instruction("add", rd=1, rs1=2, rs2=3)) == "add ra, sp, gp"

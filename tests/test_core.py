@@ -1,0 +1,376 @@
+"""Out-of-order core pipeline tests."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble
+from repro.kernel import ProxyKernel
+from repro.trace import MicroarchTracer
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core, SimulationError
+from tests.conftest import SUM_PROGRAM_EXIT
+
+
+def _run(source, config=MEGA_BOOM, tracer=None, max_cycles=200_000):
+    program = assemble(source, entry="main")
+    core = Core(program, config, tracer=tracer)
+    result = core.run(max_cycles=max_cycles)
+    return core, result
+
+
+def test_sum_program_exit(sum_program):
+    for config in (MEGA_BOOM, SMALL_BOOM):
+        core = Core(sum_program, config)
+        assert core.run().exit_code == SUM_PROGRAM_EXIT
+
+
+def test_ipc_is_sane(sum_program):
+    core = Core(sum_program, MEGA_BOOM)
+    result = core.run()
+    assert 0.05 < result.stats.ipc <= MEGA_BOOM.commit_width
+
+
+def test_memory_state_matches_interpreter(sum_program):
+    interp = Interpreter(sum_program)
+    interp.run()
+    core = Core(sum_program, MEGA_BOOM)
+    core.run()
+    out = sum_program.symbols["out"]
+    assert core.memory.read_bytes(out, 8) == interp.memory.read_bytes(out, 8)
+
+
+def test_store_load_forwarding():
+    _, result = _run("""
+.data
+buf: .zero 8
+.text
+main:
+    la t0, buf
+    li t1, 0x55
+    sd t1, 0(t0)
+    ld a0, 0(t0)       # must forward from the in-flight store
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0x55
+
+
+def test_partial_overlap_store_load():
+    _, result = _run("""
+.data
+buf: .dword 0
+.text
+main:
+    la t0, buf
+    li t1, 0x1122334455667788
+    sd t1, 0(t0)
+    lb a0, 2(t0)       # contained byte: forwardable
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0x66
+
+
+def test_store_wider_load_waits_for_drain():
+    _, result = _run("""
+.data
+buf: .dword -1
+.text
+main:
+    la t0, buf
+    li t1, 0
+    sb t1, 3(t0)
+    ld a0, 0(t0)       # overlaps a narrower store: must wait, stay correct
+    srli a0, a0, 56
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0xFF
+
+
+def test_mispredicted_branch_recovers():
+    _, result = _run("""
+.text
+main:
+    li t0, 0
+    li t1, 100
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    mv a0, t0
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 100
+
+
+def test_mispredicts_counted(sum_program):
+    core = Core(sum_program, MEGA_BOOM)
+    result = core.run()
+    assert result.stats.mispredicts >= 1
+    assert result.stats.squashed_uops >= 1
+
+
+def test_data_dependent_branch_correct():
+    _, result = _run("""
+.data
+vals: .word 5, -3, 8, -1, 2
+.text
+main:
+    la s0, vals
+    li s1, 0
+    li s2, 0
+loop:
+    slli t0, s2, 2
+    add t0, t0, s0
+    lw t1, 0(t0)
+    bltz t1, neg
+    add s1, s1, t1
+    j next
+neg:
+    sub s1, s1, t1
+next:
+    addi s2, s2, 1
+    li t2, 5
+    blt s2, t2, loop
+    mv a0, s1
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 19
+
+
+def test_indirect_jump_via_register():
+    _, result = _run("""
+.data
+table: .dword 0
+.text
+main:
+    la t0, f1
+    la t1, table
+    sd t0, 0(t1)
+    ld t2, 0(t1)
+    jalr ra, t2, 0
+    li a7, 93
+    ecall
+f1:
+    li a0, 77
+    ret
+""")
+    assert result.exit_code == 77
+
+
+def test_ecall_flush_allows_continuation():
+    """A mid-program syscall (console write) must not corrupt state."""
+    program = assemble("""
+.data
+msg: .asciz "ok"
+.text
+main:
+    li s1, 41
+    li a7, 64
+    li a0, 1
+    la a1, msg
+    li a2, 2
+    ecall
+    addi a0, s1, 1
+    li a7, 93
+    ecall
+""", entry="main")
+    kernel = ProxyKernel()
+    core = Core(program, MEGA_BOOM, kernel=kernel)
+    result = core.run()
+    assert result.exit_code == 42
+    assert result.console == "ok"
+
+
+def test_markers_reach_tracer():
+    tracer = MicroarchTracer(features=["ROB-OCPNCY"])
+    _run("""
+.text
+main:
+    roi.begin
+    li t0, 1
+    iter.begin t0
+    nop
+    nop
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+""", tracer=tracer)
+    assert len(tracer.iterations) == 1
+    assert tracer.iterations[0].label == 1
+    assert tracer.iterations[0].cycles >= 1
+
+
+def test_marker_label_reads_committed_value():
+    tracer = MicroarchTracer(features=["ROB-OCPNCY"])
+    _run("""
+.text
+main:
+    roi.begin
+    li t0, 5
+    addi t0, t0, 37
+    iter.begin t0
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+""", tracer=tracer)
+    assert tracer.iterations[0].label == 42
+
+
+def test_fast_bypass_triggers_on_zero_operand():
+    source = """
+.text
+main:
+    li t0, 0
+    li t1, 123
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    and t2, t1, t0     # t0 is 0 and long since ready -> bypassed
+    mv a0, t2
+    li a7, 93
+    ecall
+"""
+    core, result = _run(source, MEGA_BOOM.with_(fast_bypass=True))
+    assert result.exit_code == 0
+    assert result.stats.fast_bypasses >= 1
+
+
+def test_fast_bypass_preserves_results_when_not_zero():
+    source = """
+.text
+main:
+    li t0, 0xf0
+    li t1, 0xff
+    nop
+    nop
+    and a0, t1, t0
+    li a7, 93
+    ecall
+"""
+    core, result = _run(source, MEGA_BOOM.with_(fast_bypass=True))
+    assert result.exit_code == 0xF0
+    assert result.stats.fast_bypasses == 0
+
+
+def test_fast_bypass_disabled_by_default():
+    source = """
+.text
+main:
+    li t0, 0
+    li t1, 123
+    nop
+    and a0, t1, t0
+    li a7, 93
+    ecall
+"""
+    core, result = _run(source, MEGA_BOOM)
+    assert result.stats.fast_bypasses == 0
+    assert result.exit_code == 0
+
+
+def test_rob_pcs_reports_folded_entries():
+    """With fast bypass, the AND shares the next instruction's ROB entry."""
+    source = """
+.text
+main:
+    li t0, 0
+    li s1, 7
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    and t2, s1, t0
+    xor t3, t2, s1
+    mv a0, t3
+    li a7, 93
+    ecall
+"""
+    program = assemble(source, entry="main")
+    core = Core(program, MEGA_BOOM.with_(fast_bypass=True))
+    saw_fold = False
+    while not core.halted:
+        core.step()
+        for uop in core.rob:
+            if uop.folded_pcs:
+                saw_fold = True
+    assert saw_fold
+    assert core.kernel.exit_code == 7
+
+
+def test_wrong_path_loads_do_not_fault():
+    """A mispredicted path dereferencing a bogus pointer must be squashed."""
+    _, result = _run("""
+.data
+flag: .dword 1
+.text
+main:
+    la t0, flag
+    ld t1, 0(t0)
+    li t2, -8          # bogus address used only on the wrong path
+    beqz t1, bad
+    li a0, 0
+    li a7, 93
+    ecall
+bad:
+    ld a0, 0(t2)
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0
+
+
+def test_simulation_error_on_runaway():
+    program = assemble(".text\nmain: j main", entry="main")
+    core = Core(program, MEGA_BOOM)
+    with pytest.raises(SimulationError):
+        core.run(max_cycles=2000)
+
+
+def test_committed_instruction_count(sum_program):
+    interp = Interpreter(sum_program)
+    steps = interp.run().steps
+    core = Core(sum_program, MEGA_BOOM)
+    result = core.run()
+    assert result.stats.committed == steps
+
+
+def test_prf_free_list_invariants(sum_program):
+    """The free list must never alias live mappings or hold duplicates."""
+    core = Core(sum_program, MEGA_BOOM)
+    while not core.halted:
+        core.step()
+        free = core.free_list
+        assert len(free) == len(set(free))
+        assert not (set(free) & set(core.committed_map))
+        assert not (set(free) & set(core.map_table))
+        assert 0 not in free  # the zero register is never recycled
+
+
+def test_small_config_runs_everything(sum_program):
+    core = Core(sum_program, SMALL_BOOM)
+    result = core.run()
+    assert result.exit_code == SUM_PROGRAM_EXIT
+
+
+def test_variable_div_latency_config(sum_program):
+    fixed = Core(sum_program, MEGA_BOOM).run().stats.cycles
+    variable = Core(sum_program,
+                    MEGA_BOOM.with_(variable_div_latency=True)).run().stats.cycles
+    assert fixed > 0 and variable > 0  # both run; timing may differ
+
+
+def test_stats_fetch_exceeds_commit(sum_program):
+    core = Core(sum_program, MEGA_BOOM)
+    result = core.run()
+    assert result.stats.fetched >= result.stats.committed

@@ -1,0 +1,270 @@
+"""Edge-case pipeline scenarios: resource exhaustion, deep speculation,
+serialization corners."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble
+from repro.uarch import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM, Core
+
+
+def _run_both(source, config):
+    program = assemble(source, entry="main")
+    ref = Interpreter(program).run()
+    core = Core(program, config)
+    result = core.run(max_cycles=500_000)
+    assert result.exit_code == ref.exit_code
+    assert result.stats.committed == ref.steps
+    return core, result
+
+
+def test_medium_config_runs(sum_program):
+    core = Core(sum_program, MEDIUM_BOOM)
+    assert core.run().exit_code == 62
+
+
+def test_long_dependency_chain_fills_rob():
+    """A serial chain behind a slow divide must back up cleanly."""
+    body = "\n".join("    addi t0, t0, 1" for _ in range(100))
+    source = f"""
+.text
+main:
+    li t0, 1000
+    li t1, 7
+    div t0, t0, t1
+{body}
+    mv a0, t0
+    li a7, 93
+    ecall
+"""
+    core, result = _run_both(source, SMALL_BOOM)
+    assert result.exit_code == 142 + 100
+
+
+def test_store_queue_exhaustion():
+    """More in-flight stores than STQ entries: dispatch must stall, not drop."""
+    stores = "\n".join(f"    sb t0, {i}(s0)" for i in range(24))
+    source = f"""
+.data
+buf: .zero 32
+.text
+main:
+    la s0, buf
+    li t0, 0x5a
+{stores}
+    lbu a0, 23(s0)
+    li a7, 93
+    ecall
+"""
+    _, result = _run_both(source, SMALL_BOOM)  # STQ = 8 entries
+    assert result.exit_code == 0x5A
+
+
+def test_load_queue_exhaustion():
+    loads = "\n".join(f"    lbu t{1 + (i % 3)}, {i % 16}(s0)"
+                      for i in range(24))
+    source = f"""
+.data
+buf: .zero 32
+.text
+main:
+    la s0, buf
+{loads}
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+    _run_both(source, SMALL_BOOM)
+
+
+def test_deeply_nested_calls():
+    source = """
+.text
+main:
+    li a0, 0
+    call f1
+    li a7, 93
+    ecall
+f1:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    addi a0, a0, 1
+    call f2
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+f2:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    addi a0, a0, 1
+    call f3
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+f3:
+    addi a0, a0, 1
+    ret
+"""
+    _, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 3
+
+
+def test_return_stack_deeper_than_ras():
+    """Recursion deeper than the 8-entry RAS: mispredicted returns recover."""
+    source = """
+.text
+main:
+    li a0, 14
+    li a1, 0
+    call rec
+    mv a0, a1
+    li a7, 93
+    ecall
+rec:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    addi a1, a1, 1
+    beqz a0, done
+    addi a0, a0, -1
+    call rec
+done:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+"""
+    core, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 15
+
+
+def test_alternating_branch_pattern():
+    """A strictly alternating branch defeats 2-bit counters; recovery must
+    stay architecturally invisible."""
+    source = """
+.text
+main:
+    li t0, 0
+    li t1, 0
+    li t2, 40
+loop:
+    andi t3, t0, 1
+    beqz t3, even
+    addi t1, t1, 2
+    j next
+even:
+    addi t1, t1, 1
+next:
+    addi t0, t0, 1
+    blt t0, t2, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+    core, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 60
+    assert result.stats.mispredicts > 5
+
+
+def test_back_to_back_markers():
+    source = """
+.text
+main:
+    roi.begin
+    li t0, 1
+    iter.begin t0
+    iter.end
+    iter.begin t0
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+    from repro.trace import MicroarchTracer
+    program = assemble(source, entry="main")
+    tracer = MicroarchTracer(features=["ROB-OCPNCY"])
+    core = Core(program, MEGA_BOOM, tracer=tracer)
+    assert core.run().exit_code == 0
+    assert len(tracer.iterations) == 2
+
+
+def test_div_by_zero_on_core():
+    source = """
+.text
+main:
+    li t0, 42
+    li t1, 0
+    divu a0, t0, t1
+    sltiu a0, a0, 1
+    xori a0, a0, 1    # a0 = 1 iff divu returned all-ones... invert below
+    li a7, 93
+    ecall
+"""
+    # divu by zero returns all ones (not zero) -> sltiu gives 0 -> xori -> 1
+    _, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 1
+
+
+def test_fetch_across_cache_lines():
+    """A hot loop larger than one I-cache line exercises fetch refills."""
+    body = "\n".join("    addi t1, t1, 1" for _ in range(40))
+    source = f"""
+.text
+main:
+    li t0, 10
+    li t1, 0
+loop:
+{body}
+    addi t0, t0, -1
+    bgtz t0, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+    _, result = _run_both(source, SMALL_BOOM)
+    assert result.exit_code == 400
+
+
+def test_jalr_to_unpredicted_target_stalls_and_resumes():
+    source = """
+.data
+fptr: .dword 0
+.text
+main:
+    la t0, target
+    la t1, fptr
+    sd t0, 0(t1)
+    ld t2, 0(t1)
+    jalr ra, t2, 0     # no BTB entry on first encounter: fetch stalls
+    jalr ra, t2, 0     # second encounter: BTB predicts
+    li a7, 93
+    ecall
+target:
+    addi a0, a0, 21
+    ret
+"""
+    _, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 42
+
+
+def test_wrong_path_store_never_reaches_memory():
+    source = """
+.data
+guard: .dword 1
+canary: .dword 0x77
+.text
+main:
+    la t0, guard
+    ld t1, 0(t0)
+    la t2, canary
+    bnez t1, skip      # always taken; fall-through is wrong path
+    li t3, 0
+    sd t3, 0(t2)       # must never become architectural
+skip:
+    ld a0, 0(t2)
+    li a7, 93
+    ecall
+"""
+    core, result = _run_both(source, MEGA_BOOM)
+    assert result.exit_code == 0x77
+    canary = core.program.symbols["canary"]
+    value = int.from_bytes(core.memory.read_bytes(canary, 8), "little")
+    assert value == 0x77

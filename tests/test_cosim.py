@@ -1,0 +1,105 @@
+"""Differential testing: out-of-order core vs golden-model interpreter.
+
+Random RV64IM programs (Cascade-style) and every workload program must
+produce identical architectural results on both simulators, for every core
+configuration — including fast bypass and variable divider latency, which
+must be pure performance features.
+"""
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core
+from repro.workloads import fuzz
+from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.modexp import (
+    expected_results,
+    make_me_v1_cv,
+    make_me_v1_mv,
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_leaky,
+)
+
+CONFIGS = [
+    MEGA_BOOM,
+    SMALL_BOOM,
+    MEGA_BOOM.with_(fast_bypass=True),
+    MEGA_BOOM.with_(variable_div_latency=True),
+    SMALL_BOOM.with_(fast_bypass=True),
+]
+
+
+def _assert_equivalent(program, config):
+    interp = Interpreter(program)
+    ref = interp.run()
+    core = Core(program, config)
+    result = core.run(max_cycles=2_000_000)
+    assert result.exit_code == ref.exit_code
+    data_len = max(len(program.data), 8)
+    assert (core.memory.read_bytes(program.data_base, data_len)
+            == interp.memory.read_bytes(program.data_base, data_len))
+    assert result.stats.committed == ref.steps
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_programs_mega(seed):
+    _assert_equivalent(fuzz.generate(seed), MEGA_BOOM)
+
+
+@pytest.mark.parametrize("seed", range(12, 20))
+def test_random_programs_small(seed):
+    _assert_equivalent(fuzz.generate(seed), SMALL_BOOM)
+
+
+@pytest.mark.parametrize("seed", range(20, 26))
+def test_random_programs_fast_bypass(seed):
+    _assert_equivalent(fuzz.generate(seed), MEGA_BOOM.with_(fast_bypass=True))
+
+
+@pytest.mark.parametrize("seed", range(26, 30))
+def test_random_programs_variable_div(seed):
+    _assert_equivalent(fuzz.generate(seed),
+                       MEGA_BOOM.with_(variable_div_latency=True))
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name + (
+    "+fb" if c.fast_bypass else "") + ("+vdiv" if c.variable_div_latency else ""))
+def test_modexp_workloads_equivalent(config):
+    for make in (make_sam_leaky, make_sam_ct, make_me_v1_cv,
+                 make_me_v1_mv, make_me_v2_safe):
+        workload = make(n_keys=1, seed=13)
+        program = workload.assemble()
+        patched = patch_program(program, workload.inputs[0])
+        _assert_equivalent(patched, config)
+
+
+def test_modexp_results_match_python_reference():
+    workload = make_me_v2_safe(n_keys=3, seed=21)
+    program = workload.assemble()
+    for patches, expected in zip(workload.inputs, expected_results(workload)):
+        patched = patch_program(program, patches)
+        core = Core(patched, MEGA_BOOM)
+        core.run()
+        result_addr = patched.symbols["result"]
+        value = int.from_bytes(core.memory.read_bytes(result_addr, 8), "little")
+        assert value == expected
+
+
+def test_memcmp_workload_equivalent():
+    workload = make_ct_memcmp(n_pairs=4, seed=5, n_runs=1)
+    program = workload.assemble()
+    patched = patch_program(program, workload.inputs[0])
+    _assert_equivalent(patched, MEGA_BOOM)
+
+
+@pytest.mark.parametrize("seed", range(30, 42))
+def test_memory_torture_mega(seed):
+    """Dense overlapping loads/stores: forwarding and stall corner cases."""
+    _assert_equivalent(fuzz.generate_torture(seed), MEGA_BOOM)
+
+
+@pytest.mark.parametrize("seed", range(42, 48))
+def test_memory_torture_small(seed):
+    _assert_equivalent(fuzz.generate_torture(seed), SMALL_BOOM)

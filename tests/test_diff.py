@@ -1,0 +1,61 @@
+"""Differential-verification (config diff) tests."""
+
+import pytest
+
+from repro.sampler.diff import diff_configs
+from repro.uarch import MEGA_BOOM
+from repro.workloads.modexp import make_me_v2_safe, make_sam_leaky
+
+
+@pytest.fixture(scope="module")
+def fast_bypass_diff():
+    return diff_configs(
+        make_me_v2_safe(n_keys=4, seed=3),
+        MEGA_BOOM,
+        MEGA_BOOM.with_(fast_bypass=True),
+    )
+
+
+def test_fast_bypass_flagged_as_regression(fast_bypass_diff):
+    assert not fast_bypass_diff.candidate_safe
+    regressed = {d.feature_id for d in fast_bypass_diff.regressions}
+    assert "EUU-ALU" in regressed
+
+
+def test_deltas_cover_all_units(fast_bypass_diff):
+    assert len(fast_bypass_diff.deltas) == 16
+
+
+def test_identical_configs_show_no_change():
+    diff = diff_configs(make_me_v2_safe(n_keys=3, seed=3),
+                        MEGA_BOOM, MEGA_BOOM)
+    assert diff.candidate_safe
+    assert not diff.improvements
+    for delta in diff.deltas:
+        assert delta.v_baseline == delta.v_candidate
+
+
+def test_improvement_direction():
+    """Reversing baseline/candidate turns regressions into improvements."""
+    diff = diff_configs(
+        make_me_v2_safe(n_keys=4, seed=3),
+        MEGA_BOOM.with_(fast_bypass=True),
+        MEGA_BOOM,
+    )
+    assert diff.candidate_safe
+    assert {d.feature_id for d in diff.improvements} >= {"EUU-ALU"}
+
+
+def test_leak_on_both_is_not_a_regression():
+    diff = diff_configs(make_sam_leaky(n_keys=3, seed=3),
+                        MEGA_BOOM, MEGA_BOOM.with_(fast_bypass=True))
+    both = [d for d in diff.deltas if d.leaky_baseline and d.leaky_candidate]
+    assert both
+    assert all(not d.regressed for d in both)
+
+
+def test_render(fast_bypass_diff):
+    text = fast_bypass_diff.render()
+    assert "REGRESSION" in text
+    assert "MegaBoom +fb" in text
+    assert "VERDICT" in text

@@ -1,0 +1,136 @@
+"""Binary encode/decode tests, including golden machine words."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    DecodingError,
+    EncodingError,
+    INSTRUCTION_SPECS,
+    Format,
+    FuncClass,
+    Instruction,
+    decode,
+    encode,
+)
+
+REG = st.integers(min_value=0, max_value=31)
+IMM12 = st.integers(min_value=-2048, max_value=2047)
+
+
+# Golden words cross-checked against the RISC-V ISA manual encodings.
+@pytest.mark.parametrize("inst,word", [
+    (Instruction("addi", rd=1, rs1=2, imm=5), 0x00510093),
+    (Instruction("add", rd=3, rs1=4, rs2=5), 0x005201B3),
+    (Instruction("sub", rd=3, rs1=4, rs2=5), 0x405201B3),
+    (Instruction("lui", rd=10, imm=0x12345000), 0x12345537),
+    (Instruction("ld", rd=6, rs1=7, imm=16), 0x0103B303),
+    (Instruction("sd", rs1=7, rs2=6, imm=24), 0x0063BC23),
+    (Instruction("jal", rd=1, imm=2048, pc=0), 0x001000EF),
+    (Instruction("jalr", rd=0, rs1=1, imm=0), 0x00008067),
+    (Instruction("beq", rs1=1, rs2=2, imm=8, pc=0), 0x00208463),
+    (Instruction("mul", rd=5, rs1=6, rs2=7), 0x027302B3),
+    (Instruction("divu", rd=5, rs1=6, rs2=7), 0x027352B3),
+    (Instruction("ecall",), 0x00000073),
+    (Instruction("ebreak",), 0x00100073),
+    (Instruction("slli", rd=1, rs1=1, imm=32), 0x02009093),
+    (Instruction("srai", rd=1, rs1=1, imm=4), 0x4040D093),
+])
+def test_golden_encodings(inst, word):
+    assert encode(inst) == word
+    decoded = decode(word)
+    assert decoded.mnemonic == inst.mnemonic
+    assert (decoded.rd, decoded.rs1, decoded.rs2, decoded.imm) == (
+        inst.rd, inst.rs1, inst.rs2, inst.imm)
+
+
+def _roundtrip(inst):
+    decoded = decode(encode(inst), pc=inst.pc)
+    assert decoded.mnemonic == inst.mnemonic
+    assert (decoded.rd, decoded.rs1, decoded.rs2, decoded.imm) == (
+        inst.rd, inst.rs1, inst.rs2, inst.imm)
+
+
+_R_MNEMONICS = [m for m, s in INSTRUCTION_SPECS.items() if s.fmt is Format.R]
+_LOAD_MNEMONICS = [m for m, s in INSTRUCTION_SPECS.items()
+                   if s.func_class is FuncClass.LOAD]
+_STORE_MNEMONICS = [m for m, s in INSTRUCTION_SPECS.items()
+                    if s.func_class is FuncClass.STORE]
+_BRANCH_MNEMONICS = [m for m, s in INSTRUCTION_SPECS.items()
+                     if s.func_class is FuncClass.BRANCH]
+
+
+@pytest.mark.parametrize("mnemonic", _R_MNEMONICS)
+def test_roundtrip_all_r_type(mnemonic):
+    _roundtrip(Instruction(mnemonic, rd=11, rs1=21, rs2=31))
+
+
+@pytest.mark.parametrize("mnemonic", _LOAD_MNEMONICS)
+def test_roundtrip_all_loads(mnemonic):
+    _roundtrip(Instruction(mnemonic, rd=9, rs1=18, imm=-128))
+
+
+@pytest.mark.parametrize("mnemonic", _STORE_MNEMONICS)
+def test_roundtrip_all_stores(mnemonic):
+    _roundtrip(Instruction(mnemonic, rs1=18, rs2=9, imm=-4))
+
+
+@pytest.mark.parametrize("mnemonic", _BRANCH_MNEMONICS)
+def test_roundtrip_all_branches(mnemonic):
+    _roundtrip(Instruction(mnemonic, rs1=3, rs2=4, imm=-4096))
+
+
+@pytest.mark.parametrize("mnemonic", ["roi.begin", "roi.end", "iter.end"])
+def test_roundtrip_markers(mnemonic):
+    _roundtrip(Instruction(mnemonic))
+
+
+def test_roundtrip_iter_begin_keeps_rs1():
+    _roundtrip(Instruction("iter.begin", rs1=25))
+
+
+def test_immediate_range_checks():
+    with pytest.raises(EncodingError):
+        encode(Instruction("addi", rd=1, rs1=1, imm=2048))
+    with pytest.raises(EncodingError):
+        encode(Instruction("addi", rd=1, rs1=1, imm=-2049))
+    with pytest.raises(EncodingError):
+        encode(Instruction("jal", rd=1, imm=1 << 21))
+    with pytest.raises(EncodingError):
+        encode(Instruction("beq", rs1=1, rs2=2, imm=3))  # misaligned
+
+
+def test_shift_amount_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction("slli", rd=1, rs1=1, imm=64))
+    with pytest.raises(EncodingError):
+        encode(Instruction("slliw", rd=1, rs1=1, imm=32))
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(DecodingError):
+        decode(0xFFFFFFFF)
+    with pytest.raises(DecodingError):
+        decode(0x0000007F)
+
+
+@given(rd=REG, rs1=REG, imm=IMM12)
+def test_property_roundtrip_addi(rd, rs1, imm):
+    _roundtrip(Instruction("addi", rd=rd, rs1=rs1, imm=imm))
+
+
+@given(rs1=REG, rs2=REG, imm=st.integers(min_value=-2048, max_value=2047))
+def test_property_roundtrip_store(rs1, rs2, imm):
+    _roundtrip(Instruction("sd", rs1=rs1, rs2=rs2, imm=imm))
+
+
+@given(rs1=REG, rs2=REG,
+       imm=st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+def test_property_roundtrip_branch(rs1, rs2, imm):
+    _roundtrip(Instruction("beq", rs1=rs1, rs2=rs2, imm=imm))
+
+
+@given(rd=REG, imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+       .map(lambda v: v * 4096))
+def test_property_roundtrip_lui(rd, imm):
+    _roundtrip(Instruction("lui", rd=rd, imm=imm))

@@ -1,0 +1,88 @@
+"""Execution-unit pool tests."""
+
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, ExecUnit, ExecUnitPool, divider_latency
+from repro.uarch.uop import MicroOp
+from repro.isa import Instruction
+
+
+def _uop(seq=1, pc=0x1000):
+    inst = Instruction("add", rd=1, rs1=2, rs2=3, pc=pc)
+    return MicroOp(inst, seq)
+
+
+class TestExecUnit:
+    def test_pipelined_accepts_every_cycle(self):
+        unit = ExecUnit("mul", 0, pipelined=True)
+        unit.start(_uop(1), cycle=0, latency=3)
+        assert unit.can_accept(1)
+        unit.start(_uop(2), cycle=1, latency=3)
+        assert len(unit.in_flight) == 2
+
+    def test_unpipelined_blocks_until_done(self):
+        unit = ExecUnit("div", 0, pipelined=False)
+        unit.start(_uop(1), cycle=0, latency=12)
+        assert not unit.can_accept(5)
+        assert unit.retire_finished(11) == []
+        finished = unit.retire_finished(12)
+        assert len(finished) == 1
+        assert unit.can_accept(12)
+
+    def test_retire_returns_only_due_ops(self):
+        unit = ExecUnit("mul", 0, pipelined=True)
+        first = _uop(1)
+        second = _uop(2)
+        unit.start(first, cycle=0, latency=3)
+        unit.start(second, cycle=1, latency=3)
+        assert unit.retire_finished(3) == [first]
+        assert unit.retire_finished(4) == [second]
+
+    def test_squash_filters(self):
+        unit = ExecUnit("alu", 0, pipelined=True)
+        keep = _uop(1)
+        drop = _uop(5)
+        unit.start(keep, cycle=0, latency=1)
+        unit.start(drop, cycle=0, latency=1)
+        unit.squash(lambda u: u.seq > 3)
+        assert [u for _, u in unit.in_flight] == [keep]
+
+    def test_busy_pcs(self):
+        unit = ExecUnit("alu", 0, pipelined=True)
+        assert unit.busy_pcs() == ()
+        unit.start(_uop(1, pc=0x42), cycle=0, latency=1)
+        assert unit.busy_pcs() == (0x42,)
+        assert unit.busy
+
+
+class TestExecUnitPool:
+    def test_counts_match_config(self):
+        pool = ExecUnitPool(MEGA_BOOM)
+        assert len(pool.alus) == MEGA_BOOM.alu_count
+        assert len(pool.muls) == MEGA_BOOM.mul_count
+        assert len(pool.divs) == MEGA_BOOM.div_count
+        assert len(pool.agus) == MEGA_BOOM.agu_count
+
+    def test_acquire_round_robins_over_free_units(self):
+        pool = ExecUnitPool(SMALL_BOOM)
+        unit = pool.acquire("div", cycle=0)
+        unit.start(_uop(1), cycle=0, latency=12)
+        assert pool.acquire("div", cycle=1) is None  # single busy divider
+
+    def test_retire_collects_across_units(self):
+        pool = ExecUnitPool(MEGA_BOOM)
+        pool.acquire("alu", 0).start(_uop(1), cycle=0, latency=1)
+        pool.acquire("mul", 0).start(_uop(2), cycle=0, latency=3)
+        assert {u.seq for u in pool.retire_finished(1)} == {1}
+        assert {u.seq for u in pool.retire_finished(3)} == {2}
+
+
+class TestDividerLatency:
+    def test_small_operands_finish_fast(self):
+        assert divider_latency(1, 1, 12) <= 4
+
+    def test_latency_grows_with_quotient_width(self):
+        small = divider_latency(0xFF, 1, 12)
+        large = divider_latency(0xFFFFFFFFFFFF, 1, 12)
+        assert large > small
+
+    def test_zero_divisor_does_not_crash(self):
+        assert divider_latency(100, 0, 12) >= 3

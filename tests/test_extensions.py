@@ -1,0 +1,122 @@
+"""Tests for the extension workloads and the fuzz generator."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble
+from repro.sampler import MicroSampler
+from repro.sampler.runner import patch_program
+from repro.uarch import MEGA_BOOM
+from repro.workloads import fuzz
+from repro.workloads.modexp import (
+    expected_div_timing_results,
+    expected_results,
+    make_div_timing,
+    make_sam_ct_window,
+)
+
+
+class TestWindowedExponentiation:
+    def test_functional_matches_pow(self):
+        workload = make_sam_ct_window(n_keys=2, seed=5)
+        program = workload.assemble()
+        for patches, expected in zip(workload.inputs,
+                                     expected_results(workload)):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            assert interp.run().exit_code == 0
+            value = int.from_bytes(
+                interp.memory.read_bytes(patched.symbols["result"], 8),
+                "little")
+            assert value == expected
+
+    def test_labels_are_two_bit_windows(self):
+        workload = make_sam_ct_window(n_keys=1, seed=5)
+        program = workload.assemble()
+        patched = patch_program(program, workload.inputs[0])
+        result = Interpreter(patched).run()
+        labels = [m.label for m in result.markers
+                  if m.mnemonic == "iter.begin"]
+        key = int.from_bytes(workload.inputs[0]["key"], "little")
+        assert labels == [(key >> (2 * w)) & 3 for w in range(15, -1, -1)]
+        assert len(set(labels)) > 2  # multi-class campaign
+
+    def test_verifies_clean_with_four_classes(self):
+        report = MicroSampler(MEGA_BOOM).analyze(
+            make_sam_ct_window(n_keys=6, seed=5))
+        assert report.n_classes == 4
+        assert not report.leakage_detected
+
+
+class TestDivTimingAblation:
+    def test_functional(self):
+        workload = make_div_timing(n_keys=2, seed=5)
+        program = workload.assemble()
+        for patches, expected in zip(workload.inputs,
+                                     expected_div_timing_results(workload)):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            assert interp.run().exit_code == 0
+            value = int.from_bytes(
+                interp.memory.read_bytes(patched.symbols["result"], 8),
+                "little")
+            assert value == expected
+
+    def test_clean_on_fixed_latency_divider(self):
+        report = MicroSampler(MEGA_BOOM).analyze(
+            make_div_timing(n_keys=4, seed=5))
+        assert not report.leakage_detected
+
+    def test_leaks_on_early_exit_divider(self):
+        config = MEGA_BOOM.with_(variable_div_latency=True)
+        report = MicroSampler(config).analyze(make_div_timing(n_keys=4,
+                                                              seed=5))
+        assert report.leakage_detected
+        assert "EUU-DIV" in report.leaky_units
+
+
+class TestFuzzGenerator:
+    def test_deterministic_per_seed(self):
+        assert fuzz.generate_program(1) == fuzz.generate_program(1)
+        assert fuzz.generate_program(1) != fuzz.generate_program(2)
+
+    def test_programs_assemble_and_terminate(self):
+        for seed in range(3):
+            program = fuzz.generate(seed)
+            result = Interpreter(program).run(max_steps=500_000)
+            assert result.exit_code == 0
+
+    def test_scratch_accesses_stay_in_bounds(self):
+        program = fuzz.generate(7)
+        interp = Interpreter(program, record_arch_trace=True)
+        interp.run()
+        scratch = program.symbols["scratch"]
+        for event in interp.arch_trace:
+            if event.kind in ("load", "store"):
+                if event.address >= program.data_base:
+                    assert event.address < scratch + 512
+
+    def test_block_parameters_respected(self):
+        text = fuzz.generate_program(3, blocks=2, block_len=4)
+        assert "block0:" in text and "block1:" in text
+        assert "block2:" not in text
+
+
+class TestFuzzProperties:
+    """Hypothesis-driven checks over the program generators."""
+
+    def test_all_generated_instructions_encode(self):
+        from repro.isa import decode, encode
+        for seed in range(4):
+            program = fuzz.generate(seed)
+            for inst in program.instructions:
+                decoded = decode(encode(inst), pc=inst.pc)
+                assert decoded.mnemonic == inst.mnemonic
+
+    def test_torture_programs_terminate(self):
+        for seed in range(4):
+            program = fuzz.generate_torture(seed)
+            result = Interpreter(program).run(max_steps=100_000)
+            assert result.exit_code == 0
+
+    def test_torture_determinism(self):
+        assert fuzz.generate_memory_torture(9) == fuzz.generate_memory_torture(9)

@@ -1,0 +1,96 @@
+"""Feature-extraction tests: uniqueness and ordering criteria."""
+
+from repro.sampler import extract_root_causes, feature_ordering, feature_uniqueness
+from repro.trace.tracer import FeatureIteration, IterationRecord
+
+
+def _record(index, label, values, order=None):
+    order = tuple(order if order is not None else sorted(values))
+    data = FeatureIteration(
+        snapshot_hash=index,
+        snapshot_hash_notiming=index,
+        values=frozenset(values),
+        order=order,
+    )
+    return IterationRecord(index=index, label=label, start_cycle=0,
+                           end_cycle=10, features={"F": data})
+
+
+class TestUniqueness:
+    def test_values_unique_to_one_class(self):
+        records = [
+            _record(0, 0, {1, 2, 100}),
+            _record(1, 0, {1, 2, 101}),
+            _record(2, 1, {1, 2, 200}),
+            _record(3, 1, {1, 2, 201}),
+        ]
+        report = feature_uniqueness(records, "F")
+        assert report.unique_values[0] == frozenset({100, 101})
+        assert report.unique_values[1] == frozenset({200, 201})
+        assert report.common_values == frozenset({1, 2})
+        assert report.has_unique_features
+
+    def test_no_uniques_when_classes_identical(self):
+        records = [_record(i, i % 2, {5, 6}) for i in range(4)]
+        report = feature_uniqueness(records, "F")
+        assert not report.has_unique_features
+        assert report.common_values == frozenset({5, 6})
+
+    def test_single_class_has_no_uniques(self):
+        records = [_record(0, 1, {7})]
+        report = feature_uniqueness(records, "F")
+        assert report.unique_values[1] == frozenset()
+
+    def test_empty_iterations(self):
+        report = feature_uniqueness([], "F")
+        assert report.unique_values == {}
+        assert not report.has_unique_features
+
+
+class TestOrdering:
+    def test_class_exclusive_orderings_detected(self):
+        # Same value sets, consistently different first-occurrence order.
+        records = [
+            _record(0, 0, {10, 20}, order=(10, 20)),
+            _record(1, 0, {10, 20}, order=(10, 20)),
+            _record(2, 1, {10, 20}, order=(20, 10)),
+            _record(3, 1, {10, 20}, order=(20, 10)),
+        ]
+        report = feature_ordering(records, "F")
+        assert report.has_ordering_mismatch
+        assert report.exclusive_orderings[0][(10, 20)] == 2
+        assert report.exclusive_orderings[1][(20, 10)] == 2
+
+    def test_shared_orderings_not_reported(self):
+        records = [
+            _record(0, 0, {10, 20}, order=(10, 20)),
+            _record(1, 1, {10, 20}, order=(10, 20)),
+        ]
+        report = feature_ordering(records, "F")
+        assert not report.has_ordering_mismatch
+
+    def test_ordering_restricted_to_common_values(self):
+        # Unique values must not masquerade as ordering differences.
+        records = [
+            _record(0, 0, {1, 2, 100}, order=(100, 1, 2)),
+            _record(1, 1, {1, 2, 200}, order=(200, 1, 2)),
+        ]
+        report = feature_ordering(records, "F")
+        # restricted orderings are both (1, 2): identical across classes.
+        assert not report.has_ordering_mismatch
+
+
+class TestRootCauseReport:
+    def test_summary_mentions_unique_values(self):
+        records = [
+            _record(0, 0, {0x1000}),
+            _record(1, 1, {0x2000}),
+        ]
+        report = extract_root_causes(records, "F")
+        text = report.summary()
+        assert "0x1000" in text and "0x2000" in text
+
+    def test_summary_for_clean_feature(self):
+        records = [_record(i, i % 2, {3}) for i in range(4)]
+        text = extract_root_causes(records, "F").summary()
+        assert "no unique features" in text

@@ -1,0 +1,259 @@
+"""Functional (golden-model) interpreter tests."""
+
+import pytest
+
+from repro.isa import (
+    ExecutionError,
+    Interpreter,
+    assemble,
+    run_program,
+)
+from repro.kernel import ProxyKernel, SyscallError
+from tests.conftest import SUM_PROGRAM_EXIT
+
+
+def _run(source, **kwargs):
+    return run_program(assemble(source, entry="main"), **kwargs)
+
+
+def test_sum_program(sum_program):
+    assert run_program(sum_program).exit_code == SUM_PROGRAM_EXIT
+
+
+def test_exit_code_is_signed():
+    result = _run(".text\nmain:\n li a0, -5\n li a7, 93\n ecall")
+    assert result.exit_code == -5
+
+
+def test_memory_byte_halfword_access():
+    result = _run("""
+.data
+buf: .zero 16
+.text
+main:
+    la t0, buf
+    li t1, 0x1234
+    sh t1, 0(t0)
+    lbu a0, 1(t0)     # high byte of the halfword
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0x12
+
+
+def test_signed_load_sign_extends():
+    result = _run("""
+.data
+v: .byte 0xff
+.text
+main:
+    la t0, v
+    lb t1, 0(t0)
+    li t2, -1
+    sub a0, t1, t2    # 0 if sign-extended correctly
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0
+
+
+def test_call_and_return():
+    result = _run("""
+.text
+main:
+    li a0, 20
+    call inc
+    call inc
+    li a7, 93
+    ecall
+inc:
+    addi a0, a0, 1
+    ret
+""")
+    assert result.exit_code == 22
+
+
+def test_recursion_uses_stack():
+    result = _run("""
+.text
+main:
+    li a0, 6
+    call fact
+    li a7, 93
+    ecall
+fact:                   # a0! iteratively-recursive
+    li t0, 2
+    bge a0, t0, rec
+    li a0, 1
+    ret
+rec:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    sd a0, 0(sp)
+    addi a0, a0, -1
+    call fact
+    ld t1, 0(sp)
+    mul a0, a0, t1
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+""")
+    assert result.exit_code == 720
+
+
+def test_markers_are_recorded():
+    result = _run("""
+.text
+main:
+    roi.begin
+    li t0, 7
+    iter.begin t0
+    nop
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+    kinds = [m.mnemonic for m in result.markers]
+    assert kinds == ["roi.begin", "iter.begin", "iter.end", "roi.end"]
+    assert result.markers[1].label == 7
+
+
+def test_arch_trace_records_addresses():
+    program = assemble("""
+.data
+x: .dword 1
+.text
+main:
+    la t0, x
+    ld t1, 0(t0)
+    sd t1, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+""", entry="main")
+    interp = Interpreter(program, record_arch_trace=True)
+    result = interp.run()
+    loads = [e for e in result.arch_trace if e.kind == "load"]
+    stores = [e for e in result.arch_trace if e.kind == "store"]
+    assert loads[0].address == program.symbols["x"]
+    assert stores[0].address == program.symbols["x"]
+    assert all(e.step > 0 for e in result.arch_trace)
+
+
+def test_arch_trace_disabled_by_default(sum_program):
+    result = run_program(sum_program)
+    assert result.arch_trace == []
+
+
+def test_pc_out_of_range_raises():
+    program = assemble(".text\nmain: j main", entry="main")
+    interp = Interpreter(program)
+    interp.pc = 0x9999999
+    with pytest.raises(ExecutionError, match="out of text range"):
+        interp.step()
+
+
+def test_infinite_loop_hits_step_limit():
+    program = assemble(".text\nmain: j main", entry="main")
+    with pytest.raises(ExecutionError, match="did not halt"):
+        Interpreter(program).run(max_steps=1000)
+
+
+def test_memory_bounds_checked():
+    result_program = assemble("""
+.text
+main:
+    li t0, -8
+    ld t1, 0(t0)
+""", entry="main")
+    with pytest.raises(ExecutionError, match="out of range"):
+        Interpreter(result_program).run(max_steps=10)
+
+
+def test_unknown_syscall_raises():
+    program = assemble(".text\nmain:\n li a7, 999\n ecall", entry="main")
+    with pytest.raises((ExecutionError, SyscallError)):
+        Interpreter(program).run(max_steps=100)
+
+
+def test_proxy_kernel_write_syscall():
+    program = assemble("""
+.data
+msg: .asciz "hello"
+.text
+main:
+    li a7, 64
+    li a0, 1
+    la a1, msg
+    li a2, 5
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+""", entry="main")
+    kernel = ProxyKernel()
+    interp = Interpreter(program, syscall_handler=lambda i: kernel.handle_ecall(i))
+    interp.run()
+    assert kernel.console_text == "hello"
+    assert kernel.exit_code == 0
+
+
+def test_ebreak_halts():
+    result = _run(".text\nmain:\n li a0, 3\n ebreak")
+    assert result.exit_code == 0  # default exit code; halted via ebreak
+
+
+def test_fence_is_noop():
+    result = _run(".text\nmain:\n fence\n li a0, 1\n li a7, 93\n ecall")
+    assert result.exit_code == 1
+
+
+def test_x0_writes_are_dropped():
+    result = _run("""
+.text
+main:
+    li t0, 5
+    add zero, t0, t0
+    mv a0, zero
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == 0
+
+
+def test_jalr_clears_low_bit():
+    result = _run("""
+.text
+main:
+    la t0, target
+    ori t0, t0, 1
+    jalr ra, t0, 0
+    li a7, 93
+    ecall
+target:
+    li a0, 9
+    ret
+""")
+    assert result.exit_code == 9
+
+
+def test_w_arithmetic_wraps():
+    result = _run("""
+.text
+main:
+    li t0, 0x7fffffff
+    addiw t0, t0, 1
+    sraiw a0, t0, 31  # sign bit -> -1
+    li a7, 93
+    ecall
+""")
+    assert result.exit_code == -1
+
+
+def test_step_count_matches_instructions(sum_program):
+    result = run_program(sum_program)
+    # setup (la=2, li, li) + 8 iterations of 7 + tail (mv, call, slli, ret,
+    # la=2, sd, li, ecall)
+    assert result.steps == 4 + 8 * 7 + 9

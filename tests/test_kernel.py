@@ -1,0 +1,113 @@
+"""Proxy-kernel and memory-map tests."""
+
+import pytest
+
+from repro.isa.interpreter import FlatMemory
+from repro.kernel import MemoryMap, ProxyKernel, SyscallError
+
+
+class FakeCpu:
+    """Minimal CpuView for driving the kernel directly."""
+
+    def __init__(self, memory_size=1 << 20):
+        self.regs = [0] * 32
+        self.memory = FlatMemory(memory_size)
+
+    def read_reg(self, num):
+        return self.regs[num]
+
+    def write_reg(self, num, value):
+        if num:
+            self.regs[num] = value
+
+
+def test_memory_map_defaults_are_ordered():
+    MemoryMap().validate()
+
+
+def test_memory_map_rejects_bad_layout():
+    bad = MemoryMap(text_base=0x5000, data_base=0x1000)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_page_of():
+    mm = MemoryMap()
+    assert mm.page_of(0) == 0
+    assert mm.page_of(4095) == 0
+    assert mm.page_of(4096) == 1
+
+
+def test_exit_syscall():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.regs[17] = 93
+    cpu.regs[10] = 7
+    assert kernel.handle_ecall(cpu) is False
+    assert kernel.exited and kernel.exit_code == 7
+
+
+def test_exit_code_sign_extended():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.regs[17] = 93
+    cpu.regs[10] = 0xFFFFFFFFFFFFFFFF
+    kernel.handle_ecall(cpu)
+    assert kernel.exit_code == -1
+
+
+def test_write_syscall_captures_console():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.memory.write_bytes(0x100, b"hello world")
+    cpu.regs[17] = 64
+    cpu.regs[10] = 1
+    cpu.regs[11] = 0x100
+    cpu.regs[12] = 5
+    assert kernel.handle_ecall(cpu) is True
+    assert kernel.console_text == "hello"
+    assert cpu.regs[10] == 5  # bytes written returned in a0
+
+
+def test_brk_query_and_set():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.regs[17] = 214
+    cpu.regs[10] = 0
+    kernel.handle_ecall(cpu)
+    initial = cpu.regs[10]
+    assert initial == kernel.memory_map.heap_base
+    cpu.regs[17] = 214
+    cpu.regs[10] = initial + 0x1000
+    kernel.handle_ecall(cpu)
+    assert cpu.regs[10] == initial + 0x1000
+
+
+def test_brk_out_of_range_rejected():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.regs[17] = 214
+    cpu.regs[10] = kernel.memory_map.stack_top + 1
+    with pytest.raises(SyscallError):
+        kernel.handle_ecall(cpu)
+
+
+def test_unknown_syscall_raises():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.regs[17] = 12345
+    with pytest.raises(SyscallError):
+        kernel.handle_ecall(cpu)
+
+
+def test_multiple_writes_accumulate():
+    kernel = ProxyKernel()
+    cpu = FakeCpu()
+    cpu.memory.write_bytes(0x100, b"ab")
+    cpu.regs[17] = 64
+    cpu.regs[10] = 1
+    cpu.regs[11] = 0x100
+    cpu.regs[12] = 2
+    kernel.handle_ecall(cpu)
+    kernel.handle_ecall(cpu)
+    assert kernel.console_text == "abab"

@@ -1,0 +1,84 @@
+"""Optional L2 cache tests."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble
+from repro.sampler import MicroSampler
+from repro.uarch import MEGA_BOOM, Core
+from repro.uarch.config import CacheConfig
+from repro.uarch.memsys import DataCachePort
+from repro.workloads.modexp import make_me_v2_safe
+from repro.sampler.runner import patch_program
+
+L2 = CacheConfig(sets=256, ways=8, mshrs=8)
+WITH_L2 = MEGA_BOOM.with_(l2=L2, l2_latency=12)
+
+
+def _port(l2=None):
+    return DataCachePort(
+        CacheConfig(sets=2, ways=1, mshrs=4),
+        tlb_entries=8, page_size=4096, tlb_miss_latency=0,
+        memory_latency=30, lfb_entries=4, prefetcher_enabled=False,
+        l2_config=l2, l2_latency=12,
+    )
+
+
+class TestL2Port:
+    def test_memory_fill_installs_into_both_levels(self):
+        port = _port(l2=CacheConfig(sets=16, ways=4))
+        port.request(0x1000, cycle=0)
+        for cycle in range(1, 40):
+            port.begin_cycle()
+            port.tick(cycle)
+        line = port.cache.line_address(0x1000)
+        assert port.cache.contains(line)
+        assert port.l2.contains(line)
+
+    def test_l2_hit_fills_faster(self):
+        port = _port(l2=CacheConfig(sets=16, ways=4))
+        # Warm L2 via a first miss, then evict from the tiny L1.
+        port.request(0x0000, cycle=0)
+        for cycle in range(1, 40):
+            port.begin_cycle()
+            port.tick(cycle)
+        port.request(0x2000, cycle=40)  # conflicting set: evicts 0x0000 in L1
+        for cycle in range(41, 80):
+            port.begin_cycle()
+            port.tick(cycle)
+        assert not port.cache.contains(port.cache.line_address(0x0000))
+        port.begin_cycle()
+        refill = port.request(0x0000, cycle=100)
+        assert not refill.hit
+        # L2 hit: ~12 cycles instead of 30.
+        assert refill.complete_cycle - 100 < 20
+
+    def test_no_l2_uses_memory_latency(self):
+        port = _port(l2=None)
+        result = port.request(0x1000, cycle=0)
+        assert result.complete_cycle - 0 >= 30
+
+
+class TestL2Core:
+    def test_functional_equivalence_with_l2(self, sum_program):
+        interp = Interpreter(sum_program)
+        ref = interp.run()
+        core = Core(sum_program, WITH_L2)
+        result = core.run()
+        assert result.exit_code == ref.exit_code
+        assert result.stats.committed == ref.steps
+
+    def test_l2_is_off_by_default(self):
+        core_default = Core(assemble(".text\nmain:\n li a7,93\n ecall",
+                                     entry="main"), MEGA_BOOM)
+        assert core_default.dcache.l2 is None
+
+    def test_safe_workload_still_clean_with_l2(self):
+        report = MicroSampler(WITH_L2).analyze(make_me_v2_safe(n_keys=4,
+                                                               seed=3))
+        assert not report.leakage_detected
+
+    def test_workload_functional_with_l2(self):
+        workload = make_me_v2_safe(n_keys=1, seed=3)
+        program = patch_program(workload.assemble(), workload.inputs[0])
+        core = Core(program, WITH_L2)
+        assert core.run().exit_code == 0

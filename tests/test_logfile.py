@@ -1,0 +1,110 @@
+"""Trace-log persistence and offline-parser tests."""
+
+import json
+
+import pytest
+
+from repro.kernel import ProxyKernel
+from repro.sampler.runner import patch_program
+from repro.trace import MicroarchTracer, TraceError
+from repro.trace.logfile import TraceLogWriter, parse_trace_log, read_trace_log
+from repro.uarch import MEGA_BOOM, Core
+from repro.workloads.modexp import make_sam_ct
+
+
+def _simulate_both(tmp_path, features=None, suffix=".jsonl"):
+    """Run one workload twice: live tracer and trace-log writer."""
+    workload = make_sam_ct(n_keys=1, seed=19)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    live = MicroarchTracer(features=features)
+    Core(program, MEGA_BOOM, kernel=ProxyKernel(), tracer=live).run()
+    path = tmp_path / f"trace{suffix}"
+    with TraceLogWriter(path, features=features) as writer:
+        writer.begin_run(0)
+        Core(program, MEGA_BOOM, kernel=ProxyKernel(), tracer=writer).run()
+    return live, path
+
+
+def test_offline_parse_matches_live_tracer(tmp_path):
+    live, path = _simulate_both(tmp_path)
+    offline = parse_trace_log(path)
+    assert len(offline) == len(live.iterations) == 32
+    for a, b in zip(live.iterations, offline):
+        assert a.label == b.label
+        assert a.start_cycle == b.start_cycle
+        assert a.end_cycle == b.end_cycle
+        for feature_id, data in a.features.items():
+            replayed = b.features[feature_id]
+            assert data.snapshot_hash == replayed.snapshot_hash
+            assert data.snapshot_hash_notiming == replayed.snapshot_hash_notiming
+            assert data.values == replayed.values
+            assert data.order == replayed.order
+
+
+def test_gzip_roundtrip(tmp_path):
+    live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"],
+                                suffix=".jsonl.gz")
+    offline = parse_trace_log(path)
+    assert [r.features["ROB-OCPNCY"].snapshot_hash for r in offline] == \
+        [r.features["ROB-OCPNCY"].snapshot_hash for r in live.iterations]
+
+
+def test_feature_subset_reanalysis(tmp_path):
+    _live, path = _simulate_both(tmp_path)
+    subset = parse_trace_log(path, features=["SQ-ADDR", "EUU-MUL"])
+    assert set(subset[0].features) == {"SQ-ADDR", "EUU-MUL"}
+
+
+def test_keep_raw_retains_rows(tmp_path):
+    _live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"])
+    records = parse_trace_log(path, keep_raw=True)
+    assert records[0].features["ROB-OCPNCY"].rows is not None
+    records = parse_trace_log(path)
+    assert records[0].features["ROB-OCPNCY"].rows is None
+
+
+def test_unknown_feature_request_rejected(tmp_path):
+    _live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"])
+    with pytest.raises(TraceError, match="not present"):
+        parse_trace_log(path, features=["SQ-ADDR"])
+
+
+def test_writer_rejects_unknown_feature(tmp_path):
+    with pytest.raises(ValueError, match="unknown feature"):
+        TraceLogWriter(tmp_path / "x.jsonl", features=["BOGUS"])
+
+
+def test_header_required(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"t": "cycle"}) + "\n")
+    with pytest.raises(TraceError, match="missing header"):
+        parse_trace_log(path)
+
+
+def test_truncated_log_detected(tmp_path):
+    _live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"])
+    lines = path.read_text().splitlines()
+    # Chop the log inside the last iteration.
+    last_end = max(i for i, line in enumerate(lines) if '"iter.end"' in line)
+    path.write_text("\n".join(lines[:last_end]) + "\n")
+    with pytest.raises(TraceError, match="open iteration"):
+        parse_trace_log(path)
+
+
+def test_log_events_structure(tmp_path):
+    _live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"])
+    events = list(read_trace_log(path))
+    kinds = {e["t"] for e in events}
+    assert kinds == {"header", "run", "marker", "cycle"}
+    markers = [e["m"] for e in events if e["t"] == "marker"]
+    assert markers[0] == "roi.begin" and markers[-1] == "roi.end"
+    assert markers.count("iter.begin") == 32
+
+
+def test_rows_outside_roi_not_logged(tmp_path):
+    _live, path = _simulate_both(tmp_path, features=["ROB-OCPNCY"])
+    events = list(read_trace_log(path))
+    first_cycle_event = next(e for e in events if e["t"] == "cycle")
+    roi_begin = next(e for e in events
+                     if e["t"] == "marker" and e["m"] == "roi.begin")
+    assert first_cycle_event["c"] >= roi_begin["c"]

@@ -1,0 +1,229 @@
+"""Memory-system unit tests: cache, MSHRs, LFB, TLB, prefetcher, store policy."""
+
+import pytest
+
+from repro.uarch.config import CacheConfig
+from repro.uarch.memsys import (
+    DataCachePort,
+    InstructionCachePort,
+    LineFillBuffer,
+    LfbEntry,
+    NextLinePrefetcher,
+    SetAssocCache,
+    Tlb,
+)
+
+
+def _cache(sets=4, ways=2):
+    return SetAssocCache(CacheConfig(sets=sets, ways=ways))
+
+
+def _port(**overrides):
+    defaults = dict(
+        cache_config=CacheConfig(sets=4, ways=2, mshrs=2, hit_latency=3),
+        tlb_entries=4, page_size=4096, tlb_miss_latency=20,
+        memory_latency=30, lfb_entries=4, prefetcher_enabled=True,
+    )
+    defaults.update(overrides)
+    cache_config = defaults.pop("cache_config")
+    return DataCachePort(cache_config, **defaults)
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit(self):
+        cache = _cache()
+        assert not cache.lookup(5)
+        cache.install(5)
+        assert cache.lookup(5)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = _cache(sets=1, ways=2)
+        cache.install(0)
+        cache.install(1)
+        cache.lookup(0)          # 0 becomes MRU
+        victim = cache.install(2)
+        assert victim == 1       # LRU evicted
+
+    def test_set_indexing_no_conflict_across_sets(self):
+        cache = _cache(sets=4, ways=1)
+        for line in range(4):
+            assert cache.install(line) is None
+        for line in range(4):
+            assert cache.contains(line)
+
+    def test_flush_line(self):
+        cache = _cache()
+        cache.install(cache.line_address(0x1000))
+        assert cache.flush_line(0x1000)
+        assert not cache.contains(cache.line_address(0x1000))
+        assert not cache.flush_line(0x1000)
+
+    def test_line_address_uses_line_size(self):
+        cache = _cache()
+        assert cache.line_address(0) == cache.line_address(63)
+        assert cache.line_address(64) == cache.line_address(0) + 1
+
+    def test_resident_lines_lists_contents(self):
+        cache = _cache()
+        cache.install(1)
+        cache.install(2)
+        assert set(cache.resident_lines()) == {1, 2}
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=2, page_size=4096, miss_latency=20)
+        assert tlb.translate(0x1000) == 20
+        assert tlb.translate(0x1fff) == 0  # same page
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_lru_capacity(self):
+        tlb = Tlb(entries=2, page_size=4096, miss_latency=20)
+        tlb.translate(0x1000)
+        tlb.translate(0x2000)
+        tlb.translate(0x1000)       # page 1 becomes MRU
+        tlb.translate(0x3000)       # evicts page 2
+        assert tlb.translate(0x2000) == 20
+
+    def test_resident_pages_mru_order(self):
+        tlb = Tlb(entries=4, page_size=4096, miss_latency=20)
+        tlb.translate(0x1000)
+        tlb.translate(0x2000)
+        tlb.translate(0x1000)
+        assert tlb.resident_pages() == (2, 1)
+
+
+class TestPrefetcher:
+    def test_next_line(self):
+        pf = NextLinePrefetcher(enabled=True)
+        assert pf.on_demand_miss(10) == 11
+        assert pf.last_prefetch_line == 11
+        assert pf.issued == 1
+
+    def test_disabled(self):
+        pf = NextLinePrefetcher(enabled=False)
+        assert pf.on_demand_miss(10) is None
+        assert pf.issued == 0
+
+
+class TestLineFillBuffer:
+    def test_capacity_and_ready(self):
+        lfb = LineFillBuffer(2)
+        lfb.add(LfbEntry(1, ready_cycle=5))
+        lfb.add(LfbEntry(2, ready_cycle=10))
+        assert lfb.full()
+        ready = lfb.pop_ready(7)
+        assert [e.line_addr for e in ready] == [1]
+        assert not lfb.full()
+
+
+class TestDataCachePort:
+    def test_load_hit_latency(self):
+        port = _port()
+        port.warm_line(0x1000)
+        port.tlb.translate(0x1000)  # pre-warm the TLB entry
+        result = port.request(0x1000, cycle=100)
+        assert result.accepted and result.hit
+        assert result.complete_cycle == 103
+
+    def test_load_miss_allocates_mshr_and_prefetch(self):
+        port = _port()
+        result = port.request(0x1000, cycle=0)
+        assert result.accepted and not result.hit
+        lines = port.mshr_addresses()
+        line = port.cache.line_address(0x1000)
+        assert line in lines and (line + 1) in lines  # demand + next-line
+
+    def test_miss_joins_pending_fill(self):
+        port = _port(prefetcher_enabled=False)
+        port.tlb.translate(0x1000)  # isolate cache behaviour from TLB fills
+        first = port.request(0x1000, cycle=0)
+        second = port.request(0x1008, cycle=1)  # same line
+        assert len(port.mshr_addresses()) == 1
+        assert abs(second.complete_cycle - first.complete_cycle) <= 4
+
+    def test_mshr_full_rejects(self):
+        port = _port(prefetcher_enabled=False)
+        port.request(0x0000, cycle=0)
+        port.request(0x4000, cycle=0)  # 2 MSHRs in config
+        result = port.request(0x8000, cycle=0)
+        assert not result.accepted
+
+    def test_fill_installs_line_via_lfb(self):
+        port = _port(prefetcher_enabled=False)
+        port.request(0x1000, cycle=0)
+        line = port.cache.line_address(0x1000)
+        for cycle in range(1, 40):
+            port.begin_cycle()
+            port.tick(cycle)
+        assert port.cache.contains(line)
+        assert not port.mshr_addresses()
+        assert not port.lfb.entries
+
+    def test_store_hit_is_fast(self):
+        port = _port()
+        port.warm_line(0x1000)
+        port.tlb.translate(0x1000)
+        result = port.request(0x1000, cycle=10, is_store=True)
+        assert result.accepted and result.hit
+        assert result.complete_cycle == 11
+
+    def test_store_miss_is_posted_write_without_allocation(self):
+        port = _port()
+        result = port.request(0x1000, cycle=0, is_store=True)
+        assert result.accepted and not result.hit
+        line = port.cache.line_address(0x1000)
+        for cycle in range(1, 60):
+            port.begin_cycle()
+            port.tick(cycle)
+        # no-write-allocate: the line must NOT be installed by the store.
+        assert not port.cache.contains(line)
+
+    def test_store_miss_triggers_next_line_prefetch_fill(self):
+        port = _port()
+        port.request(0x1000, cycle=0, is_store=True)
+        line = port.cache.line_address(0x1000)
+        for cycle in range(1, 60):
+            port.begin_cycle()
+            port.tick(cycle)
+        assert port.cache.contains(line + 1)  # prefetch fills, store does not
+
+    def test_requests_this_cycle_reset(self):
+        port = _port()
+        port.request(0x1000, cycle=0)
+        assert port.requests_this_cycle == [0x1000]
+        port.begin_cycle()
+        assert port.requests_this_cycle == []
+
+    def test_tlb_miss_adds_latency(self):
+        port = _port()
+        port.warm_line(0x1000)
+        cold = port.request(0x1000, cycle=0)
+        port.begin_cycle()
+        warm = port.request(0x1008, cycle=0)
+        assert cold.complete_cycle - warm.complete_cycle == 20
+
+
+class TestInstructionCachePort:
+    def test_miss_then_fill_then_hit(self):
+        port = InstructionCachePort(CacheConfig(sets=4, ways=2, mshrs=2), 30)
+        assert port.fetch_ready(0x1000, cycle=0) is None
+        for cycle in range(1, 40):
+            port.tick(cycle)
+        assert port.fetch_ready(0x1000, cycle=40) == 40
+
+    def test_pending_capacity(self):
+        port = InstructionCachePort(CacheConfig(sets=4, ways=2, mshrs=1), 30)
+        assert port.fetch_ready(0x0000, cycle=0) is None
+        assert port.fetch_ready(0x4000, cycle=0) is None  # mshr full: no fill
+        assert len(port.pending) == 1
+
+    def test_flush_line(self):
+        port = InstructionCachePort(CacheConfig(sets=4, ways=2, mshrs=2), 30)
+        port.fetch_ready(0x1000, cycle=0)
+        for cycle in range(1, 40):
+            port.tick(cycle)
+        assert port.flush_line(0x1000)
+        assert port.fetch_ready(0x1000, cycle=50) is None

@@ -1,0 +1,107 @@
+"""Mutual-information analysis tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sampler import (
+    measure_mutual_information,
+    mutual_information,
+    mutual_information_by_unit,
+)
+from repro.trace.tracer import FeatureIteration, IterationRecord
+
+
+def test_independent_variables_have_zero_mi():
+    labels = [0, 0, 1, 1] * 10
+    hashes = [7] * 40
+    assert mutual_information(labels, hashes) == pytest.approx(0.0)
+
+
+def test_perfect_dependence_reaches_label_entropy():
+    labels = [0, 1] * 20
+    hashes = [100 if l == 0 else 200 for l in labels]
+    assert mutual_information(labels, hashes) == pytest.approx(1.0)
+
+
+def test_four_way_labels():
+    labels = [0, 1, 2, 3] * 10
+    hashes = [l * 11 for l in labels]
+    assert mutual_information(labels, hashes) == pytest.approx(2.0)
+
+
+def test_partial_information():
+    # hash reveals the label only half the time
+    labels = [0, 0, 1, 1] * 25
+    hashes = []
+    for index, label in enumerate(labels):
+        hashes.append(label if index % 2 == 0 else 9)
+    mi = mutual_information(labels, hashes)
+    assert 0.3 < mi < 0.8
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        mutual_information([0, 1], [1])
+
+
+def test_empty_is_zero():
+    assert mutual_information([], []) == 0.0
+
+
+def test_measure_flags_real_leak():
+    labels = [0, 1] * 32
+    hashes = [100 if l == 0 else 200 for l in labels]
+    result = measure_mutual_information(labels, hashes, permutations=100)
+    assert result.leaky
+    assert result.leakage_fraction == pytest.approx(1.0)
+    assert result.p_value < 0.05
+
+
+def test_measure_controls_small_sample_false_positive():
+    """Two observations always have max empirical MI; the permutation test
+    must refuse to call it significant — same role as the paper's p gate."""
+    result = measure_mutual_information([0, 1], [5, 6], permutations=100)
+    assert result.leakage_fraction == pytest.approx(1.0)
+    assert not result.leaky
+
+
+def test_measure_clean_noise():
+    import random
+    rng = random.Random(1)
+    labels = [rng.randrange(2) for _ in range(100)]
+    hashes = [rng.randrange(4) for _ in range(100)]
+    result = measure_mutual_information(labels, hashes, permutations=150)
+    assert not result.leaky
+
+
+def test_by_unit_over_iteration_records():
+    def record(index, label, h):
+        data = FeatureIteration(snapshot_hash=h, snapshot_hash_notiming=0,
+                                values=frozenset(), order=())
+        return IterationRecord(index=index, label=label, start_cycle=0,
+                               end_cycle=1, features={"F": data})
+
+    records = [record(i, i % 2, 100 + (i % 2)) for i in range(40)]
+    results = mutual_information_by_unit(records, ["F"], permutations=50)
+    assert results["F"].leaky
+    results_nt = mutual_information_by_unit(records, ["F"], permutations=50,
+                                            use_timing=False)
+    assert not results_nt["F"].leaky  # no-timing hashes are all equal
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 4)),
+                min_size=1, max_size=150))
+def test_property_mi_bounds(observations):
+    labels = [o[0] for o in observations]
+    hashes = [o[1] for o in observations]
+    mi = mutual_information(labels, hashes)
+    assert -1e-9 <= mi <= math.log2(max(len(set(labels)), 1)) + 1e-9
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=60))
+def test_property_mi_symmetry(values):
+    other = list(reversed(values))
+    assert mutual_information(values, other) == pytest.approx(
+        mutual_information(other, values))

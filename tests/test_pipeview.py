@@ -1,0 +1,88 @@
+"""Pipeline-viewer tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.isa import assemble
+from repro.uarch import MEGA_BOOM, SMALL_BOOM, record_pipeline
+
+_SOURCE = """
+.data
+v: .dword 7
+.text
+main:
+    la t0, v
+    ld t1, 0(t0)
+    addi t1, t1, 1
+    sd t1, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def trace_and_result():
+    program = assemble(_SOURCE, entry="main")
+    return record_pipeline(program, MEGA_BOOM)
+
+
+def test_records_all_committed_instructions(trace_and_result):
+    trace, result = trace_and_result
+    assert len(trace.slots) == result.stats.committed
+    assert result.exit_code == 0
+
+
+def test_timestamps_are_ordered(trace_and_result):
+    trace, _ = trace_and_result
+    for slot in trace.slots:
+        assert slot.fetch <= slot.dispatch <= slot.commit
+        if slot.issue >= 0:
+            assert slot.dispatch <= slot.issue <= slot.complete <= slot.commit
+
+
+def test_commit_order_is_program_order(trace_and_result):
+    trace, _ = trace_and_result
+    commits = [slot.commit for slot in trace.slots]
+    assert commits == sorted(commits)
+
+
+def test_load_shows_memory_latency(trace_and_result):
+    trace, _ = trace_and_result
+    load = next(s for s in trace.slots if s.mnemonic == "ld")
+    # D$ cold miss: tens of cycles between issue and completion.
+    assert load.complete - load.issue > 10
+
+
+def test_render_contains_stages(trace_and_result):
+    trace, _ = trace_and_result
+    text = trace.render()
+    assert "F" in text and "C" in text and "ld t1, 0(t0)" in text
+    assert text.count("\n") >= len(trace.slots)
+
+
+def test_render_window(trace_and_result):
+    trace, _ = trace_and_result
+    two = trace.render(start=0, count=2)
+    assert two.count("|") == 2
+
+
+def test_render_empty():
+    from repro.uarch.pipeview import PipelineTrace
+    assert "no committed instructions" in PipelineTrace().render()
+
+
+def test_limit_bounds_recording():
+    program = assemble(_SOURCE, entry="main")
+    trace, _ = record_pipeline(program, SMALL_BOOM, limit=3)
+    assert len(trace.slots) == 3
+
+
+def test_cli_pipeview(tmp_path, capsys):
+    source = tmp_path / "p.S"
+    source.write_text(_SOURCE)
+    code = main(["pipeview", str(source), "--entry", "main", "--count", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pipeline timeline" in out
+    assert "exit code 0" in out

@@ -1,0 +1,47 @@
+"""Unit tests for register-name handling."""
+
+import pytest
+
+from repro.isa import ABI_NAMES, NUM_REGS, parse_register, register_name
+
+
+def test_abi_names_count():
+    assert len(ABI_NAMES) == NUM_REGS == 32
+
+
+@pytest.mark.parametrize("name,num", [
+    ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
+    ("t0", 5), ("t2", 7), ("s0", 8), ("fp", 8), ("s1", 9),
+    ("a0", 10), ("a7", 17), ("s2", 18), ("s11", 27),
+    ("t3", 28), ("t6", 31),
+])
+def test_parse_abi_names(name, num):
+    assert parse_register(name) == num
+
+
+@pytest.mark.parametrize("num", range(32))
+def test_parse_x_names(num):
+    assert parse_register(f"x{num}") == num
+
+
+def test_parse_is_case_insensitive_and_strips():
+    assert parse_register(" A0 ") == 10
+    assert parse_register("X5") == 5
+
+
+@pytest.mark.parametrize("bad", ["x32", "b0", "", "a8", "t7", "s12", "x-1"])
+def test_parse_rejects_bad_names(bad):
+    with pytest.raises(ValueError):
+        parse_register(bad)
+
+
+def test_register_name_roundtrip():
+    for num in range(32):
+        assert parse_register(register_name(num)) == num
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(32)
+    with pytest.raises(ValueError):
+        register_name(-1)

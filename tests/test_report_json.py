@@ -1,0 +1,71 @@
+"""JSON serialization tests for leakage reports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sampler import MicroSampler
+from repro.sampler.report import report_to_dict
+from repro.uarch import SMALL_BOOM
+from repro.workloads.modexp import make_sam_ct, make_sam_leaky
+
+
+@pytest.fixture(scope="module")
+def leaky_report():
+    return MicroSampler(SMALL_BOOM).analyze(make_sam_leaky(n_keys=3, seed=3))
+
+
+def test_round_trips_through_json(leaky_report):
+    payload = report_to_dict(leaky_report)
+    decoded = json.loads(json.dumps(payload))
+    assert decoded == payload
+
+
+def test_top_level_fields(leaky_report):
+    payload = report_to_dict(leaky_report)
+    assert payload["workload"] == "sam-leaky"
+    assert payload["config"] == "SmallBoom"
+    assert payload["leakage_detected"] is True
+    assert payload["n_iterations"] == 96
+    assert set(payload["leaky_units"]) <= set(payload["units"])
+
+
+def test_association_fields(leaky_report):
+    payload = report_to_dict(leaky_report)
+    unit = payload["units"]["EUU-MUL"]
+    association = unit["association"]
+    assert 0.0 <= association["cramers_v"] <= 1.0
+    assert 0.0 <= association["p_value"] <= 1.0
+    assert association["n_observations"] == 96
+    assert unit["association_notiming"] is not None
+
+
+def test_root_cause_serialized(leaky_report):
+    payload = report_to_dict(leaky_report)
+    unit = payload["units"]["EUU-MUL"]
+    assert "root_cause" in unit
+    uniques = unit["root_cause"]["unique_values"]
+    assert "1" in uniques and uniques["1"]  # the secret-gated mul's PC
+
+
+def test_clean_report_has_no_root_causes():
+    report = MicroSampler(SMALL_BOOM).analyze(make_sam_ct(n_keys=3, seed=3))
+    payload = report_to_dict(report)
+    assert payload["leakage_detected"] is False
+    assert all("root_cause" not in unit for unit in payload["units"].values())
+
+
+def test_timings_serialized(leaky_report):
+    payload = report_to_dict(leaky_report)
+    timings = payload["timings_seconds"]
+    assert timings["total"] >= timings["stats"]
+
+
+def test_cli_json_output(capsys):
+    code = main(["analyze", "sam-leaky", "--inputs", "2", "--config", "small",
+                 "--json"])
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert code == 1
+    assert payload["leakage_detected"] is True

@@ -1,0 +1,160 @@
+"""Runner / pipeline / report tests."""
+
+import pytest
+
+from repro.sampler import (
+    MicroSampler,
+    Workload,
+    WorkloadError,
+    adaptive_analyze,
+    patch_program,
+    render_bar_chart,
+    render_histogram,
+    render_report,
+    run_campaign,
+)
+from repro.uarch import SMALL_BOOM
+from repro.workloads.modexp import make_sam_ct
+
+_TINY = """
+.data
+key: .byte 0
+.text
+main:
+    roi.begin
+    la t0, key
+    lbu t1, 0(t0)
+    andi t2, t1, 1
+    iter.begin t2
+    nop
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _tiny_workload(n_inputs=4):
+    return Workload(
+        name="tiny",
+        source=_TINY,
+        inputs=[{"key": bytes([i])} for i in range(n_inputs)],
+    )
+
+
+class TestPatching:
+    def test_patch_replaces_bytes(self, sum_program):
+        patched = patch_program(sum_program, {"arr": b"\xff" * 4})
+        assert patched.data[:4] == bytearray(b"\xff" * 4)
+        assert sum_program.data[:4] != bytearray(b"\xff" * 4)  # original intact
+
+    def test_patch_unknown_symbol(self, sum_program):
+        with pytest.raises(WorkloadError, match="unknown data symbol"):
+            patch_program(sum_program, {"nope": b"x"})
+
+    def test_patch_overflow_rejected(self, sum_program):
+        with pytest.raises(WorkloadError, match="outside"):
+            patch_program(sum_program, {"out": b"x" * 4096})
+
+
+class TestCampaign:
+    def test_runs_all_inputs_and_collects_iterations(self):
+        campaign = run_campaign(_tiny_workload(4), SMALL_BOOM)
+        assert len(campaign.runs) == 4
+        assert len(campaign.iterations) == 4
+        assert [r.label for r in campaign.iterations] == [0, 1, 0, 1]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(WorkloadError, match="no inputs"):
+            run_campaign(Workload(name="x", source=_TINY), SMALL_BOOM)
+
+    def test_nonzero_exit_aborts(self):
+        bad = Workload(
+            name="bad",
+            source=".text\nmain:\n li a0, 1\n li a7, 93\n ecall",
+            inputs=[{}],
+        )
+        with pytest.raises(WorkloadError, match="exited"):
+            run_campaign(bad, SMALL_BOOM)
+
+    def test_timings_are_measured(self):
+        campaign = run_campaign(_tiny_workload(2), SMALL_BOOM)
+        assert campaign.simulate_seconds >= 0
+        assert campaign.parse_seconds >= 0
+        assert campaign.total_cycles() > 0
+
+
+class TestPipeline:
+    def test_report_covers_all_features(self):
+        report = MicroSampler(SMALL_BOOM).analyze(_tiny_workload(6))
+        assert len(report.units) == 16
+        assert report.n_iterations == 6
+        assert report.n_classes == 2
+        assert report.timings is not None
+
+    def test_feature_subset(self):
+        sampler = MicroSampler(SMALL_BOOM, features=["ROB-PC", "SQ-ADDR"])
+        report = sampler.analyze(_tiny_workload(4))
+        assert set(report.units) == {"ROB-PC", "SQ-ADDR"}
+
+    def test_notiming_analysis_optional(self):
+        sampler = MicroSampler(SMALL_BOOM, features=["ROB-PC"],
+                               analyze_timing_removed=False)
+        report = sampler.analyze(_tiny_workload(4))
+        assert report.units["ROB-PC"].association_notiming is None
+
+    def test_custom_thresholds_respected(self):
+        # A threshold of 0 with alpha 1.0 flags everything with V > 0.
+        sampler = MicroSampler(SMALL_BOOM, features=["ROB-PC"],
+                               v_threshold=2.0)
+        report = sampler.analyze(_tiny_workload(4))
+        assert not report.leakage_detected
+
+    def test_cramers_v_accessors(self):
+        report = MicroSampler(SMALL_BOOM, features=["ROB-PC"]) \
+            .analyze(_tiny_workload(4))
+        assert set(report.cramers_v_by_unit()) == {"ROB-PC"}
+        assert set(report.cramers_v_by_unit_notiming()) == {"ROB-PC"}
+
+
+class TestAdaptiveAnalyze:
+    def test_grows_until_significant_or_cap(self):
+        calls = []
+
+        def factory(n, seed):
+            calls.append(n)
+            workload = make_sam_ct(n_keys=max(n // 8, 1), seed=seed)
+            return workload
+
+        sampler = MicroSampler(SMALL_BOOM, features=["ROB-OCPNCY"])
+        report = adaptive_analyze(factory, start_inputs=8, max_inputs=16,
+                                  sampler=sampler)
+        assert calls[0] == 8
+        assert report is not None
+
+
+class TestRendering:
+    def test_render_report_text(self):
+        report = MicroSampler(SMALL_BOOM, features=["ROB-PC"]) \
+            .analyze(_tiny_workload(4))
+        text = render_report(report, show_notiming=True)
+        assert "ROB-PC" in text
+        assert "tiny" in text
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart({"A": 0.5, "B": 1.0}, title="t", width=10)
+        assert "A" in text and "#" * 10 in text
+
+    def test_render_bar_chart_clamps(self):
+        text = render_bar_chart({"X": 5.0}, width=10)
+        assert "#" * 10 in text
+
+    def test_render_histogram(self):
+        text = render_histogram([1, 1, 2, 3, 3, 3], bins=3, title="h")
+        assert "h" in text and "#" in text
+
+    def test_render_histogram_degenerate(self):
+        text = render_histogram([5, 5, 5])
+        assert "identical" in text
+        assert "(no samples)" in render_histogram([])

@@ -1,0 +1,169 @@
+"""Unit and property tests for the RV64IM functional semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.semantics import (
+    MASK64,
+    branch_taken,
+    compute_alu,
+    sext32,
+    to_signed,
+    to_unsigned,
+)
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_to_signed_basic():
+    assert to_signed(0) == 0
+    assert to_signed(MASK64) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed(0x7FFFFFFFFFFFFFFF) == (1 << 63) - 1
+
+
+def test_to_signed_narrow_widths():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert to_signed(0x80, 8) == -128
+
+
+def test_sext32():
+    assert sext32(0x80000000) == 0xFFFFFFFF80000000
+    assert sext32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert sext32(0x1_00000000) == 0  # upper bits ignored
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 1, 2, 3),
+    ("add", MASK64, 1, 0),
+    ("sub", 0, 1, MASK64),
+    ("and", 0xF0F0, 0xFF00, 0xF000),
+    ("or", 0xF0F0, 0x0F0F, 0xFFFF),
+    ("xor", 0xFFFF, 0x00FF, 0xFF00),
+    ("sll", 1, 63, 1 << 63),
+    ("sll", 1, 64, 1),  # shift amount masked to 6 bits
+    ("srl", 1 << 63, 63, 1),
+    ("sra", 1 << 63, 63, MASK64),
+    ("slt", to_unsigned(-1), 0, 1),
+    ("slt", 0, to_unsigned(-1), 0),
+    ("sltu", to_unsigned(-1), 0, 0),
+    ("sltu", 0, 1, 1),
+])
+def test_alu_ops(op, a, b, expected):
+    assert compute_alu(op, a, b) == expected
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("addw", 0x7FFFFFFF, 1, 0xFFFFFFFF80000000),
+    ("subw", 0, 1, MASK64),
+    ("sllw", 1, 31, 0xFFFFFFFF80000000),
+    ("srlw", 0x80000000, 31, 1),
+    ("sraw", 0x80000000, 31, MASK64),
+])
+def test_w_ops_sign_extend(op, a, b, expected):
+    assert compute_alu(op, a, b) == expected
+
+
+def test_mul_family():
+    assert compute_alu("mul", 3, 4) == 12
+    assert compute_alu("mul", MASK64, 2) == MASK64 - 1  # -1 * 2 = -2
+    assert compute_alu("mulh", to_unsigned(-1), to_unsigned(-1)) == 0
+    assert compute_alu("mulhu", MASK64, MASK64) == MASK64 - 1
+    # mulhsu: signed * unsigned
+    assert compute_alu("mulhsu", to_unsigned(-1), 2) == MASK64
+    assert compute_alu("mulw", 0x10000, 0x10000) == 0  # low 32 bits are 0
+
+
+def test_div_truncates_toward_zero():
+    assert compute_alu("div", to_unsigned(-7), 2) == to_unsigned(-3)
+    assert compute_alu("rem", to_unsigned(-7), 2) == to_unsigned(-1)
+    assert compute_alu("div", 7, to_unsigned(-2)) == to_unsigned(-3)
+    assert compute_alu("rem", 7, to_unsigned(-2)) == 1
+
+
+def test_div_by_zero_riscv_semantics():
+    assert compute_alu("div", 42, 0) == MASK64       # -1
+    assert compute_alu("divu", 42, 0) == MASK64      # all ones
+    assert compute_alu("rem", 42, 0) == 42
+    assert compute_alu("remu", 42, 0) == 42
+
+
+def test_div_overflow_case():
+    int_min = 1 << 63
+    assert compute_alu("div", int_min, MASK64) == int_min
+    assert compute_alu("rem", int_min, MASK64) == 0
+
+
+def test_divw_family():
+    assert compute_alu("divw", to_unsigned(-8, 32), 2) == to_unsigned(-4)
+    assert compute_alu("divuw", 8, 2) == 4
+    assert compute_alu("remw", to_unsigned(-7, 32), 2) == to_unsigned(-1)
+    assert compute_alu("remuw", 7, 2) == 1
+    int_min32 = 0x80000000
+    assert compute_alu("divw", int_min32, 0xFFFFFFFF) == sext32(int_min32)
+
+
+def test_lui_auipc_semantics():
+    assert compute_alu("lui", 0, 0x12345000) == 0x12345000
+    assert compute_alu("auipc", 0x1000, 0x2000) == 0x3000
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("beq", 5, 5, True),
+    ("beq", 5, 6, False),
+    ("bne", 5, 6, True),
+    ("blt", to_unsigned(-1), 0, True),
+    ("bge", 0, to_unsigned(-1), True),
+    ("bltu", to_unsigned(-1), 0, False),
+    ("bgeu", to_unsigned(-1), 0, True),
+])
+def test_branch_conditions(op, a, b, expected):
+    assert branch_taken(op, a, b) is expected
+
+
+@given(U64, U64)
+def test_add_sub_inverse(a, b):
+    assert compute_alu("sub", compute_alu("add", a, b), b) == a
+
+
+@given(U64, U64)
+def test_div_rem_identity(a, b):
+    """RISC-V guarantees a == div(a,b)*b + rem(a,b) (mod 2^64)."""
+    q = compute_alu("div", a, b)
+    r = compute_alu("rem", a, b)
+    assert (to_signed(q) * to_signed(b) + to_signed(r)) & MASK64 == a
+
+
+@given(U64, U64)
+def test_divu_remu_identity(a, b):
+    q = compute_alu("divu", a, b)
+    r = compute_alu("remu", a, b)
+    if b != 0:
+        assert (q * b + r) & MASK64 == a
+        assert r < b
+
+
+@given(U64, U64)
+def test_slt_consistent_with_branch(a, b):
+    assert compute_alu("slt", a, b) == int(branch_taken("blt", a, b))
+    assert compute_alu("sltu", a, b) == int(branch_taken("bltu", a, b))
+
+
+@given(U64)
+def test_xor_self_inverse(a):
+    assert compute_alu("xor", compute_alu("xor", a, 0xDEADBEEF), 0xDEADBEEF) == a
+
+
+@given(U64, st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip_preserves_low_bits(a, s):
+    shifted = compute_alu("sll", a, s)
+    back = compute_alu("srl", shifted, s)
+    assert back == (a << s & MASK64) >> s
+
+
+@given(U64, U64)
+def test_results_always_fit_64_bits(a, b):
+    for op in ("add", "sub", "mul", "mulh", "div", "rem", "sra", "addw",
+               "divw", "remu", "sltu"):
+        assert 0 <= compute_alu(op, a, b) <= MASK64

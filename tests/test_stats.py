@@ -1,0 +1,167 @@
+"""Statistics tests: contingency tables, chi-squared, Cramér's V, p-values."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.sampler import (
+    ContingencyTable,
+    build_contingency_table,
+    chi_squared_p_value,
+    chi_squared_statistic,
+    cramers_v,
+    hash_frequency,
+    measure_association,
+)
+
+
+def _table(counts, classes=None, hashes=None):
+    classes = classes or tuple(range(len(counts)))
+    hashes = hashes or tuple(range(len(counts[0])))
+    return ContingencyTable(classes=tuple(classes), hashes=tuple(hashes),
+                            counts=tuple(tuple(r) for r in counts))
+
+
+class TestContingencyTable:
+    def test_build_from_observations(self):
+        labels = [0, 0, 1, 1, 0]
+        hashes = [10, 20, 10, 10, 10]
+        table = build_contingency_table(labels, hashes)
+        assert table.classes == (0, 1)
+        assert table.hashes == (10, 20)
+        assert table.counts == ((2, 1), (2, 0))
+        assert table.total == 5
+
+    def test_row_and_column_totals(self):
+        table = _table([[1, 2], [3, 4]])
+        assert table.row_totals() == (3, 7)
+        assert table.column_totals() == (4, 6)
+
+    def test_degenerate_detection(self):
+        assert _table([[1, 2]]).is_degenerate()
+        assert _table([[1], [2]]).is_degenerate()
+        assert not _table([[1, 2], [3, 4]]).is_degenerate()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            build_contingency_table([0, 1], [1])
+
+    def test_render_is_textual(self):
+        text = _table([[1, 2], [3, 4]]).render()
+        assert "class" in text and "1" in text
+
+    def test_hash_frequency(self):
+        freq = hash_frequency([0, 0, 1], [5, 5, 6])
+        assert freq[0][5] == 2
+        assert freq[1][6] == 1
+
+
+class TestChiSquared:
+    def test_independent_table_is_zero(self):
+        statistic, dof = chi_squared_statistic(_table([[10, 10], [10, 10]]))
+        assert statistic == pytest.approx(0.0)
+        assert dof == 1
+
+    def test_known_value(self):
+        # Classic 2x2 example: chi2 = N (ad - bc)^2 / (row/col products)
+        table = _table([[20, 30], [30, 20]])
+        statistic, dof = chi_squared_statistic(table)
+        expected = 100 * (20 * 20 - 30 * 30) ** 2 / (50 * 50 * 50 * 50)
+        assert statistic == pytest.approx(expected)
+
+    def test_matches_scipy(self):
+        import numpy as np
+        counts = [[12, 7, 3], [5, 9, 14]]
+        statistic, dof = chi_squared_statistic(_table(counts))
+        ref = scipy_stats.chi2_contingency(np.array(counts), correction=False)
+        assert statistic == pytest.approx(ref.statistic)
+        assert dof == ref.dof
+
+    def test_p_value_matches_scipy_sf(self):
+        for statistic, dof in [(0.5, 1), (3.84, 1), (10.0, 4), (100.0, 20)]:
+            assert chi_squared_p_value(statistic, dof) == pytest.approx(
+                scipy_stats.chi2.sf(statistic, dof))
+
+    def test_p_value_degenerate_dof(self):
+        assert chi_squared_p_value(5.0, 0) == 1.0
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        assert cramers_v(_table([[10, 0], [0, 10]])) == pytest.approx(1.0)
+
+    def test_no_association(self):
+        assert cramers_v(_table([[5, 5], [5, 5]])) == pytest.approx(0.0)
+
+    def test_degenerate_is_zero(self):
+        assert cramers_v(_table([[3, 4]])) == 0.0
+        assert cramers_v(_table([[3], [4]])) == 0.0
+
+    def test_intermediate_value(self):
+        value = cramers_v(_table([[20, 30], [30, 20]]))
+        assert 0.15 < value < 0.25  # chi2=4, N=100, V=0.2
+        assert value == pytest.approx(0.2)
+
+    def test_rectangular_table_uses_min_dimension(self):
+        # 2 classes x 4 hashes, perfectly separable -> V = 1
+        table = _table([[5, 5, 0, 0], [0, 0, 5, 5]])
+        assert cramers_v(table) == pytest.approx(1.0)
+
+
+class TestMeasureAssociation:
+    def test_leaky_requires_strong_and_significant(self):
+        strong = measure_association(_table([[50, 0], [0, 50]]))
+        assert strong.leaky and strong.strong and strong.significant
+
+    def test_small_sample_high_v_not_significant(self):
+        """The paper's false-positive control: V high but p above alpha."""
+        result = measure_association(_table([[1, 0], [0, 1]]))
+        assert result.cramers_v == pytest.approx(1.0)
+        assert not result.significant
+        assert not result.leaky
+
+    def test_clean_table_not_flagged(self):
+        result = measure_association(_table([[25, 25], [25, 25]]))
+        assert not result.leaky
+        assert result.cramers_v == pytest.approx(0.0)
+
+    def test_fields_populated(self):
+        result = measure_association(_table([[10, 5], [5, 10]]))
+        assert result.n_observations == 30
+        assert result.n_classes == 2
+        assert result.n_categories == 2
+        assert result.dof == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5)),
+                min_size=2, max_size=200))
+def test_property_v_bounded(observations):
+    labels = [o[0] for o in observations]
+    hashes = [o[1] for o in observations]
+    value = cramers_v(build_contingency_table(labels, hashes))
+    assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@given(st.lists(st.integers(0, 1), min_size=4, max_size=100))
+def test_property_identical_hashes_give_zero_v(labels):
+    hashes = [42] * len(labels)
+    table = build_contingency_table(labels, hashes)
+    assert cramers_v(table) == 0.0
+
+
+@given(st.integers(2, 30))
+def test_property_perfect_separation_gives_v_one(n):
+    labels = [0] * n + [1] * n
+    hashes = [100] * n + [200] * n
+    assert cramers_v(build_contingency_table(labels, hashes)) == pytest.approx(1.0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 8)),
+                min_size=2, max_size=100))
+def test_property_p_value_in_unit_interval(observations):
+    labels = [o[0] for o in observations]
+    hashes = [o[1] for o in observations]
+    result = measure_association(build_contingency_table(labels, hashes))
+    assert 0.0 <= result.p_value <= 1.0

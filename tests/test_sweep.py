@@ -1,0 +1,48 @@
+"""Tests for the input-coverage significance sweep."""
+
+import pytest
+
+from repro.sampler import significance_sweep
+from repro.uarch import SMALL_BOOM
+from repro.workloads.modexp import make_sam_ct, make_sam_leaky
+
+
+@pytest.fixture(scope="module")
+def leaky_sweep():
+    return significance_sweep(
+        lambda n, seed: make_sam_leaky(n_keys=n, seed=seed),
+        sizes=(1, 2, 4), feature_ids=["EUU-MUL"], config=SMALL_BOOM,
+    )
+
+
+def test_points_cover_requested_sizes(leaky_sweep):
+    assert [p.n_inputs for p in leaky_sweep.points] == [1, 2, 4]
+    assert [p.n_iterations for p in leaky_sweep.points] == [32, 64, 128]
+
+
+def test_leak_p_value_shrinks_with_inputs(leaky_sweep):
+    p_values = [point.units["EUU-MUL"][1] for point in leaky_sweep.points]
+    assert p_values[-1] < p_values[0]
+    assert p_values[-1] < 0.05
+
+
+def test_first_significant(leaky_sweep):
+    threshold = leaky_sweep.first_significant("EUU-MUL")
+    assert threshold is not None and threshold <= 4
+
+
+def test_safe_workload_never_significant():
+    sweep = significance_sweep(
+        lambda n, seed: make_sam_ct(n_keys=n, seed=seed),
+        sizes=(1, 2, 4), feature_ids=["EUU-MUL", "ROB-PC"],
+        config=SMALL_BOOM,
+    )
+    assert sweep.first_significant("EUU-MUL") is None
+    assert sweep.first_significant("ROB-PC") is None
+
+
+def test_render_is_textual(leaky_sweep):
+    text = leaky_sweep.render(["EUU-MUL"])
+    assert "sam-leaky" in text
+    assert "EUU-MUL" in text
+    assert text.count("\n") >= 4

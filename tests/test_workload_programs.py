@@ -1,0 +1,83 @@
+"""Cross-cutting checks over every workload program in the repository."""
+
+import pytest
+
+from repro.isa import decode, encode, format_program
+from repro.workloads.bignum import make_mp_modexp_ct, make_mp_modexp_leaky
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
+from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.modexp import (
+    make_div_timing,
+    make_me_v1_cv,
+    make_me_v1_mv,
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_ct_window,
+    make_sam_leaky,
+)
+from repro.workloads.openssl import make_primitive_workload
+from repro.workloads.spectre import make_spectre_v1
+
+ALL_WORKLOADS = [
+    make_sam_leaky(n_keys=1),
+    make_sam_ct(n_keys=1),
+    make_sam_ct_window(n_keys=1),
+    make_me_v1_cv(n_keys=1),
+    make_me_v1_mv(n_keys=1),
+    make_me_v2_safe(n_keys=1),
+    make_div_timing(n_keys=1),
+    make_ct_memcmp(n_pairs=2, n_runs=1),
+    make_sbox_lookup(n_sets=2, n_runs=1),
+    make_sbox_ct(n_sets=2, n_runs=1),
+    make_spectre_v1(n_iters=2, n_runs=1),
+    make_chacha20(n_keys=1, n_blocks=1),
+    make_mp_modexp_ct(n_keys=1),
+    make_mp_modexp_leaky(n_keys=1),
+    make_primitive_workload("constant_time_eq", n_sets=2, n_runs=1),
+]
+
+IDS = [workload.name for workload in ALL_WORKLOADS]
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=IDS)
+def test_assembles_deterministically(workload):
+    first = workload.assemble()
+    second = workload.assemble()
+    assert len(first.instructions) == len(second.instructions)
+    for a, b in zip(first.instructions, second.instructions):
+        assert (a.mnemonic, a.rd, a.rs1, a.rs2, a.imm, a.pc) == \
+            (b.mnemonic, b.rd, b.rs1, b.rs2, b.imm, b.pc)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=IDS)
+def test_every_instruction_encodes_and_decodes(workload):
+    program = workload.assemble()
+    for inst in program.instructions:
+        decoded = decode(encode(inst), pc=inst.pc)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2,
+                decoded.imm) == (inst.mnemonic, inst.rd, inst.rs1,
+                                 inst.rs2, inst.imm)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=IDS)
+def test_disassembles_cleanly(workload):
+    program = workload.assemble()
+    text = format_program(program.instructions)
+    assert text.count("\n") == len(program.instructions) - 1
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=IDS)
+def test_uses_iteration_markers(workload):
+    program = workload.assemble()
+    mnemonics = {inst.mnemonic for inst in program.instructions}
+    assert "iter.begin" in mnemonics and "iter.end" in mnemonics
+    assert "ecall" in mnemonics  # proxy-kernel exit
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=IDS)
+def test_inputs_patch_known_symbols(workload):
+    program = workload.assemble()
+    for patches in workload.inputs:
+        for symbol in patches:
+            assert symbol in program.symbols

@@ -1,0 +1,150 @@
+"""Workload functional tests against Python references."""
+
+import struct
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.sampler.runner import patch_program
+from repro.workloads.keygen import balanced_keys, memcmp_input_pairs, random_keys
+from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.modexp import (
+    DEFAULT_BASE,
+    DEFAULT_MODULUS,
+    expected_results,
+    make_me_v1_cv,
+    make_me_v1_mv,
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_leaky,
+    modexp_reference,
+)
+from repro.workloads.openssl import (
+    PRIMITIVES,
+    expected_primitive_results,
+    make_primitive_workload,
+    primitive_names,
+)
+
+
+class TestKeygen:
+    def test_random_keys_deterministic(self):
+        assert random_keys(4, seed=1) == random_keys(4, seed=1)
+        assert random_keys(4, seed=1) != random_keys(4, seed=2)
+
+    def test_balanced_keys_bit_mix(self):
+        for key in balanced_keys(16, 4, seed=3):
+            ones = bin(int.from_bytes(key, "little")).count("1")
+            assert 8 <= ones <= 24
+
+    def test_memcmp_pairs_have_both_classes(self):
+        pairs = memcmp_input_pairs(16, 32, seed=4)
+        equal = sum(1 for a, b in pairs if a == b)
+        assert 0 < equal < 16
+        assert all(len(a) == len(b) == 32 for a, b in pairs)
+
+    def test_memcmp_unequal_pairs_differ(self):
+        for a, b in memcmp_input_pairs(8, 16, seed=5):
+            if a != b:
+                assert any(x != y for x, y in zip(a, b))
+
+
+MODEXP_MAKERS = [make_sam_leaky, make_sam_ct, make_me_v1_cv,
+                 make_me_v1_mv, make_me_v2_safe]
+
+
+class TestModexpWorkloads:
+    def test_reference_matches_pow(self):
+        assert modexp_reference(3, (5).to_bytes(4, "little"), 100) == 43
+
+    @pytest.mark.parametrize("make", MODEXP_MAKERS,
+                             ids=lambda m: m.__name__)
+    def test_functional_correctness(self, make):
+        workload = make(n_keys=2, seed=17)
+        program = workload.assemble()
+        for patches, expected in zip(workload.inputs,
+                                     expected_results(workload)):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            result = interp.run()
+            assert result.exit_code == 0
+            got = int.from_bytes(
+                interp.memory.read_bytes(patched.symbols["result"], 8),
+                "little")
+            assert got == expected
+
+    @pytest.mark.parametrize("make", MODEXP_MAKERS,
+                             ids=lambda m: m.__name__)
+    def test_labels_are_key_bits_msb_first(self, make):
+        workload = make(n_keys=1, seed=23)
+        program = workload.assemble()
+        patched = patch_program(program, workload.inputs[0])
+        result = Interpreter(patched).run()
+        labels = [m.label for m in result.markers if m.mnemonic == "iter.begin"]
+        key = int.from_bytes(workload.inputs[0]["key"], "little")
+        assert labels == [(key >> b) & 1 for b in range(31, -1, -1)]
+
+    def test_dst_and_dummy_on_distinct_pages(self):
+        program = make_me_v1_mv(n_keys=1).assemble()
+        dst = program.symbols["dst_buf"]
+        dummy = program.symbols["dummy_buf"]
+        assert dst // 4096 != dummy // 4096
+
+    def test_warm_variant_registers_regions(self):
+        warm = make_me_v1_mv(n_keys=1, warm_dst=True)
+        assert warm.warm_regions == [("dst_buf", 64)]
+        assert make_me_v1_mv(n_keys=1).warm_regions == []
+
+
+class TestMemcmpWorkload:
+    def test_results_match_reference(self):
+        n_pairs = 6
+        workload = make_ct_memcmp(n_pairs=n_pairs, seed=9, n_runs=2)
+        program = workload.assemble()
+        pairs_by_run = [memcmp_input_pairs(n_pairs, 32, 9),
+                        memcmp_input_pairs(n_pairs, 32, 9 + 101)]
+        for patches, pairs in zip(workload.inputs, pairs_by_run):
+            patched = patch_program(program, patches)
+            interp = Interpreter(patched)
+            assert interp.run().exit_code == 0
+            raw = interp.memory.read_bytes(patched.symbols["result_out"],
+                                           8 * n_pairs)
+            results = struct.unpack(f"<{n_pairs}q", raw)
+            expected = tuple(100 if a == b else 204 for a, b in pairs)
+            assert results == expected
+
+    def test_labels_encode_equality(self):
+        workload = make_ct_memcmp(n_pairs=4, seed=9, n_runs=1)
+        pairs = memcmp_input_pairs(4, 32, 9)
+        labels = struct.unpack("<4q", workload.inputs[0]["labels"])
+        assert list(labels) == [1 if a == b else 0 for a, b in pairs]
+
+
+class TestOpenSslPrimitives:
+    def test_twenty_eight_primitives_counted(self):
+        from repro.workloads.openssl import N_PRIMITIVES_TOTAL
+        assert len(PRIMITIVES) == 27
+        assert N_PRIMITIVES_TOTAL == 28  # + CRYPTO_memcmp
+
+    @pytest.mark.parametrize("name", primitive_names())
+    def test_primitive_functional(self, name):
+        workload = make_primitive_workload(name, n_sets=5, n_runs=1, seed=31)
+        program = workload.assemble()
+        patched = patch_program(program, workload.inputs[0])
+        interp = Interpreter(patched)
+        assert interp.run().exit_code == 0
+        raw = interp.memory.read_bytes(patched.symbols["results"], 8 * 5)
+        got = struct.unpack("<5Q", raw)
+        want = tuple(expected_primitive_results(name, workload.operand_sets[0]))
+        assert got == want
+
+    @pytest.mark.parametrize("name", primitive_names())
+    def test_primitive_labels_balanced_enough(self, name):
+        workload = make_primitive_workload(name, n_sets=32, n_runs=1, seed=37)
+        labels = struct.unpack("<32q", workload.inputs[0]["labels"])
+        assert {0, 1} == set(labels)
+
+    def test_operand_sets_not_in_patches(self):
+        workload = make_primitive_workload("constant_time_eq", n_sets=2,
+                                           n_runs=1)
+        assert "__operand_sets__" not in workload.inputs[0]
