@@ -1,0 +1,90 @@
+"""Campaign-throughput scaling: serial vs parallel backend vs trace cache.
+
+Simulation dominates MicroSampler's cost (Table VI), and campaigns are
+embarrassingly parallel across inputs.  This benchmark runs the Fig. 10
+CT-MEM-CMP workload — the paper's most expensive case study per input —
+through every execution backend and reports wall-clock speedups, while
+asserting that each backend's merged trace matrix is bit-identical to the
+serial baseline.
+
+The >= 2x parallel-speedup assertion is gated on the CPUs actually
+available to this process: on a single-core runner the parallel backend
+degenerates to serialized workers plus pool overhead, which is a property
+of the machine, not the backend.  Determinism and the cache speedup are
+asserted unconditionally.
+"""
+
+import os
+import time
+
+from repro.sampler import TraceCache, run_campaign
+from repro.uarch import MEGA_BOOM
+from repro.workloads.memcmp import make_ct_memcmp
+
+from _harness import emit
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _signature(campaign):
+    return [
+        (record.index, record.label, record.run_index, record.ordinal,
+         record.start_cycle, record.end_cycle, record.features)
+        for record in campaign.iterations
+    ]
+
+
+def _timed(**kwargs):
+    workload = make_ct_memcmp(n_pairs=8, seed=2, n_runs=8)
+    started = time.perf_counter()
+    campaign = run_campaign(workload, MEGA_BOOM, **kwargs)
+    return time.perf_counter() - started, campaign
+
+
+def test_parallel_scaling(tmp_path):
+    cpus = _available_cpus()
+    serial_seconds, serial = _timed(jobs=1)
+
+    rows = [("serial (jobs=1)", serial_seconds, 1.0)]
+    parallel_seconds = {}
+    for jobs in (2, 4):
+        seconds, campaign = _timed(jobs=jobs)
+        assert _signature(campaign) == _signature(serial)
+        parallel_seconds[jobs] = seconds
+        rows.append((f"parallel (jobs={jobs})", seconds,
+                     serial_seconds / seconds))
+
+    cache = TraceCache(tmp_path / "bench-cache")
+    cold_seconds, cold = _timed(jobs=1, cache=cache)
+    assert _signature(cold) == _signature(serial)
+    warm_seconds, warm = _timed(jobs=1, cache=cache)
+    assert _signature(warm) == _signature(serial)
+    assert warm.n_cached_runs == len(warm.runs)
+    rows.append(("cache cold (stores)", cold_seconds,
+                 serial_seconds / cold_seconds))
+    rows.append(("cache warm (replay)", warm_seconds,
+                 serial_seconds / warm_seconds))
+
+    lines = [
+        "Campaign execution backends — Fig. 10 CT-MEM-CMP workload "
+        f"(8 inputs, {_available_cpus()} CPU(s) available)",
+        "",
+        f"{'backend':<22} {'seconds':>9} {'speedup':>9}",
+        "-" * 42,
+    ]
+    for name, seconds, speedup in rows:
+        lines.append(f"{name:<22} {seconds:>9.2f} {speedup:>8.1f}x")
+    lines.append("")
+    lines.append("all backends bit-identical to the serial trace matrix: yes")
+    emit("parallel_scaling", "\n".join(lines))
+
+    # The cache replay must eliminate simulation outright.
+    assert warm_seconds < serial_seconds / 5
+    # Parallel speedup needs parallel hardware to show.
+    if cpus >= 4:
+        assert serial_seconds / parallel_seconds[4] >= 2.0

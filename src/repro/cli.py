@@ -58,6 +58,44 @@ WORKLOADS = {
 }
 
 
+def _resolve_backend(args):
+    """(jobs, cache) for the simulation backend from CLI flags.
+
+    Caching is on by default — campaign replays are deterministic, so a
+    repeated ``analyze`` skips simulation entirely.  ``--no-cache`` bypasses
+    it (do so after modifying the simulator itself: keys cover the program,
+    inputs and configuration, not the model's source).
+    """
+    jobs = getattr(args, "jobs", 1)
+    if getattr(args, "no_cache", False):
+        return jobs, None
+    from repro.sampler.trace_cache import TraceCache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    return jobs, TraceCache(cache_dir)
+
+
+def _jobs_argument(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs
+
+
+def _add_backend_arguments(parser) -> None:
+    parser.add_argument("--jobs", type=_jobs_argument, default=1,
+                        help="simulate this many inputs concurrently "
+                             "(0 = one per CPU); results are bit-identical "
+                             "to serial execution")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate, bypassing the trace cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="trace cache directory (default: "
+                             "$MICROSAMPLER_CACHE_DIR or "
+                             "~/.cache/microsampler)")
+
+
 def _resolve_config(args):
     config = SMALL_BOOM if args.config == "small" else MEGA_BOOM
     overrides = {}
@@ -118,10 +156,13 @@ def cmd_features(_args) -> int:
 def cmd_analyze(args) -> int:
     config = _resolve_config(args)
     workload = _build_workload(args.workload, args)
+    jobs, cache = _resolve_backend(args)
     sampler = MicroSampler(
         config,
         warmup_iterations=args.warmup,
         analyze_timing_removed=not args.no_timing_removed,
+        jobs=jobs,
+        cache=cache,
     )
     print(f"analyzing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -185,7 +226,9 @@ def cmd_audit(args) -> int:
     workloads = [_build_workload(name, args) for name in names]
     expectations = {name: AUDIT_EXPECTATIONS[name]
                     for name in names if name in AUDIT_EXPECTATIONS}
-    result = run_audit(workloads, config=config, expectations=expectations)
+    jobs, cache = _resolve_backend(args)
+    result = run_audit(workloads, config=config, expectations=expectations,
+                       jobs=jobs, cache=cache)
     print(result.render())
     return 0 if result.passed else 1
 
@@ -288,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the timing-removed re-analysis")
     analyze.add_argument("--json", action="store_true",
                          help="emit the verdict as JSON (for CI)")
+    _add_backend_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     simulate = sub.add_parser("simulate",
@@ -328,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--variable-div", action="store_true")
     audit.add_argument("--inputs", type=int, default=8)
     audit.add_argument("--seed", type=int, default=3)
+    _add_backend_arguments(audit)
     audit.set_defaults(func=cmd_audit)
 
     trace = sub.add_parser(

@@ -13,6 +13,13 @@ from repro.sampler.contingency import (
     hash_frequency,
 )
 from repro.sampler.diff import ConfigDiff, UnitDelta, diff_configs
+from repro.sampler.exec_backend import (
+    RunOutput,
+    RunTask,
+    execute_run,
+    execute_tasks,
+    resolve_jobs,
+)
 from repro.sampler.feature_extraction import (
     OrderingReport,
     RootCauseReport,
@@ -48,6 +55,7 @@ from repro.sampler.runner import (
     patch_program,
     run_campaign,
 )
+from repro.sampler.trace_cache import TraceCache, task_key
 from repro.sampler.stats import (
     SIGNIFICANCE_ALPHA,
     STRONG_ASSOCIATION_THRESHOLD,
@@ -99,9 +107,16 @@ __all__ = [
     "render_histogram",
     "render_report",
     "report_to_dict",
+    "RunOutput",
+    "RunTask",
     "SweepPoint",
     "SweepResult",
+    "TraceCache",
+    "execute_run",
+    "execute_tasks",
+    "resolve_jobs",
     "significance_sweep",
     "run_audit",
     "run_campaign",
+    "task_key",
 ]

@@ -1,0 +1,174 @@
+"""Campaign execution backends: serial and process-parallel.
+
+``run_campaign`` fans the per-input simulations of a workload out over this
+module.  Each input is wrapped in a self-contained, picklable
+:class:`RunTask` (patched program + core configuration + tracer settings); a
+worker — in-process for ``jobs=1``, a ``multiprocessing`` pool member
+otherwise — rebuilds the core from the task, runs it to completion under a
+private :class:`~repro.trace.tracer.MicroarchTracer`, and returns a
+:class:`RunOutput` of finalized iteration snapshots.
+
+Determinism is the design constraint: outputs are merged **in input order**
+(never completion order) and re-stamped with their global run index and
+iteration index, so the resulting trace matrix is bit-identical to a serial
+campaign regardless of worker scheduling.  This is what lets the parallel
+backend share a result cache with the serial one (see
+:mod:`repro.sampler.trace_cache`) and what the differential test layer in
+``tests/test_parallel_runner.py`` locks in.
+
+The simulation itself is pure — a core built from the same program, patches
+and configuration commits the same per-cycle state — so per-run tracers see
+exactly what one shared tracer would have seen.  The one behavioural
+subtlety is the tracer's ``roi_seen`` latch, which in a shared tracer
+persists across runs; every run re-executes its own ``roi.begin``, so for
+well-formed workloads the per-run latch is indistinguishable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program
+from repro.kernel.memory_map import MemoryMap
+from repro.kernel.proxy_kernel import ProxyKernel
+from repro.trace.tracer import IterationRecord, MicroarchTracer
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import Core, RunResult
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """Everything a worker needs to simulate one campaign input."""
+
+    run_index: int
+    workload_name: str
+    program: Program  # already patched with this run's inputs
+    config: CoreConfig
+    warm_regions: tuple = ()
+    features: tuple | None = None
+    keep_raw: tuple | bool = ()
+    memory_map: MemoryMap | None = None
+    max_cycles: int = 5_000_000
+    expect_exit_code: int | None = 0
+
+
+@dataclass
+class RunOutput:
+    """One input's simulation result: snapshots plus run statistics."""
+
+    run_index: int
+    iterations: list[IterationRecord] = field(default_factory=list)
+    run: RunResult | None = None
+    cycles_sampled: int = 0
+    sample_seconds: float = 0.0
+    #: True when this output was replayed from the trace cache.
+    from_cache: bool = False
+
+
+def execute_run(task: RunTask) -> RunOutput:
+    """Simulate one input from reset and collect its iteration snapshots.
+
+    This is the worker entry point: module-level so it pickles under every
+    ``multiprocessing`` start method, and self-contained so the same code
+    path serves the serial backend, the pool workers and cache misses.
+    """
+    # Imported here, not at module top, to avoid a circular import
+    # (runner -> exec_backend -> runner).
+    from repro.sampler.runner import WorkloadError
+
+    tracer = MicroarchTracer(features=task.features, keep_raw=task.keep_raw)
+    tracer.timed = True
+    tracer.begin_run(task.run_index)
+    core = Core(
+        task.program, task.config,
+        memory_map=task.memory_map,
+        kernel=ProxyKernel(memory_map=task.memory_map or MemoryMap()),
+        tracer=tracer,
+    )
+    for symbol, length in task.warm_regions:
+        base = task.program.symbols[symbol]
+        for address in range(base, base + length, 64):
+            core.dcache.warm_line(address)
+    result = core.run(max_cycles=task.max_cycles)
+    if (task.expect_exit_code is not None
+            and result.exit_code != task.expect_exit_code):
+        raise WorkloadError(
+            f"workload {task.workload_name!r} exited with "
+            f"{result.exit_code} (expected {task.expect_exit_code})"
+        )
+    return RunOutput(
+        run_index=task.run_index,
+        iterations=tracer.iterations,
+        run=result,
+        cycles_sampled=tracer.cycles_sampled,
+        sample_seconds=tracer.sample_seconds,
+    )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job-count request: ``None``/``0`` means "all CPUs"."""
+    if not jobs:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # platforms without CPU affinity
+            return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits the loaded modules) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def execute_tasks(tasks: list[RunTask], jobs: int | None = 1) -> list[RunOutput]:
+    """Execute ``tasks``, returning outputs in **task order**.
+
+    ``jobs <= 1`` (or a single task) runs in-process.  Otherwise a process
+    pool simulates tasks concurrently; ``Executor.map`` yields results in
+    submission order, so completion order never influences the merge, and a
+    worker's ``WorkloadError`` propagates to the caller unchanged.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [execute_run(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_pool_context()) as pool:
+        return list(pool.map(execute_run, tasks))
+
+
+def merge_outputs(outputs: list[RunOutput],
+                  tracer: MicroarchTracer) -> list[RunResult]:
+    """Deterministically merge per-run outputs into a shared-tracer view.
+
+    Outputs must already be ordered by campaign input.  Records are
+    re-stamped with their global iteration index and run index (cached
+    outputs are normalized to ``run_index=0``, and a cached input may be
+    replayed at a different position), which reproduces exactly what one
+    tracer shared across a serial campaign would have recorded.
+    """
+    runs: list[RunResult] = []
+    for position, output in enumerate(outputs):
+        for record in output.iterations:
+            record.index = len(tracer.iterations)
+            record.run_index = position
+            tracer.iterations.append(record)
+        tracer.cycles_sampled += output.cycles_sampled
+        if not output.from_cache:
+            # Cache hits replay stored snapshots without sampling anything
+            # this invocation; charging their original sample time here would
+            # make the stage-time report claim work that never happened.
+            tracer.sample_seconds += output.sample_seconds
+        tracer.run_index = position
+        if output.iterations:
+            tracer.roi_seen = True
+        runs.append(output.run)
+    return runs

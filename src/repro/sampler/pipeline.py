@@ -98,7 +98,9 @@ class MicroSampler:
                  alpha: float = SIGNIFICANCE_ALPHA,
                  analyze_timing_removed: bool = True,
                  extract_root_causes_for_leaky: bool = True,
-                 warmup_iterations: int = 0):
+                 warmup_iterations: int = 0,
+                 jobs: int | None = 1,
+                 cache=None):
         self.config = config
         self.features = tuple(features) if features is not None else FEATURE_ORDER
         self.v_threshold = v_threshold
@@ -110,6 +112,10 @@ class MicroSampler:
         #: excursions can touch neighbouring iterations' state) do not blur
         #: steady-state verdicts.
         self.warmup_iterations = warmup_iterations
+        #: Simulation backend knobs (see :func:`repro.sampler.run_campaign`):
+        #: inputs simulated concurrently, and an optional trace cache.
+        self.jobs = jobs
+        self.cache = cache
 
     # -- full pipeline ----------------------------------------------------------
 
@@ -119,6 +125,7 @@ class MicroSampler:
         campaign = run_campaign(
             workload, self.config, features=self.features,
             max_cycles_per_run=max_cycles_per_run,
+            jobs=self.jobs, cache=self.cache,
         )
         return self.analyze_campaign(campaign)
 

@@ -3,8 +3,14 @@
 A :class:`Workload` bundles an assembly program with a set of per-run input
 patches (secret keys, operand buffers...).  The runner assembles the program
 once, then executes one fresh core per input — every simulation begins in the
-same reset state, as in the paper — while a shared tracer accumulates
-iteration snapshots across all runs.
+same reset state, as in the paper.
+
+Execution is delegated to :mod:`repro.sampler.exec_backend`: with ``jobs=1``
+every input runs in-process; with ``jobs>1`` inputs are simulated on a
+process pool and merged back in input order, bit-identical to the serial
+result.  An optional :class:`~repro.sampler.trace_cache.TraceCache` replays
+previously simulated (program, input, config) triples without touching the
+core at all.
 """
 
 from __future__ import annotations
@@ -14,10 +20,16 @@ from dataclasses import dataclass, field
 
 from repro.isa.assembler import Program, assemble
 from repro.kernel.memory_map import MemoryMap
-from repro.kernel.proxy_kernel import ProxyKernel
+from repro.sampler.exec_backend import (
+    RunOutput,
+    RunTask,
+    execute_run,
+    execute_tasks,
+    merge_outputs,
+)
 from repro.trace.tracer import MicroarchTracer
 from repro.uarch.config import CoreConfig, MEGA_BOOM
-from repro.uarch.core import Core, RunResult
+from repro.uarch.core import RunResult
 
 
 class WorkloadError(RuntimeError):
@@ -78,6 +90,8 @@ class CampaignResult:
     runs: list[RunResult]
     simulate_seconds: float
     parse_seconds: float
+    #: How many of the runs were replayed from the trace cache.
+    n_cached_runs: int = 0
 
     @property
     def iterations(self):
@@ -87,40 +101,93 @@ class CampaignResult:
         return sum(run.stats.cycles for run in self.runs)
 
 
+def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
+                 features, keep_raw, memory_map, max_cycles_per_run,
+                 expect_exit_code) -> list[RunTask]:
+    return [
+        RunTask(
+            run_index=run_index,
+            workload_name=workload.name,
+            program=patch_program(program, patches),
+            config=config,
+            warm_regions=tuple(tuple(region)
+                               for region in workload.warm_regions),
+            features=tuple(features) if features is not None else None,
+            keep_raw=True if keep_raw is True else tuple(keep_raw),
+            memory_map=memory_map,
+            max_cycles=max_cycles_per_run,
+            expect_exit_code=expect_exit_code,
+        )
+        for run_index, patches in enumerate(workload.inputs)
+    ]
+
+
 def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                  features=None, keep_raw=(), memory_map: MemoryMap | None = None,
                  max_cycles_per_run: int = 5_000_000,
-                 expect_exit_code: int = 0) -> CampaignResult:
-    """Run ``workload`` over all its inputs, collecting iteration snapshots."""
+                 expect_exit_code: int = 0,
+                 jobs: int | None = 1, cache=None) -> CampaignResult:
+    """Run ``workload`` over all its inputs, collecting iteration snapshots.
+
+    ``jobs`` sets how many inputs simulate concurrently (``0``/``None`` =
+    one per available CPU); the merged result is bit-identical to ``jobs=1``.
+    ``cache`` is an optional :class:`~repro.sampler.trace_cache.TraceCache`
+    (or ``True`` for the default directory): inputs simulated before — by
+    any backend — are replayed from it, and identical inputs inside one
+    campaign are simulated only once.
+    """
     if not workload.inputs:
         raise WorkloadError(f"workload {workload.name!r} has no inputs")
+    if cache is True:
+        from repro.sampler.trace_cache import TraceCache
+
+        cache = TraceCache()
     program = workload.assemble()
+    tasks = _build_tasks(
+        workload, program, config, features=features, keep_raw=keep_raw,
+        memory_map=memory_map, max_cycles_per_run=max_cycles_per_run,
+        expect_exit_code=expect_exit_code,
+    )
+
+    started = time.perf_counter()
+    outputs: list[RunOutput | None] = [None] * len(tasks)
+    keys: list[str] | None = None
+    duplicate_of: dict[int, str] = {}
+    if cache is not None:
+        keys = [cache.key_for(task) for task in tasks]
+        for index, key in enumerate(keys):
+            outputs[index] = cache.load(key)
+    n_cached = sum(1 for output in outputs if output is not None)
+
+    # Within one campaign, identical (program, input, config) triples are
+    # simulated once and replayed for the duplicates (MicroWalk-style trace
+    # deduplication; requires a cache to clone the outputs through).
+    to_run: list[int] = []
+    seen_keys: set[str] = set()
+    for index, output in enumerate(outputs):
+        if output is not None:
+            continue
+        if keys is not None and keys[index] in seen_keys:
+            duplicate_of[index] = keys[index]
+            continue
+        if keys is not None:
+            seen_keys.add(keys[index])
+        to_run.append(index)
+
+    fresh = execute_tasks([tasks[index] for index in to_run], jobs=jobs)
+    for index, output in zip(to_run, fresh):
+        outputs[index] = output
+        if cache is not None:
+            cache.store(keys[index], output)
+    for index, key in duplicate_of.items():
+        # Replay the stored twin; fall back to simulating if the store failed.
+        outputs[index] = cache.load(key) or execute_run(tasks[index])
+
     tracer = MicroarchTracer(features=features, keep_raw=keep_raw)
     tracer.timed = True
-    runs = []
-    started = time.perf_counter()
-    for run_index, patches in enumerate(workload.inputs):
-        tracer.begin_run(run_index)
-        patched = patch_program(program, patches)
-        core = Core(
-            patched, config,
-            memory_map=memory_map,
-            kernel=ProxyKernel(memory_map=memory_map or MemoryMap()),
-            tracer=tracer,
-        )
-        for symbol, length in workload.warm_regions:
-            base = patched.symbols[symbol]
-            for address in range(base, base + length, 64):
-                core.dcache.warm_line(address)
-        result = core.run(max_cycles=max_cycles_per_run)
-        if expect_exit_code is not None and result.exit_code != expect_exit_code:
-            raise WorkloadError(
-                f"workload {workload.name!r} exited with "
-                f"{result.exit_code} (expected {expect_exit_code})"
-            )
-        runs.append(result)
+    runs = merge_outputs(outputs, tracer)
     elapsed = time.perf_counter() - started
-    parse_seconds = getattr(tracer, "sample_seconds", 0.0)
+    parse_seconds = tracer.sample_seconds
     return CampaignResult(
         workload=workload,
         config=config,
@@ -128,4 +195,5 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         runs=runs,
         simulate_seconds=max(elapsed - parse_seconds, 0.0),
         parse_seconds=parse_seconds,
+        n_cached_runs=n_cached,
     )

@@ -64,10 +64,15 @@ class SweepResult:
 
 def significance_sweep(workload_factory, *, sizes=(1, 2, 4, 8),
                        feature_ids=None, config: CoreConfig = MEGA_BOOM,
-                       seed: int = 3) -> SweepResult:
+                       seed: int = 3, jobs: int | None = 1,
+                       cache=None) -> SweepResult:
     """Run the analysis at increasing campaign sizes.
 
     ``workload_factory(n_inputs, seed)`` builds the workload for each size.
+    Sweeps re-simulate every smaller campaign's inputs, so passing a
+    ``cache`` (see :class:`~repro.sampler.trace_cache.TraceCache`) makes
+    each point pay only for its newly added inputs; ``jobs`` parallelizes
+    the rest.
     """
     result = None
     points = []
@@ -78,7 +83,8 @@ def significance_sweep(workload_factory, *, sizes=(1, 2, 4, 8),
         ids = tuple(feature_ids) if feature_ids else None
         sampler = MicroSampler(config, features=ids,
                                analyze_timing_removed=False,
-                               extract_root_causes_for_leaky=False)
+                               extract_root_causes_for_leaky=False,
+                               jobs=jobs, cache=cache)
         report = sampler.analyze(workload)
         point = SweepPoint(n_inputs=n_inputs,
                            n_iterations=report.n_iterations)

@@ -1,0 +1,182 @@
+"""Content-addressed cache of per-input simulation outputs.
+
+MicroWalk-style campaigns re-simulate the same (program, input, core
+configuration) triples constantly — input-coverage sweeps re-run every
+smaller campaign's inputs, benchmark reruns repeat whole figures, and a
+leaky workload is typically re-analyzed many times while a fix is iterated.
+Simulation dominates the pipeline cost (Table VI), so those repeats are
+worth eliminating entirely.
+
+Each campaign input is keyed by the *content* it is a pure function of: the
+assembled (and patched) program image, the core configuration, the memory
+map, and the tracer settings (tracked features, retained raw rows), plus
+the warm-region and cycle-budget knobs.  Mutating any of them — a changed
+source line, a different secret key, one more ROB entry — yields a new key;
+everything else is a byte-identical replay.  Keys are salted with the
+package version and a cache format version, but **not** with the simulator
+source itself: after modifying the core model, clear the cache directory or
+pass ``--no-cache``/``cache=None``.
+
+Entries are stored one file per key under ``root/<key[:2]>/<key>.pkl``
+(pickled *plain-value payloads*, not live objects — see
+:func:`repro.trace.tracer.iteration_to_payload`), written atomically so
+concurrent workers can share a cache directory.  Any unreadable, corrupt or
+version-mismatched entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.sampler.exec_backend import RunOutput, RunTask
+from repro.trace.features import FEATURE_ORDER
+from repro.trace.tracer import iteration_from_payload, iteration_to_payload
+from repro.uarch.core import CoreStats, RunResult
+from repro.util.hashing import stable_hex_digest
+
+#: Bump when the payload layout or key canonicalization changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "microsampler"
+
+
+def program_fingerprint(program) -> tuple:
+    """Canonical content of an assembled program (text, data, symbols)."""
+    return (
+        tuple(
+            (inst.mnemonic, inst.rd, inst.rs1, inst.rs2, inst.imm, inst.pc)
+            for inst in program.instructions
+        ),
+        program.text_base,
+        bytes(program.data),
+        program.data_base,
+        tuple(sorted(program.symbols.items())),
+        program.entry,
+    )
+
+
+def task_key(task: RunTask) -> str:
+    """Content-addressed cache key for one campaign input."""
+    features = task.features if task.features is not None else FEATURE_ORDER
+    keep_raw = (True if task.keep_raw is True
+                else tuple(sorted(task.keep_raw)))
+    material = (
+        CACHE_FORMAT_VERSION,
+        getattr(repro, "__version__", "0"),
+        program_fingerprint(task.program),
+        dataclasses.asdict(task.config),
+        dataclasses.asdict(task.memory_map) if task.memory_map else None,
+        tuple(features),
+        keep_raw,
+        tuple(tuple(region) for region in task.warm_regions),
+        task.max_cycles,
+        task.expect_exit_code,
+    )
+    return stable_hex_digest(material)
+
+
+def _output_to_payload(output: RunOutput) -> tuple:
+    run = output.run
+    return (
+        CACHE_FORMAT_VERSION,
+        tuple(iteration_to_payload(record) for record in output.iterations),
+        (run.exit_code, dataclasses.asdict(run.stats), run.console,
+         tuple(run.marker_cycles)),
+        output.cycles_sampled,
+        output.sample_seconds,
+    )
+
+
+def _output_from_payload(payload: tuple) -> RunOutput | None:
+    if not isinstance(payload, tuple) or len(payload) != 5:
+        return None
+    version, iterations, run, cycles_sampled, sample_seconds = payload
+    if version != CACHE_FORMAT_VERSION:
+        return None
+    exit_code, stats, console, marker_cycles = run
+    return RunOutput(
+        run_index=0,
+        iterations=[iteration_from_payload(item) for item in iterations],
+        run=RunResult(
+            exit_code=exit_code,
+            stats=CoreStats(**stats),
+            console=console,
+            marker_cycles=list(marker_cycles),
+        ),
+        cycles_sampled=cycles_sampled,
+        sample_seconds=sample_seconds,
+        from_cache=True,
+    )
+
+
+class TraceCache:
+    """Filesystem-backed cache of :class:`RunOutput` payloads.
+
+    Lookups and stores never raise on I/O problems: a cache must only ever
+    make a campaign faster, not able to fail it.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, task: RunTask) -> str:
+        return task_key(task)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> RunOutput | None:
+        """Replay a cached run, or None on miss/corruption."""
+        try:
+            raw = self._path(key).read_bytes()
+            output = _output_from_payload(pickle.loads(raw))
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                TypeError, AttributeError, ImportError, IndexError):
+            output = None
+        if output is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return output
+
+    def store(self, key: str, output: RunOutput) -> bool:
+        """Atomically persist one run's payload; best-effort."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(_output_to_payload(output),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            prefix=f".{key}.")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True

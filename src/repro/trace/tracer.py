@@ -132,6 +132,47 @@ def build_feature_iteration(rows, keep_raw: bool = True) -> FeatureIteration:
     return accumulator.finalize(keep_raw)
 
 
+def iteration_to_payload(record: IterationRecord) -> tuple:
+    """Flatten an :class:`IterationRecord` into plain tuples.
+
+    The payload contains only ints, strings and tuples, so persisted traces
+    (the content-addressed cache in :mod:`repro.sampler.trace_cache`) do not
+    depend on the pickle layout of these classes.  Feature order is
+    preserved, so a round trip reproduces the record exactly.
+    """
+    return (
+        record.index,
+        record.label,
+        record.start_cycle,
+        record.end_cycle,
+        record.run_index,
+        record.ordinal,
+        tuple(
+            (feature_id, fi.snapshot_hash, fi.snapshot_hash_notiming,
+             tuple(fi.values), fi.order, fi.rows)
+            for feature_id, fi in record.features.items()
+        ),
+    )
+
+
+def iteration_from_payload(payload: tuple) -> IterationRecord:
+    """Rebuild an :class:`IterationRecord` from :func:`iteration_to_payload`."""
+    index, label, start_cycle, end_cycle, run_index, ordinal, features = payload
+    record = IterationRecord(
+        index=index, label=label, start_cycle=start_cycle,
+        end_cycle=end_cycle, run_index=run_index, ordinal=ordinal,
+    )
+    for feature_id, digest, digest_notiming, values, order, rows in features:
+        record.features[feature_id] = FeatureIteration(
+            snapshot_hash=digest,
+            snapshot_hash_notiming=digest_notiming,
+            values=frozenset(values),
+            order=tuple(order),
+            rows=tuple(tuple(row) for row in rows) if rows is not None else None,
+        )
+    return record
+
+
 class MicroarchTracer:
     """Collects iteration snapshots from a running core.
 

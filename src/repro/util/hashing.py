@@ -77,3 +77,79 @@ def row_digest(row: tuple) -> int:
 def combine_digests(digests: list[int], key: tuple[int, int] = DEFAULT_KEY) -> int:
     """SipHash-2-4 over a sequence of 64-bit row digests."""
     return siphash24(struct.pack(f"<{len(digests)}Q", *digests), key)
+
+
+# -- content addressing -------------------------------------------------------
+#
+# The trace cache (repro.sampler.trace_cache) keys simulation outputs by
+# *content*: the assembled program, the per-run input patches and the core
+# configuration.  These helpers canonicalize arbitrary nestings of the plain
+# values those objects are made of into a type-tagged byte stream, so that
+# e.g. the int 1 and the bytes b"\x01" can never collide, and dict ordering
+# never matters.
+
+
+def _canonical_bytes(value, out: list) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1,
+                             "little", signed=True)
+        out.append(b"i" + len(raw).to_bytes(4, "little") + raw)
+    elif isinstance(value, float):
+        out.append(b"f" + struct.pack("<d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s" + len(raw).to_bytes(8, "little") + raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(b"b" + len(raw).to_bytes(8, "little") + raw)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"(" + len(value).to_bytes(8, "little"))
+        for item in value:
+            _canonical_bytes(item, out)
+        out.append(b")")
+    elif isinstance(value, (frozenset, set)):
+        encoded = []
+        for item in value:
+            chunk: list = []
+            _canonical_bytes(item, chunk)
+            encoded.append(b"".join(chunk))
+        out.append(b"{" + len(encoded).to_bytes(8, "little"))
+        out.extend(sorted(encoded))
+        out.append(b"}")
+    elif isinstance(value, dict):
+        encoded = []
+        for key, item in value.items():
+            chunk = []
+            _canonical_bytes(key, chunk)
+            _canonical_bytes(item, chunk)
+            encoded.append(b"".join(chunk))
+        out.append(b"d" + len(encoded).to_bytes(8, "little"))
+        out.extend(sorted(encoded))
+        out.append(b"e")
+    else:
+        raise TypeError(
+            f"cannot canonicalize {type(value).__name__!r} for hashing"
+        )
+
+
+def stable_digest(value, key: tuple[int, int] = DEFAULT_KEY) -> int:
+    """Deterministic 64-bit digest of a nesting of plain Python values.
+
+    Supports None/bool/int/float/str/bytes and tuples/lists/sets/dicts
+    thereof.  Unlike :func:`row_digest` this is independent of CPython's
+    hash implementation and safe to persist across interpreter versions.
+    """
+    out: list = []
+    _canonical_bytes(value, out)
+    return siphash24(b"".join(out), key)
+
+
+def stable_hex_digest(value, key: tuple[int, int] = DEFAULT_KEY) -> str:
+    """:func:`stable_digest` rendered as a fixed-width hex string."""
+    return f"{stable_digest(value, key):016x}"

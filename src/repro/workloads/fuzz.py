@@ -172,3 +172,68 @@ def generate_memory_torture(seed: int, *, operations: int = 60) -> str:
 def generate_torture(seed: int, **kwargs) -> Program:
     """Generate and assemble a memory-torture program."""
     return assemble(generate_memory_torture(seed, **kwargs), entry="main")
+
+
+_STRAIGHTLINE_SCRATCH = 64
+
+
+def generate_straightline_program(seed: int, *, length: int = 40) -> str:
+    """Random straight-line program: no branches, no calls, one exit.
+
+    With control flow removed, any architectural divergence between the
+    interpreter and the out-of-order core isolates to data-path semantics —
+    ALU/M-extension results, memory ordering, store-to-load forwarding —
+    which makes these programs the sharpest differential oracle per
+    instruction executed.  The scratch checksum is fully unrolled to keep
+    the program branch-free end to end.
+    """
+    rng = random.Random(seed)
+    lines = [
+        ".data",
+        f"scratch: .zero {_STRAIGHTLINE_SCRATCH}",
+        "out: .zero 8",
+        ".text",
+        "main:",
+        "    la   s0, scratch",
+    ]
+    for reg in _WORK_REGS:
+        lines.append(f"    li   {reg}, {rng.getrandbits(32) - (1 << 31)}")
+    for _ in range(length):
+        lines.append("    " + _straightline_instruction(rng))
+    lines.append("    li   a0, 0")
+    for reg in _WORK_REGS:
+        lines.append(f"    xor  a0, a0, {reg}")
+    for offset in range(0, _STRAIGHTLINE_SCRATCH, 8):
+        lines.append(f"    ld   t0, {offset}(s0)")
+        lines.append("    xor  a0, a0, t0")
+    lines.extend([
+        "    la   t1, out",
+        "    sd   a0, 0(t1)",
+        "    li   a0, 0",
+        "    li   a7, 93",
+        "    ecall",
+    ])
+    return "\n".join(lines)
+
+
+def _straightline_instruction(rng: random.Random) -> str:
+    kind = rng.random()
+    rd = rng.choice(_WORK_REGS)
+    rs1 = rng.choice(_WORK_REGS)
+    rs2 = rng.choice(_WORK_REGS)
+    if kind < 0.5:
+        return f"{rng.choice(_ALU_RR)} {rd}, {rs1}, {rs2}"
+    if kind < 0.65:
+        return f"{rng.choice(_ALU_RI)} {rd}, {rs1}, {rng.randint(-2048, 2047)}"
+    if kind < 0.75:
+        return f"{rng.choice(_SHIFT_RI)} {rd}, {rs1}, {rng.randint(0, 63)}"
+    offset = rng.randrange(0, _STRAIGHTLINE_SCRATCH - 8, 8)
+    if kind < 0.9:
+        return f"{rng.choice(_LOADS)} {rd}, {offset}(s0)"
+    return f"{rng.choice(_STORES)} {rs1}, {offset}(s0)"
+
+
+def generate_straightline(seed: int, **kwargs) -> Program:
+    """Generate and assemble a straight-line differential-test program."""
+    return assemble(generate_straightline_program(seed, **kwargs),
+                    entry="main")

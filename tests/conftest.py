@@ -8,6 +8,12 @@ from repro.isa import assemble
 from repro.uarch import MEGA_BOOM, SMALL_BOOM
 
 
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path, monkeypatch):
+    """Keep the default trace cache out of the user's real cache directory."""
+    monkeypatch.setenv("MICROSAMPLER_CACHE_DIR", str(tmp_path / "trace-cache"))
+
+
 @pytest.fixture(scope="session")
 def mega():
     return MEGA_BOOM

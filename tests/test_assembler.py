@@ -275,3 +275,33 @@ def test_immediate_out_of_range_rejected_at_assembly():
         assemble(".text\naddi t0, t0, 5000")
     with pytest.raises(AssemblerError, match="shift amount"):
         assemble(".text\nslliw t0, t0, 40")
+
+
+# -- seeded fuzz: whole-program disassemble/re-assemble fixed point -----------
+#
+# Random generated programs (the co-simulation corpus) are assembled, every
+# instruction disassembled, and the resulting flat listing re-assembled.
+# Pseudo-expansions (li, la, call...) and relaxed branches are concrete
+# instructions by then, so the second pass must reproduce the program
+# exactly: same mnemonics, fields and machine words at every address.
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_program_reassembly_fixed_point(seed):
+    from repro.isa import encode
+    from repro.workloads import fuzz
+
+    program = fuzz.generate(seed)
+    listing = ".text\nmain:\n" + "\n".join(
+        f"    {format_instruction(inst)}" for inst in program.instructions
+    )
+    reassembled = assemble(listing, entry="main")
+    assert len(reassembled.instructions) == len(program.instructions)
+    for original, round_tripped in zip(program.instructions,
+                                       reassembled.instructions):
+        assert original.pc == round_tripped.pc
+        assert encode(original) == encode(round_tripped)
+        assert (original.mnemonic, original.rd, original.rs1,
+                original.rs2, original.imm) == (
+            round_tripped.mnemonic, round_tripped.rd, round_tripped.rs1,
+            round_tripped.rs2, round_tripped.imm)

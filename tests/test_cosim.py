@@ -103,3 +103,25 @@ def test_memory_torture_mega(seed):
 @pytest.mark.parametrize("seed", range(42, 48))
 def test_memory_torture_small(seed):
     _assert_equivalent(fuzz.generate_torture(seed), SMALL_BOOM)
+
+
+# -- straight-line differential fuzz ------------------------------------------
+#
+# Short branch-free programs isolate data-path semantics (ALU/M results,
+# memory ordering, forwarding) from control-flow recovery: with no branches
+# to mispredict, any divergence between the golden-model interpreter and the
+# out-of-order core is a pure execution bug.  The configuration rotates
+# through every core variant so the whole matrix sees the corpus.
+
+_STRAIGHTLINE_CONFIGS = [
+    MEGA_BOOM,
+    SMALL_BOOM,
+    MEGA_BOOM.with_(fast_bypass=True),
+    MEGA_BOOM.with_(variable_div_latency=True),
+]
+
+
+@pytest.mark.parametrize("seed", range(100, 156))
+def test_straightline_differential(seed):
+    config = _STRAIGHTLINE_CONFIGS[seed % len(_STRAIGHTLINE_CONFIGS)]
+    _assert_equivalent(fuzz.generate_straightline(seed), config)

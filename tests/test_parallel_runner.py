@@ -1,0 +1,144 @@
+"""Differential tests: the parallel backend vs serial campaign execution.
+
+The parallel execution backend must be a pure performance feature: for any
+workload, the merged trace matrix — every iteration record, every per-feature
+snapshot — and everything derived from it (contingency tables, chi-squared /
+Cramér's V) must be bit-identical to a serial campaign, regardless of worker
+count or completion order.
+"""
+
+import pytest
+
+from repro.sampler import (
+    MicroSampler,
+    Workload,
+    WorkloadError,
+    build_contingency_table,
+    measure_association,
+    resolve_jobs,
+    run_campaign,
+)
+from repro.sampler.exec_backend import RunTask, execute_tasks
+from repro.uarch import MEGA_BOOM, SMALL_BOOM
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.memcmp import make_ct_memcmp
+
+
+def campaign_signature(campaign):
+    """Everything analysis-relevant about a campaign, as plain values."""
+    return [
+        (
+            record.index, record.label, record.run_index, record.ordinal,
+            record.start_cycle, record.end_cycle,
+            {fid: fi for fid, fi in record.features.items()},
+        )
+        for record in campaign.iterations
+    ]
+
+
+def association_signature(campaign):
+    """Contingency tables and association stats per feature, per hash kind."""
+    labels = [record.label for record in campaign.iterations]
+    out = {}
+    for notiming in (False, True):
+        for feature_id in campaign.iterations[0].features:
+            hashes = [
+                record.features[feature_id].snapshot_hash_notiming if notiming
+                else record.features[feature_id].snapshot_hash
+                for record in campaign.iterations
+            ]
+            table = build_contingency_table(labels, hashes)
+            association = measure_association(table)
+            out[(feature_id, notiming)] = (
+                table, association.cramers_v, association.p_value,
+                association.chi_squared, association.dof,
+            )
+    return out
+
+
+def assert_campaigns_identical(serial, parallel):
+    assert campaign_signature(serial) == campaign_signature(parallel)
+    assert association_signature(serial) == association_signature(parallel)
+    assert [r.exit_code for r in serial.runs] == \
+           [r.exit_code for r in parallel.runs]
+    assert [r.stats for r in serial.runs] == [r.stats for r in parallel.runs]
+
+
+def test_memcmp_campaign_parallel_is_bit_identical():
+    workload = make_ct_memcmp(n_pairs=4, seed=5, n_runs=4)
+    serial = run_campaign(workload, MEGA_BOOM, keep_raw=("ROB-PC",))
+    parallel = run_campaign(workload, MEGA_BOOM, keep_raw=("ROB-PC",), jobs=4)
+    assert_campaigns_identical(serial, parallel)
+    # keep_raw rows survive the worker round trip identically too.
+    for a, b in zip(serial.iterations, parallel.iterations):
+        assert a.features["ROB-PC"].rows == b.features["ROB-PC"].rows
+        assert a.features["ROB-PC"].rows is not None
+
+
+def test_chacha_campaign_parallel_is_bit_identical():
+    workload = make_chacha20(n_keys=4, n_blocks=1, seed=6)
+    serial = run_campaign(workload, MEGA_BOOM)
+    parallel = run_campaign(workload, MEGA_BOOM, jobs=4)
+    assert_campaigns_identical(serial, parallel)
+
+
+def test_more_jobs_than_inputs():
+    workload = make_ct_memcmp(n_pairs=4, seed=5, n_runs=2)
+    serial = run_campaign(workload, SMALL_BOOM)
+    parallel = run_campaign(workload, SMALL_BOOM, jobs=8)
+    assert_campaigns_identical(serial, parallel)
+
+
+def test_pipeline_report_identical_across_backends():
+    workload = make_ct_memcmp(n_pairs=4, seed=5, n_runs=4)
+    serial = MicroSampler(MEGA_BOOM).analyze(workload)
+    parallel = MicroSampler(MEGA_BOOM, jobs=4).analyze(workload)
+    assert serial.leaky_units == parallel.leaky_units
+    assert serial.cramers_v_by_unit() == parallel.cramers_v_by_unit()
+    assert serial.cramers_v_by_unit_notiming() == \
+        parallel.cramers_v_by_unit_notiming()
+    for feature_id, unit in serial.units.items():
+        other = parallel.units[feature_id]
+        assert unit.association.p_value == other.association.p_value
+        assert unit.association.chi_squared == other.association.chi_squared
+
+
+def test_worker_failure_propagates_as_workload_error():
+    bad = Workload(
+        name="bad",
+        source=".text\nmain:\n li a0, 1\n li a7, 93\n ecall",
+        inputs=[{} for _ in range(3)],
+    )
+    with pytest.raises(WorkloadError, match="exited"):
+        run_campaign(bad, SMALL_BOOM, jobs=3)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs(None) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_execute_tasks_preserves_task_order():
+    # Mixed-size programs: the short ones finish first on a pool, but the
+    # outputs must still come back in submission order.
+    def program(n_nops):
+        source = ".text\nmain:\n" + " nop\n" * n_nops + " li a0, 0\n li a7, 93\n ecall"
+        return Workload(name=f"nops{n_nops}", source=source, inputs=[{}])
+
+    tasks = []
+    for index, n_nops in enumerate([400, 5, 200, 1]):
+        workload = program(n_nops)
+        tasks.append(RunTask(
+            run_index=index,
+            workload_name=workload.name,
+            program=workload.assemble(),
+            config=SMALL_BOOM,
+        ))
+    outputs = execute_tasks(tasks, jobs=4)
+    assert [output.run_index for output in outputs] == [0, 1, 2, 3]
+    committed = [output.run.stats.committed for output in outputs]
+    assert committed[0] > committed[2] > committed[1] > committed[3]

@@ -1,0 +1,222 @@
+"""Trace-cache correctness: hits replay bit-identical traces, and every
+component of the content address — program source, input patches, core
+configuration — independently invalidates the key."""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.sampler import (
+    MicroSampler,
+    TraceCache,
+    Workload,
+    run_campaign,
+    task_key,
+)
+from repro.sampler.exec_backend import RunTask
+from repro.sampler.trace_cache import default_cache_dir
+from repro.uarch import SMALL_BOOM
+from repro.workloads.memcmp import make_ct_memcmp
+
+from tests.test_parallel_runner import assert_campaigns_identical
+
+_SOURCE = """
+.data
+key: .byte 0
+.text
+main:
+    roi.begin
+    la t0, key
+    lbu t1, 0(t0)
+    andi t2, t1, 1
+    iter.begin t2
+    xor t3, t1, t2
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def _workload(source=_SOURCE, n_inputs=4):
+    return Workload(
+        name="tiny",
+        source=source,
+        inputs=[{"key": bytes([i])} for i in range(n_inputs)],
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "cache")
+
+
+def _task(workload, config=SMALL_BOOM, **overrides):
+    program = workload.assemble()
+    from repro.sampler import patch_program
+
+    fields = dict(
+        run_index=0,
+        workload_name=workload.name,
+        program=patch_program(program, workload.inputs[0]),
+        config=config,
+    )
+    fields.update(overrides)
+    return RunTask(**fields)
+
+
+class TestKeying:
+    def test_key_is_stable_across_calls(self):
+        assert task_key(_task(_workload())) == task_key(_task(_workload()))
+
+    def test_program_source_changes_key(self):
+        mutated = _SOURCE.replace("xor t3, t1, t2", "or t3, t1, t2")
+        assert task_key(_task(_workload())) != \
+            task_key(_task(_workload(source=mutated)))
+
+    def test_input_patch_changes_key(self):
+        workload = _workload()
+        base = _task(workload)
+        from repro.sampler import patch_program
+
+        other = _task(workload, program=patch_program(
+            workload.assemble(), {"key": bytes([9])}))
+        assert task_key(base) != task_key(other)
+
+    def test_config_changes_key(self):
+        assert task_key(_task(_workload())) != task_key(
+            _task(_workload(), config=SMALL_BOOM.with_(rob_entries=64)))
+
+    def test_tracer_settings_change_key(self):
+        base = _task(_workload())
+        assert task_key(base) != task_key(
+            _task(_workload(), features=("ROB-PC",)))
+        assert task_key(base) != task_key(
+            _task(_workload(), keep_raw=("ROB-PC",)))
+        assert task_key(base) != task_key(
+            _task(_workload(), max_cycles=1000))
+
+
+class TestReplay:
+    def test_hit_is_bit_identical_to_cold_run(self, cache):
+        workload = _workload()
+        cold = run_campaign(workload, SMALL_BOOM, cache=cache)
+        assert cache.hits == 0 and cache.stores == len(workload.inputs)
+        warm = run_campaign(workload, SMALL_BOOM, cache=cache)
+        assert cache.hits == len(workload.inputs)
+        assert warm.n_cached_runs == len(workload.inputs)
+        assert_campaigns_identical(cold, warm)
+
+    def test_replay_skips_simulation(self, cache):
+        workload = _workload()
+        run_campaign(workload, SMALL_BOOM, cache=cache)
+        warm = run_campaign(workload, SMALL_BOOM, cache=cache)
+        # A fully cached campaign never touches the core: the only elapsed
+        # time is key computation and deserialization.
+        assert warm.n_cached_runs == len(workload.inputs)
+        assert warm.total_cycles() > 0  # stats replayed, not re-simulated
+
+    def test_mutations_miss(self, cache):
+        run_campaign(_workload(), SMALL_BOOM, cache=cache)
+        mutated = _SOURCE.replace("xor t3, t1, t2", "or t3, t1, t2")
+        run_campaign(_workload(source=mutated), SMALL_BOOM, cache=cache)
+        assert cache.hits == 0
+
+        run_campaign(_workload(), SMALL_BOOM.with_(rob_entries=64),
+                     cache=cache)
+        assert cache.hits == 0
+
+        different_inputs = Workload(
+            name="tiny", source=_SOURCE,
+            inputs=[{"key": bytes([i + 100])} for i in range(4)],
+        )
+        run_campaign(different_inputs, SMALL_BOOM, cache=cache)
+        assert cache.hits == 0
+
+    def test_identical_inputs_deduplicated_within_campaign(self, cache):
+        duplicated = Workload(
+            name="tiny", source=_SOURCE,
+            inputs=[{"key": b"\x01"}, {"key": b"\x02"},
+                    {"key": b"\x01"}, {"key": b"\x02"}],
+        )
+        campaign = run_campaign(duplicated, SMALL_BOOM, cache=cache)
+        # Only the two unique inputs were simulated; their twins replayed.
+        assert cache.stores == 2
+        assert len(campaign.runs) == 4
+        assert [r.label for r in campaign.iterations] == [1, 0, 1, 0]
+        sig = [r.features["ROB-PC"].snapshot_hash for r in campaign.iterations]
+        assert sig[0] == sig[2] and sig[1] == sig[3]
+        # ... and the replayed twins carry their own run indices.
+        assert [r.run_index for r in campaign.iterations] == [0, 1, 2, 3]
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        workload = _workload(n_inputs=1)
+        cold = run_campaign(workload, SMALL_BOOM, cache=cache)
+        for path in cache.root.rglob("*.pkl"):
+            path.write_bytes(b"garbage")
+        warm = run_campaign(workload, SMALL_BOOM, cache=cache)
+        assert warm.n_cached_runs == 0
+        assert_campaigns_identical(cold, warm)
+
+    def test_stale_format_version_is_a_miss(self, cache):
+        workload = _workload(n_inputs=1)
+        run_campaign(workload, SMALL_BOOM, cache=cache)
+        for path in cache.root.rglob("*.pkl"):
+            payload = pickle.loads(path.read_bytes())
+            path.write_bytes(pickle.dumps((-1,) + payload[1:]))
+        warm = run_campaign(workload, SMALL_BOOM, cache=cache)
+        assert warm.n_cached_runs == 0
+
+    def test_no_cache_bypasses(self, tmp_path):
+        workload = _workload()
+        campaign = run_campaign(workload, SMALL_BOOM, cache=None)
+        assert campaign.n_cached_runs == 0
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_default_cache_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MICROSAMPLER_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+
+    def test_cache_true_uses_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MICROSAMPLER_CACHE_DIR", str(tmp_path / "auto"))
+        run_campaign(_workload(), SMALL_BOOM, cache=True)
+        assert list((tmp_path / "auto").rglob("*.pkl"))
+
+    def test_pipeline_with_cache(self, cache):
+        workload = _workload(n_inputs=6)
+        cold = MicroSampler(SMALL_BOOM, features=["ROB-PC"],
+                            cache=cache).analyze(workload)
+        warm = MicroSampler(SMALL_BOOM, features=["ROB-PC"],
+                            cache=cache).analyze(workload)
+        assert cache.hits == 6
+        assert cold.cramers_v_by_unit() == warm.cramers_v_by_unit()
+        assert cold.units["ROB-PC"].association.p_value == \
+            warm.units["ROB-PC"].association.p_value
+
+
+class TestCLI:
+    def test_analyze_uses_cache_dir_and_no_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        argv = ["analyze", "sam-ct", "--inputs", "2", "--config", "small",
+                "--no-timing-removed", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        stored = list(cache_dir.rglob("*.pkl"))
+        assert stored
+
+        # Second invocation replays from the cache and agrees.
+        assert main(argv) == 0
+        assert list(cache_dir.rglob("*.pkl")) == stored
+
+        # --no-cache leaves the directory untouched.
+        untouched = tmp_path / "untouched"
+        assert main(argv[:-1] + [str(untouched), "--no-cache"]) == 0
+        assert not untouched.exists()
+
+    def test_analyze_jobs_flag(self, capsys):
+        assert main(["analyze", "sam-ct", "--inputs", "2", "--config",
+                     "small", "--no-timing-removed", "--jobs", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "No statistically significant correlation" in out
