@@ -83,6 +83,15 @@ def _jobs_argument(value: str) -> int:
     return jobs
 
 
+def _add_engine_argument(parser) -> None:
+    parser.add_argument("--engine", choices=["python", "numpy"],
+                        default="numpy",
+                        help="statistics engine: 'numpy' scores all units "
+                             "with vectorized columnar kernels; 'python' is "
+                             "the scalar reference implementation (results "
+                             "agree to within 1e-9)")
+
+
 def _add_backend_arguments(parser) -> None:
     parser.add_argument("--jobs", type=_jobs_argument, default=1,
                         help="simulate this many inputs concurrently "
@@ -163,6 +172,7 @@ def cmd_analyze(args) -> int:
         analyze_timing_removed=not args.no_timing_removed,
         jobs=jobs,
         cache=cache,
+        engine=args.engine,
     )
     print(f"analyzing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -228,7 +238,7 @@ def cmd_audit(args) -> int:
                     for name in names if name in AUDIT_EXPECTATIONS}
     jobs, cache = _resolve_backend(args)
     result = run_audit(workloads, config=config, expectations=expectations,
-                       jobs=jobs, cache=cache)
+                       jobs=jobs, cache=cache, engine=args.engine)
     print(result.render())
     return 0 if result.passed else 1
 
@@ -273,6 +283,8 @@ def cmd_trace(args) -> int:
 def cmd_reanalyze(args) -> int:
     """Re-run the statistical analysis over an archived trace log."""
     from repro.sampler import build_contingency_table, measure_association
+    from repro.sampler.matrix import TraceMatrix
+    from repro.sampler.stats_vec import batched_association
     from repro.trace.logfile import parse_trace_log
 
     iterations = parse_trace_log(args.log, features=args.features or None)
@@ -281,12 +293,23 @@ def cmd_reanalyze(args) -> int:
         return 2
     labels = [record.label for record in iterations]
     feature_ids = sorted(iterations[0].features)
+    if args.engine == "numpy":
+        matrix = TraceMatrix.from_iterations(iterations, feature_ids,
+                                             notiming=False)
+        associations = batched_association(matrix)
+    else:
+        associations = {
+            feature_id: measure_association(build_contingency_table(
+                labels,
+                [r.features[feature_id].snapshot_hash for r in iterations],
+            ))
+            for feature_id in feature_ids
+        }
     print(f"{len(iterations)} iterations, {len(set(labels))} classes")
     print(f"{'unit':<14} {'V':>6} {'p-value':>10} {'flag':>6}")
     leaky = False
     for feature_id in feature_ids:
-        hashes = [r.features[feature_id].snapshot_hash for r in iterations]
-        a = measure_association(build_contingency_table(labels, hashes))
+        a = associations[feature_id]
         print(f"{feature_id:<14} {a.cramers_v:>6.3f} {a.p_value:>10.3g} "
               f"{'LEAK' if a.leaky else '-':>6}")
         leaky = leaky or a.leaky
@@ -331,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the timing-removed re-analysis")
     analyze.add_argument("--json", action="store_true",
                          help="emit the verdict as JSON (for CI)")
+    _add_engine_argument(analyze)
     _add_backend_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -372,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--variable-div", action="store_true")
     audit.add_argument("--inputs", type=int, default=8)
     audit.add_argument("--seed", type=int, default=3)
+    _add_engine_argument(audit)
     _add_backend_arguments(audit)
     audit.set_defaults(func=cmd_audit)
 
@@ -391,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     reanalyze.add_argument("log")
     reanalyze.add_argument("--features", nargs="*",
                            help="feature subset (default: all in the log)")
+    _add_engine_argument(reanalyze)
     reanalyze.set_defaults(func=cmd_reanalyze)
     return parser
 

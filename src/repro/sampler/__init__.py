@@ -20,6 +20,12 @@ from repro.sampler.exec_backend import (
     execute_tasks,
     resolve_jobs,
 )
+from repro.sampler.matrix import TraceMatrix, encode_column
+from repro.sampler.stats_vec import (
+    batched_association,
+    chi_squared_from_counts,
+    measure_association_counts,
+)
 from repro.sampler.feature_extraction import (
     OrderingReport,
     RootCauseReport,
@@ -86,8 +92,13 @@ __all__ = [
     "UnitResult",
     "Workload",
     "WorkloadError",
+    "TraceMatrix",
     "adaptive_analyze",
+    "batched_association",
     "build_contingency_table",
+    "chi_squared_from_counts",
+    "encode_column",
+    "measure_association_counts",
     "UnitDelta",
     "chi_squared_p_value",
     "chi_squared_statistic",

@@ -81,13 +81,17 @@ class AuditResult:
 def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
               expectations: dict | None = None,
               sampler: MicroSampler | None = None,
-              jobs: int | None = 1, cache=None) -> AuditResult:
+              jobs: int | None = 1, cache=None,
+              engine: str = "numpy") -> AuditResult:
     """Analyze every workload; ``expectations[name]`` = True means "should
     leak" (a litmus), False means "must be clean" (a hardened primitive).
 
-    ``jobs``/``cache`` configure the simulation backend when no explicit
-    ``sampler`` is supplied (see :func:`repro.sampler.run_campaign`)."""
-    sampler = sampler or MicroSampler(config, jobs=jobs, cache=cache)
+    ``jobs``/``cache``/``engine`` configure the simulation backend and the
+    statistics engine when no explicit ``sampler`` is supplied (see
+    :func:`repro.sampler.run_campaign` and
+    :class:`~repro.sampler.pipeline.MicroSampler`)."""
+    sampler = sampler or MicroSampler(config, jobs=jobs, cache=cache,
+                                      engine=engine)
     expectations = expectations or {}
     result = AuditResult(config_name=config.name)
     for workload in workloads:

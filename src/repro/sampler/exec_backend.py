@@ -158,9 +158,8 @@ def merge_outputs(outputs: list[RunOutput],
     runs: list[RunResult] = []
     for position, output in enumerate(outputs):
         for record in output.iterations:
-            record.index = len(tracer.iterations)
             record.run_index = position
-            tracer.iterations.append(record)
+            tracer.append_record(record)  # re-stamps the global index
         tracer.cycles_sampled += output.cycles_sampled
         if not output.from_cache:
             # Cache hits replay stored snapshots without sampling anything

@@ -100,11 +100,14 @@ def feature_ordering(iterations: list[IterationRecord],
     labels = sorted(orderings_by_class)
     exclusive = {}
     for label in labels:
-        own = set(orderings_by_class[label])
+        if len(labels) < 2:
+            # Like uniqueness, exclusivity is a between-class notion.
+            exclusive[label] = Counter()
+            continue
         others = set().union(
             *(orderings_by_class[other].keys() for other in labels
               if other != label)
-        ) if len(labels) > 1 else set()
+        )
         exclusive[label] = Counter({
             ordering: count
             for ordering, count in orderings_by_class[label].items()

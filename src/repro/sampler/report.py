@@ -14,7 +14,8 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
     lines = [
         f"MicroSampler report — workload={report.workload_name} "
         f"core={report.config_name}",
-        f"iterations={report.n_iterations} classes={report.n_classes}",
+        f"iterations={report.n_iterations} classes={report.n_classes} "
+        f"engine={report.engine}",
         "",
     ]
     header = f"{'unit':<12} {'V':>6} {'p-value':>10} {'hashes':>7} {'flag':>6}"
@@ -61,6 +62,7 @@ def report_to_dict(report: LeakageReport) -> dict:
             return None
         return {
             "cramers_v": a.cramers_v,
+            "cramers_v_corrected": a.cramers_v_corrected,
             "chi_squared": a.chi_squared,
             "dof": a.dof,
             "p_value": a.p_value,
@@ -96,6 +98,7 @@ def report_to_dict(report: LeakageReport) -> dict:
     payload = {
         "workload": report.workload_name,
         "config": report.config_name,
+        "engine": report.engine,
         "n_iterations": report.n_iterations,
         "n_classes": report.n_classes,
         "leakage_detected": report.leakage_detected,

@@ -32,6 +32,8 @@ class AssociationResult:
     n_observations: int
     n_classes: int
     n_categories: int
+    #: Bias-corrected V (Bergsma 2013); see :func:`cramers_v_corrected`.
+    cramers_v_corrected: float = 0.0
 
     @property
     def significant(self) -> bool:
@@ -76,34 +78,19 @@ def chi_squared_p_value(statistic: float, dof: int) -> float:
     return float(gammaincc(dof / 2.0, statistic / 2.0))
 
 
-def cramers_v(table: ContingencyTable) -> float:
-    """Cramér's V of a contingency table (Eq. 2).
-
-    Defined as 0 for degenerate tables (a single class or a single snapshot
-    hash): with no variation there is no measurable association.
-    """
+def _cramers_v_from_statistic(statistic: float, table: ContingencyTable) -> float:
     if table.is_degenerate():
         return 0.0
-    statistic, _ = chi_squared_statistic(table)
-    total = table.total
-    denominator = total * min(table.n_cols - 1, table.n_rows - 1)
+    denominator = table.total * min(table.n_cols - 1, table.n_rows - 1)
     if denominator == 0:
         return 0.0
     return math.sqrt(statistic / denominator)
 
 
-def cramers_v_corrected(table: ContingencyTable) -> float:
-    """Bias-corrected Cramér's V (Bergsma 2013).
-
-    The empirical V is positively biased for sparse tables — exactly the
-    small-sample regime the paper guards with p-values.  The correction
-    shrinks chi-squared/N and the table dimensions by their expectations
-    under independence, giving a statistic that is near zero for independent
-    data even with many snapshot-hash categories.
-    """
+def _cramers_v_corrected_from_statistic(statistic: float,
+                                        table: ContingencyTable) -> float:
     if table.is_degenerate():
         return 0.0
-    statistic, _ = chi_squared_statistic(table)
     n = table.total
     if n <= 1:
         return 0.0
@@ -118,6 +105,29 @@ def cramers_v_corrected(table: ContingencyTable) -> float:
     return math.sqrt(phi2_corrected / denominator)
 
 
+def cramers_v(table: ContingencyTable) -> float:
+    """Cramér's V of a contingency table (Eq. 2).
+
+    Defined as 0 for degenerate tables (a single class or a single snapshot
+    hash): with no variation there is no measurable association.
+    """
+    statistic, _ = chi_squared_statistic(table)
+    return _cramers_v_from_statistic(statistic, table)
+
+
+def cramers_v_corrected(table: ContingencyTable) -> float:
+    """Bias-corrected Cramér's V (Bergsma 2013).
+
+    The empirical V is positively biased for sparse tables — exactly the
+    small-sample regime the paper guards with p-values.  The correction
+    shrinks chi-squared/N and the table dimensions by their expectations
+    under independence, giving a statistic that is near zero for independent
+    data even with many snapshot-hash categories.
+    """
+    statistic, _ = chi_squared_statistic(table)
+    return _cramers_v_corrected_from_statistic(statistic, table)
+
+
 def measure_association(table: ContingencyTable) -> AssociationResult:
     """Full association measurement for one contingency table."""
     statistic, dof = chi_squared_statistic(table)
@@ -125,7 +135,9 @@ def measure_association(table: ContingencyTable) -> AssociationResult:
         chi_squared=statistic,
         dof=dof,
         p_value=chi_squared_p_value(statistic, dof),
-        cramers_v=cramers_v(table),
+        cramers_v=_cramers_v_from_statistic(statistic, table),
+        cramers_v_corrected=_cramers_v_corrected_from_statistic(
+            statistic, table),
         n_observations=table.total,
         n_classes=table.n_rows,
         n_categories=table.n_cols,

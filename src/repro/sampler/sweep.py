@@ -65,14 +65,15 @@ class SweepResult:
 def significance_sweep(workload_factory, *, sizes=(1, 2, 4, 8),
                        feature_ids=None, config: CoreConfig = MEGA_BOOM,
                        seed: int = 3, jobs: int | None = 1,
-                       cache=None) -> SweepResult:
+                       cache=None, engine: str = "numpy") -> SweepResult:
     """Run the analysis at increasing campaign sizes.
 
     ``workload_factory(n_inputs, seed)`` builds the workload for each size.
     Sweeps re-simulate every smaller campaign's inputs, so passing a
     ``cache`` (see :class:`~repro.sampler.trace_cache.TraceCache`) makes
     each point pay only for its newly added inputs; ``jobs`` parallelizes
-    the rest.
+    the rest and ``engine`` selects the statistics implementation (sweeps
+    score many (unit, size) cells, so the vectorized default matters here).
     """
     result = None
     points = []
@@ -84,7 +85,7 @@ def significance_sweep(workload_factory, *, sizes=(1, 2, 4, 8),
         sampler = MicroSampler(config, features=ids,
                                analyze_timing_removed=False,
                                extract_root_causes_for_leaky=False,
-                               jobs=jobs, cache=cache)
+                               jobs=jobs, cache=cache, engine=engine)
         report = sampler.analyze(workload)
         point = SweepPoint(n_inputs=n_inputs,
                            n_iterations=report.n_iterations)

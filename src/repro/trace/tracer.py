@@ -16,6 +16,7 @@ only for features listed in ``keep_raw``.
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass, field
 
 from repro.trace.features import FEATURE_ORDER, FEATURES, FeatureSpec
@@ -196,6 +197,20 @@ class MicroarchTracer:
         else:
             self.keep_raw = set(keep_raw)
         self.iterations: list[IterationRecord] = []
+        #: Columnar view of the finalized records, grown in lock-step with
+        #: ``iterations`` by :meth:`append_record`: per-feature snapshot-hash
+        #: columns plus the label/ordinal columns.  Hash and ordinal columns
+        #: are C-contiguous ``array`` buffers, so the vectorized analysis
+        #: engine lowers them into a
+        #: :class:`~repro.sampler.matrix.TraceMatrix` with one memcpy per
+        #: column instead of re-walking every record (MicroWalk-style
+        #: columnar trace storage).
+        self.feature_columns: dict[str, array] = {
+            spec.feature_id: array("Q") for spec in self.specs}
+        self.feature_columns_notiming: dict[str, array] = {
+            spec.feature_id: array("Q") for spec in self.specs}
+        self.label_column: list = []
+        self.ordinal_column: array = array("q")
         self.roi_active = False
         self.roi_seen = False
         #: bumped by the runner between runs; stamped onto records.
@@ -256,7 +271,7 @@ class MicroarchTracer:
                 record.features[spec.feature_id] = accumulator.finalize(
                     spec.feature_id in self.keep_raw
                 )
-            self.iterations.append(record)
+            self.append_record(record)
             self._open = None
             self._accumulators = {}
             if self.timed:
@@ -273,6 +288,29 @@ class MicroarchTracer:
             self.sample_seconds += time.perf_counter() - started
 
     # -- results ----------------------------------------------------------------
+
+    def append_record(self, record: IterationRecord) -> None:
+        """Append a finalized record, keeping the columnar view in sync.
+
+        Re-stamps the record's global iteration index.  Every producer of
+        finalized records (the ``iter.end`` handler above, the parallel
+        merge in :mod:`repro.sampler.exec_backend`, synthetic campaign
+        builders) must go through here so that ``feature_columns`` stays a
+        faithful transpose of ``iterations``.
+        """
+        record.index = len(self.iterations)
+        self.iterations.append(record)
+        self.label_column.append(record.label)
+        self.ordinal_column.append(record.ordinal)
+        features = record.features
+        for feature_id, column in self.feature_columns.items():
+            column.append(features[feature_id].snapshot_hash)
+        for feature_id, column in self.feature_columns_notiming.items():
+            column.append(features[feature_id].snapshot_hash_notiming)
+
+    def columns_in_sync(self) -> bool:
+        """True when the columnar view covers every recorded iteration."""
+        return len(self.label_column) == len(self.iterations)
 
     def begin_run(self, run_index: int) -> None:
         """Mark the start of a new simulation run (called by the runner)."""

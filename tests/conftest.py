@@ -8,6 +8,18 @@ from repro.isa import assemble
 from repro.uarch import MEGA_BOOM, SMALL_BOOM
 
 
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly ``slow`` is part of the tier1 fast gate.
+
+    CI runs ``pytest -m tier1`` as its quick gate and the full (unfiltered)
+    suite with coverage afterwards; the auto-marker means new tests join the
+    gate by default and only deliberately heavy ones opt out.
+    """
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture(autouse=True)
 def _isolated_trace_cache(tmp_path, monkeypatch):
     """Keep the default trace cache out of the user's real cache directory."""

@@ -1,0 +1,75 @@
+"""Golden-value regression fixtures for the paper's case studies.
+
+Each ``<case>.json`` file in this directory pins the scalar (reference)
+engine's verdict for one case-study campaign: the sorted leaky-unit set plus
+per-unit Cramér's V, bias-corrected V and p-value (and timing-removed V).
+``tests/test_case_studies.py`` asserts every fresh report against them to
+1e-9, so any change to the simulator, the tracer's hashing, or either
+statistics engine that moves a published number is caught as a diff.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+GOLDEN_TOLERANCE = 1e-9
+
+#: Per-unit statistics pinned by the fixtures.
+GOLDEN_FIELDS = ("cramers_v", "cramers_v_corrected", "p_value")
+
+
+def case_workloads() -> dict:
+    """The case-study campaigns, keyed by golden-fixture name.
+
+    Sizes match the integration tests in ``test_case_studies.py`` exactly —
+    the fixtures pin the verdicts of *those* campaigns, not the full-size
+    paper runs.
+    """
+    from repro.uarch import MEGA_BOOM
+    from repro.workloads.memcmp import make_ct_memcmp
+    from repro.workloads.modexp import (
+        make_me_v1_cv,
+        make_me_v1_mv,
+        make_me_v2_safe,
+        make_sam_ct,
+        make_sam_leaky,
+    )
+
+    fast_bypass = MEGA_BOOM.with_(fast_bypass=True)
+    return {
+        "sam_leaky": (make_sam_leaky(n_keys=4, seed=3), MEGA_BOOM),
+        "sam_ct": (make_sam_ct(n_keys=6, seed=3), MEGA_BOOM),
+        "me_v1_cv": (make_me_v1_cv(n_keys=6, seed=3), MEGA_BOOM),
+        "me_v1_mv": (make_me_v1_mv(n_keys=6, seed=3), MEGA_BOOM),
+        "me_v2_safe": (make_me_v2_safe(n_keys=6, seed=3), MEGA_BOOM),
+        "me_v2_fb": (make_me_v2_safe(n_keys=6, seed=3), fast_bypass),
+        "ct_memcmp": (make_ct_memcmp(n_pairs=24, seed=2, n_runs=2),
+                      MEGA_BOOM),
+    }
+
+
+def report_to_golden(report) -> dict:
+    """Project a LeakageReport onto the pinned fixture schema."""
+    units = {}
+    for feature_id, unit in report.units.items():
+        entry = {field: getattr(unit.association, field)
+                 for field in GOLDEN_FIELDS}
+        if unit.association_notiming is not None:
+            entry["cramers_v_notiming"] = unit.association_notiming.cramers_v
+        units[feature_id] = entry
+    return {
+        "workload": report.workload_name,
+        "config": report.config_name,
+        "leaky_units": sorted(report.leaky_units),
+        "units": units,
+    }
+
+
+def load_golden(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())

@@ -1,0 +1,36 @@
+"""Regenerate the golden case-study fixtures from the scalar engine.
+
+The scalar (``engine="python"``) path is the authoritative reference
+implementation, so golden values are always produced by it; the vectorized
+engine is held to the same numbers by the differential tests.  Run from the
+repository root::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+and commit the JSON diffs together with whatever intentional change moved
+the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sampler import MicroSampler
+
+from tests.golden import GOLDEN_DIR, case_workloads, report_to_golden
+
+
+def main() -> None:
+    for name, (workload, config) in case_workloads().items():
+        sampler = MicroSampler(config, engine="python",
+                               extract_root_causes_for_leaky=False)
+        report = sampler.analyze(workload)
+        payload = report_to_golden(report)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.name}: {len(payload['leaky_units'])} leaky units, "
+              f"{len(payload['units'])} units")
+
+
+if __name__ == "__main__":
+    main()

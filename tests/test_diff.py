@@ -6,6 +6,10 @@ from repro.sampler.diff import diff_configs
 from repro.uarch import MEGA_BOOM
 from repro.workloads.modexp import make_me_v2_safe, make_sam_leaky
 
+#: Config-diffing simulates every workload twice; too heavy for the
+#: tier1 fast gate, still part of the full CI suite.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def fast_bypass_diff():

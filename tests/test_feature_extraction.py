@@ -46,6 +46,37 @@ class TestUniqueness:
         assert report.unique_values == {}
         assert not report.has_unique_features
 
+    def test_single_class_many_records(self):
+        records = [_record(i, 0, {i}) for i in range(5)]
+        report = feature_uniqueness(records, "F")
+        assert report.unique_values[0] == frozenset()
+        assert not report.has_unique_features
+        assert report.common_values == frozenset(range(5))
+
+    def test_value_in_two_of_three_classes_is_neither(self):
+        # 9 is shared by classes 0 and 1 only: not unique, not common.
+        records = [
+            _record(0, 0, {9, 10}),
+            _record(1, 1, {9, 11}),
+            _record(2, 2, {12}),
+        ]
+        report = feature_uniqueness(records, "F")
+        assert 9 not in report.common_values
+        for label in (0, 1, 2):
+            assert 9 not in report.unique_values[label]
+        assert report.unique_values[0] == frozenset({10})
+        assert report.unique_values[1] == frozenset({11})
+        assert report.unique_values[2] == frozenset({12})
+
+    def test_permuted_orderings_do_not_create_uniques(self):
+        records = [
+            _record(0, 0, {10, 20}, order=(10, 20)),
+            _record(1, 1, {10, 20}, order=(20, 10)),
+        ]
+        report = feature_uniqueness(records, "F")
+        assert not report.has_unique_features
+        assert report.common_values == frozenset({10, 20})
+
 
 class TestOrdering:
     def test_class_exclusive_orderings_detected(self):
@@ -77,6 +108,68 @@ class TestOrdering:
         ]
         report = feature_ordering(records, "F")
         # restricted orderings are both (1, 2): identical across classes.
+        assert not report.has_ordering_mismatch
+
+    def test_empty_iterations(self):
+        report = feature_ordering([], "F")
+        assert report.exclusive_orderings == {}
+        assert not report.has_ordering_mismatch
+
+    def test_single_class_has_no_exclusive_orderings(self):
+        # Exclusivity is a between-class notion: one class alone must not
+        # report its own orderings as class-exclusive.
+        records = [
+            _record(0, 1, {10, 20}, order=(10, 20)),
+            _record(1, 1, {10, 20}, order=(20, 10)),
+        ]
+        report = feature_ordering(records, "F")
+        assert report.exclusive_orderings[1] == {}
+        assert not report.has_ordering_mismatch
+
+    def test_permuted_orderings_shared_by_both_classes(self):
+        # Both permutations of the same value set appear in both classes:
+        # nothing is exclusive, whatever the per-class mixture.
+        records = [
+            _record(0, 0, {10, 20}, order=(10, 20)),
+            _record(1, 0, {10, 20}, order=(20, 10)),
+            _record(2, 1, {10, 20}, order=(10, 20)),
+            _record(3, 1, {10, 20}, order=(20, 10)),
+            _record(4, 1, {10, 20}, order=(20, 10)),
+        ]
+        report = feature_ordering(records, "F")
+        assert not report.has_ordering_mismatch
+
+    def test_one_shared_one_exclusive_permutation(self):
+        # (10, 20) occurs in both classes; (20, 10) only in class 1.
+        records = [
+            _record(0, 0, {10, 20}, order=(10, 20)),
+            _record(1, 1, {10, 20}, order=(10, 20)),
+            _record(2, 1, {10, 20}, order=(20, 10)),
+        ]
+        report = feature_ordering(records, "F")
+        assert report.has_ordering_mismatch
+        assert report.exclusive_orderings[0] == {}
+        assert report.exclusive_orderings[1] == {(20, 10): 1}
+
+    def test_three_classes_pairwise_exclusive(self):
+        records = [
+            _record(0, 0, {1, 2, 3}, order=(1, 2, 3)),
+            _record(1, 1, {1, 2, 3}, order=(2, 1, 3)),
+            _record(2, 2, {1, 2, 3}, order=(3, 2, 1)),
+        ]
+        report = feature_ordering(records, "F")
+        assert report.exclusive_orderings[0][(1, 2, 3)] == 1
+        assert report.exclusive_orderings[1][(2, 1, 3)] == 1
+        assert report.exclusive_orderings[2][(3, 2, 1)] == 1
+
+    def test_empty_restricted_ordering_can_be_shared(self):
+        # Disjoint value sets leave no common values; every iteration's
+        # restricted ordering is the empty tuple, shared by both classes.
+        records = [
+            _record(0, 0, {100}, order=(100,)),
+            _record(1, 1, {200}, order=(200,)),
+        ]
+        report = feature_ordering(records, "F")
         assert not report.has_ordering_mismatch
 
 

@@ -15,6 +15,7 @@ from repro.sampler import (
     hash_frequency,
     measure_association,
 )
+from repro.sampler.stats import cramers_v_corrected
 
 
 def _table(counts, classes=None, hashes=None):
@@ -165,3 +166,100 @@ def test_property_p_value_in_unit_interval(observations):
     hashes = [o[1] for o in observations]
     result = measure_association(build_contingency_table(labels, hashes))
     assert 0.0 <= result.p_value <= 1.0
+
+
+#: Random contingency tables: 2-4 classes x 2-6 categories, cell counts 0-40.
+_random_counts = st.integers(2, 4).flatmap(
+    lambda rows: st.integers(2, 6).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.integers(0, 40), min_size=cols, max_size=cols),
+            min_size=rows, max_size=rows,
+        )
+    )
+)
+
+
+@given(_random_counts)
+def test_fuzz_chi_squared_matches_scipy(counts):
+    """Eq. 3/4 against scipy's reference, over random tables.
+
+    scipy requires strictly positive marginals, so tables with an empty row
+    or column are filtered out here; our implementation's behaviour on those
+    is locked in by the explicit edge-case tests below.
+    """
+    import numpy as np
+    array = np.array(counts)
+    if (array.sum(axis=0) == 0).any() or (array.sum(axis=1) == 0).any():
+        return
+    statistic, dof = chi_squared_statistic(_table(counts))
+    ref = scipy_stats.chi2_contingency(array, correction=False)
+    assert statistic == pytest.approx(ref.statistic, abs=1e-9)
+    assert dof == ref.dof
+    assert chi_squared_p_value(statistic, dof) == pytest.approx(
+        ref.pvalue, abs=1e-9)
+
+
+@given(_random_counts)
+def test_fuzz_corrected_v_bounded_by_plain_v(counts):
+    """Bergsma's correction only ever shrinks V, and stays in [0, 1]."""
+    table = _table(counts)
+    plain = cramers_v(table)
+    corrected = cramers_v_corrected(table)
+    assert 0.0 <= corrected <= plain + 1e-9
+    assert corrected <= 1.0 + 1e-9
+
+
+class TestCramersVCorrected:
+    def test_sparse_perfect_table_clamps_to_zero(self):
+        """V = 1 on [[1,0],[0,1]], but the bias correction eats all of it."""
+        table = _table([[1, 0], [0, 1]])
+        assert cramers_v(table) == pytest.approx(1.0)
+        assert cramers_v_corrected(table) == 0.0
+
+    def test_large_perfect_table_stays_near_one(self):
+        table = _table([[500, 0], [0, 500]])
+        assert cramers_v_corrected(table) == pytest.approx(1.0, abs=1e-2)
+
+    def test_independent_table_is_zero(self):
+        assert cramers_v_corrected(_table([[25, 25], [25, 25]])) == 0.0
+
+    def test_degenerate_single_row(self):
+        assert cramers_v_corrected(_table([[3, 4]])) == 0.0
+
+    def test_degenerate_single_column(self):
+        assert cramers_v_corrected(_table([[3], [4]])) == 0.0
+
+    def test_single_observation(self):
+        # n <= 1 leaves the shrunk dimensions undefined; defined as 0.
+        assert cramers_v_corrected(_table([[1, 0], [0, 0]])) == 0.0
+
+    def test_empty_table(self):
+        assert cramers_v_corrected(_table([[0, 0], [0, 0]])) == 0.0
+
+    def test_measure_association_populates_both(self):
+        result = measure_association(_table([[50, 0], [0, 50]]))
+        assert result.cramers_v == pytest.approx(1.0)
+        assert 0.9 < result.cramers_v_corrected <= result.cramers_v
+
+
+class TestChiSquaredEdgeCases:
+    def test_empty_row_contributes_nothing(self):
+        # scipy rejects zero marginals; ours skips expected == 0 cells.
+        statistic, dof = chi_squared_statistic(_table([[5, 5], [0, 0]]))
+        assert statistic == pytest.approx(0.0)
+        assert dof == 1
+
+    def test_empty_column_contributes_nothing(self):
+        statistic, dof = chi_squared_statistic(_table([[5, 0], [5, 0]]))
+        assert statistic == pytest.approx(0.0)
+        assert dof == 1
+
+    def test_all_zero_table(self):
+        statistic, dof = chi_squared_statistic(_table([[0, 0], [0, 0]]))
+        assert statistic == 0.0
+        assert dof == 0
+
+    def test_single_cell_table(self):
+        statistic, dof = chi_squared_statistic(_table([[7]]))
+        assert statistic == 0.0
+        assert dof == 0
