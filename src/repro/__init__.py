@@ -36,8 +36,16 @@ from repro.sampler import (
 )
 from repro.trace import FEATURE_ORDER, FEATURES, IterationRecord, MicroarchTracer
 from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core, CoreConfig
+from repro.localize import (
+    LocalizationReport,
+    localization_to_dict,
+    localize,
+    render_localization,
+)
 from repro.workloads import (
     make_ct_memcmp,
+    make_ct_memcmp_safe,
+    make_early_exit_memcmp,
     make_me_v1_cv,
     make_me_v1_mv,
     make_me_v2_safe,
@@ -59,6 +67,7 @@ __all__ = [
     "FEATURE_ORDER",
     "IterationRecord",
     "LeakageReport",
+    "LocalizationReport",
     "MEGA_BOOM",
     "MicroSampler",
     "MicroarchTracer",
@@ -73,7 +82,11 @@ __all__ = [
     "extract_root_causes",
     "feature_ordering",
     "feature_uniqueness",
+    "localization_to_dict",
+    "localize",
     "make_ct_memcmp",
+    "make_ct_memcmp_safe",
+    "make_early_exit_memcmp",
     "make_me_v1_cv",
     "make_me_v1_mv",
     "make_me_v2_safe",
@@ -84,6 +97,7 @@ __all__ = [
     "primitive_names",
     "render_bar_chart",
     "render_histogram",
+    "render_localization",
     "render_report",
     "run_campaign",
 ]

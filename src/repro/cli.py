@@ -8,6 +8,9 @@ Commands
     List the tracked microarchitectural features (Table IV).
 ``analyze WORKLOAD``
     Run the full MicroSampler pipeline on a built-in workload.
+``localize WORKLOAD``
+    Detect leaks, then pin each one to a cycle window and the
+    responsible instructions (annotated disassembly).
 ``simulate FILE``
     Assemble a RISC-V assembly file and run it on the out-of-order core.
 ``disasm FILE``
@@ -26,7 +29,11 @@ from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core
 from repro.workloads.bignum import make_mp_modexp_ct, make_mp_modexp_leaky
 from repro.workloads.chacha import make_chacha20
 from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
-from repro.workloads.memcmp import make_ct_memcmp
+from repro.workloads.memcmp import (
+    make_ct_memcmp,
+    make_ct_memcmp_safe,
+    make_early_exit_memcmp,
+)
 from repro.workloads.modexp import (
     make_div_timing,
     make_me_v1_cv,
@@ -51,6 +58,8 @@ WORKLOADS = {
     "mp-modexp-ct": (make_mp_modexp_ct, "128-bit 2-limb CT modexp"),
     "mp-modexp-leaky": (make_mp_modexp_leaky, "128-bit modexp, secret branch"),
     "ct-mem-cmp": (None, "OpenSSL CRYPTO_memcmp + consumer (Listing 7-8)"),
+    "ee-mem-cmp": (None, "classic early-exit memcmp (localization demo)"),
+    "ct-mem-cmp-safe": (None, "CRYPTO_memcmp + branchless consumer (fixed)"),
     "sbox-lookup": (None, "table-lookup S-box (cache side channel)"),
     "sbox-ct": (None, "constant-time scan S-box"),
     "spectre-v1": (None, "Spectre-PHT bounds-check-bypass litmus"),
@@ -119,6 +128,12 @@ def _build_workload(name, args):
     if name == "ct-mem-cmp":
         return make_ct_memcmp(n_pairs=max(4 * args.inputs, 16),
                               seed=args.seed, n_runs=2)
+    if name == "ee-mem-cmp":
+        return make_early_exit_memcmp(n_pairs=max(4 * args.inputs, 16),
+                                      seed=args.seed, n_runs=2)
+    if name == "ct-mem-cmp-safe":
+        return make_ct_memcmp_safe(n_pairs=max(4 * args.inputs, 16),
+                                   seed=args.seed, n_runs=2)
     if name == "sbox-lookup":
         # The secret-dependent address takes 64 distinct values, so the
         # contingency table needs more samples per category for power.
@@ -173,21 +188,75 @@ def cmd_analyze(args) -> int:
         jobs=jobs,
         cache=cache,
         engine=args.engine,
+        measure_mi=getattr(args, "mi", False),
     )
     print(f"analyzing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
           f"{' +variable-div' if config.variable_div_latency else ''} ...",
           file=sys.stderr)
     report = sampler.analyze(workload)
+    localization = None
+    if getattr(args, "localize", False) and report.leakage_detected:
+        from repro.localize import localize as run_localize
+
+        print(f"localizing {len(report.leaky_units)} leaky unit(s) ...",
+              file=sys.stderr)
+        localization = run_localize(workload, sampler=sampler, report=report)
     if args.json:
         import json
 
         from repro.sampler.report import report_to_dict
 
-        print(json.dumps(report_to_dict(report), indent=2))
+        payload = report_to_dict(report)
+        if localization is not None:
+            from repro.localize import localization_to_dict
+
+            payload["localization"] = localization_to_dict(localization)
+        print(json.dumps(payload, indent=2))
     else:
         print(render_report(report, show_notiming=not args.no_timing_removed))
+        if localization is not None:
+            from repro.localize import render_localization
+
+            print()
+            print(render_localization(localization,
+                                      program=workload.assemble()))
     return 1 if report.leakage_detected else 0
+
+
+def cmd_localize(args) -> int:
+    """Phase-2 localization: cycle windows + instruction attribution."""
+    from repro.localize import (
+        localization_to_dict,
+        localize,
+        render_localization,
+    )
+
+    config = _resolve_config(args)
+    workload = _build_workload(args.workload, args)
+    jobs, cache = _resolve_backend(args)
+    sampler = MicroSampler(
+        config,
+        warmup_iterations=args.warmup,
+        jobs=jobs,
+        cache=cache,
+        engine=args.engine,
+    )
+    print(f"localizing {workload.name!r} on {config.name}"
+          f"{' +fast-bypass' if config.fast_bypass else ''}"
+          f"{' +variable-div' if config.variable_div_latency else ''} ...",
+          file=sys.stderr)
+    localization = localize(workload, sampler=sampler,
+                            features=args.features or None,
+                            permutations=args.permutations)
+    if args.json:
+        import json
+
+        print(json.dumps(localization_to_dict(localization), indent=2))
+    else:
+        print(render_localization(localization, program=workload.assemble(),
+                                  top=args.top))
+    return 1 if localization.leakage_localized else 0
 
 
 def cmd_simulate(args) -> int:
@@ -221,6 +290,8 @@ AUDIT_EXPECTATIONS = {
     "mp-modexp-ct": False,
     "mp-modexp-leaky": True,
     "ct-mem-cmp": True,
+    "ee-mem-cmp": True,
+    "ct-mem-cmp-safe": False,
     "sbox-lookup": True,
     "sbox-ct": False,
     "spectre-v1": True,
@@ -354,9 +425,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the timing-removed re-analysis")
     analyze.add_argument("--json", action="store_true",
                          help="emit the verdict as JSON (for CI)")
+    analyze.add_argument("--mi", action="store_true",
+                         help="also score every unit with MicroWalk-style "
+                              "mutual information (adds MI columns)")
+    analyze.add_argument("--localize", action="store_true",
+                         help="after detection, localize every leaky unit "
+                              "to a cycle window and the responsible "
+                              "instructions")
     _add_engine_argument(analyze)
     _add_backend_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    localize = sub.add_parser(
+        "localize",
+        help="pin detected leaks to cycle windows and instructions")
+    localize.add_argument("workload",
+                          help="workload name (see list-workloads)")
+    localize.add_argument("--config", choices=["mega", "small"],
+                          default="mega")
+    localize.add_argument("--fast-bypass", action="store_true",
+                          help="enable the Section VII-B optimization")
+    localize.add_argument("--variable-div", action="store_true",
+                          help="model an early-exit divider")
+    localize.add_argument("--inputs", type=int, default=8,
+                          help="number of secret inputs (keys/runs)")
+    localize.add_argument("--seed", type=int, default=3)
+    localize.add_argument("--warmup", type=int, default=0,
+                          help="iterations to drop per run before analysis")
+    localize.add_argument("--features", nargs="*",
+                          help="localize these units directly, skipping "
+                               "the detection phase")
+    localize.add_argument("--permutations", type=int, default=199,
+                          help="label permutations for the attribution "
+                               "significance test")
+    localize.add_argument("--top", type=int, default=5,
+                          help="ranked instructions to print per unit")
+    localize.add_argument("--json", action="store_true",
+                          help="emit the localization as JSON (for CI)")
+    _add_engine_argument(localize)
+    _add_backend_arguments(localize)
+    localize.set_defaults(func=cmd_localize)
 
     simulate = sub.add_parser("simulate",
                               help="run an assembly file on the OoO core")

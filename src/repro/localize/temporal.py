@@ -1,0 +1,177 @@
+"""Temporal scan: locate the cycle window of a leaking iteration snapshot.
+
+The detection phase scores one hash per (iteration, unit) — the whole 2D
+state matrix of Figure 2 collapsed to a single value — so a leaky verdict
+says nothing about *when* inside the iteration the state diverged.  This
+module re-keys the retained per-cycle row digests by **cycle offset from
+the iteration start**: offset ``t`` yields one column of digests across all
+iterations, which is exactly the shape the association machinery already
+scores.  Every offset is tested with the same chi-squared / Cramér's V gate
+as the per-unit verdicts (batched through
+:mod:`repro.sampler.stats_vec` on the numpy engine), and the *leaking
+window* is the minimal contiguous offset range covering every flagged
+offset.
+
+Alignment caveat: iterations of one workload need not be equally long (an
+early-exit ``memcmp`` ends sooner on a mismatch).  Offsets past an
+iteration's end are filled with a sentinel "ended" category, so a
+class-correlated iteration *length* shows up as leakage at the tail offsets
+rather than silently shrinking the sample — see ``docs/localization.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sampler.stats import (
+    SIGNIFICANCE_ALPHA,
+    STRONG_ASSOCIATION_THRESHOLD,
+    AssociationResult,
+)
+
+#: Category standing in for "this iteration already ended" at offsets past
+#: an iteration's last sampled cycle.  Real categories are 64-bit unsigned
+#: row digests, so a negative value can never collide with one.
+ITERATION_ENDED = -1
+
+
+class LocalizationError(RuntimeError):
+    """Raised when localization inputs are missing or malformed."""
+
+
+@dataclass(frozen=True)
+class CycleWindow:
+    """A contiguous range of cycle offsets, both ends inclusive."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid window [{self.start}, {self.end}]")
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start + 1
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset <= self.end
+
+
+@dataclass(frozen=True)
+class OffsetScore:
+    """Association verdict for one cycle offset of one unit."""
+
+    offset: int
+    association: AssociationResult
+
+    @property
+    def flagged(self) -> bool:
+        # Recomputed by the scan against its own thresholds; this property
+        # reflects the paper's defaults only.
+        return self.association.leaky
+
+
+@dataclass(frozen=True)
+class TemporalScan:
+    """Per-offset association scores plus the derived leaking window."""
+
+    feature_id: str
+    n_iterations: int
+    n_offsets: int
+    offsets: tuple  # OffsetScore per cycle offset, in offset order
+    flagged_offsets: tuple  # offsets passing the V/p gate
+    window: CycleWindow | None  # None when no offset is flagged
+
+    @property
+    def peak(self) -> OffsetScore | None:
+        """The flagged offset with the strongest association, if any."""
+        candidates = [self.offsets[i] for i in self.flagged_offsets]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: (s.association.cramers_v,
+                                              -s.association.p_value))
+
+
+def offset_columns(iterations, feature_id: str):
+    """Re-key per-cycle digests into aligned cycle-offset columns.
+
+    Returns ``(labels, columns)`` where ``columns[t][i]`` is iteration
+    ``i``'s row digest at cycle offset ``t`` (or :data:`ITERATION_ENDED`
+    once iteration ``i`` is over).
+    """
+    labels = []
+    digest_rows = []
+    for record in iterations:
+        feature = record.features.get(feature_id)
+        if feature is None or feature.cycle_digests is None:
+            raise LocalizationError(
+                f"iteration {record.index} has no retained per-cycle "
+                f"digests for {feature_id!r}; re-run the campaign with "
+                f"keep_raw enabled for localization"
+            )
+        labels.append(record.label)
+        digest_rows.append(feature.cycle_digests)
+    n_offsets = max((len(row) for row in digest_rows), default=0)
+    columns = [
+        [row[t] if t < len(row) else ITERATION_ENDED for row in digest_rows]
+        for t in range(n_offsets)
+    ]
+    return labels, columns
+
+
+def _score_offsets_python(labels, columns) -> list[AssociationResult]:
+    from repro.sampler.contingency import build_contingency_table
+    from repro.sampler.stats import measure_association
+
+    return [measure_association(build_contingency_table(labels, column))
+            for column in columns]
+
+
+def _score_offsets_numpy(labels, columns) -> list[AssociationResult]:
+    from repro.sampler.matrix import TraceMatrix
+    from repro.sampler.stats_vec import batched_association
+
+    matrix = TraceMatrix.from_observations(
+        labels, {offset: column for offset, column in enumerate(columns)},
+    )
+    associations = batched_association(matrix)
+    return [associations[offset] for offset in range(len(columns))]
+
+
+def temporal_scan(iterations, feature_id: str, *,
+                  v_threshold: float = STRONG_ASSOCIATION_THRESHOLD,
+                  alpha: float = SIGNIFICANCE_ALPHA,
+                  engine: str = "numpy") -> TemporalScan:
+    """Score every cycle offset of one unit and derive the leaking window.
+
+    ``engine`` selects the association implementation exactly as the
+    detection pipeline does: ``"numpy"`` scores all offsets through the
+    batched columnar kernels, ``"python"`` through the scalar reference
+    path; both agree to within 1e-9.
+    """
+    iterations = list(iterations)
+    labels, columns = offset_columns(iterations, feature_id)
+    if engine == "numpy":
+        associations = _score_offsets_numpy(labels, columns)
+    elif engine == "python":
+        associations = _score_offsets_python(labels, columns)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    scores = tuple(OffsetScore(offset=t, association=a)
+                   for t, a in enumerate(associations))
+    flagged = tuple(
+        s.offset for s in scores
+        if s.association.cramers_v > v_threshold
+        and s.association.p_value < alpha
+    )
+    window = (CycleWindow(start=flagged[0], end=flagged[-1])
+              if flagged else None)
+    return TemporalScan(
+        feature_id=feature_id,
+        n_iterations=len(iterations),
+        n_offsets=len(columns),
+        offsets=scores,
+        flagged_offsets=flagged,
+        window=window,
+    )

@@ -50,6 +50,8 @@ class RunTask:
     warm_regions: tuple = ()
     features: tuple | None = None
     keep_raw: tuple | bool = ()
+    #: record per-iteration (cycle, pc, mnemonic) commit logs (localization).
+    log_commits: bool = False
     memory_map: MemoryMap | None = None
     max_cycles: int = 5_000_000
     expect_exit_code: int | None = 0
@@ -79,7 +81,8 @@ def execute_run(task: RunTask) -> RunOutput:
     # (runner -> exec_backend -> runner).
     from repro.sampler.runner import WorkloadError
 
-    tracer = MicroarchTracer(features=task.features, keep_raw=task.keep_raw)
+    tracer = MicroarchTracer(features=task.features, keep_raw=task.keep_raw,
+                             log_commits=task.log_commits)
     tracer.timed = True
     tracer.begin_run(task.run_index)
     core = Core(
@@ -88,6 +91,8 @@ def execute_run(task: RunTask) -> RunOutput:
         kernel=ProxyKernel(memory_map=task.memory_map or MemoryMap()),
         tracer=tracer,
     )
+    if task.log_commits:
+        core.commit_listener = tracer.on_commit
     for symbol, length in task.warm_regions:
         base = task.program.symbols[symbol]
         for address in range(base, base + length, 64):

@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 from repro.sampler.contingency import build_contingency_table
 from repro.sampler.feature_extraction import RootCauseReport, extract_root_causes
 from repro.sampler.matrix import TraceMatrix
+from repro.sampler.mutual_information import (
+    MutualInformationResult,
+    mutual_information_by_unit,
+)
 from repro.sampler.runner import CampaignResult, Workload, run_campaign
 from repro.sampler.stats import (
     SIGNIFICANCE_ALPHA,
@@ -50,6 +54,8 @@ class UnitResult:
     #: Association recomputed on timing-removed snapshots (Section VII-B).
     association_notiming: AssociationResult | None = None
     root_cause: RootCauseReport | None = None
+    #: MicroWalk-style mutual information cross-check (``measure_mi``).
+    mi: MutualInformationResult | None = None
 
     @property
     def leaky(self) -> bool:
@@ -114,7 +120,9 @@ class MicroSampler:
                  warmup_iterations: int = 0,
                  jobs: int | None = 1,
                  cache=None,
-                 engine: str = "numpy"):
+                 engine: str = "numpy",
+                 measure_mi: bool = False,
+                 mi_permutations: int = 200):
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown analysis engine {engine!r}; choose from "
@@ -135,6 +143,10 @@ class MicroSampler:
         #: inputs simulated concurrently, and an optional trace cache.
         self.jobs = jobs
         self.cache = cache
+        #: Also score every unit with MicroWalk-style mutual information
+        #: (plus a label-permutation significance test) as a cross-check.
+        self.measure_mi = measure_mi
+        self.mi_permutations = mi_permutations
 
     # -- full pipeline ----------------------------------------------------------
 
@@ -195,6 +207,13 @@ class MicroSampler:
                         build_contingency_table(labels, nt_hashes)
                     )
                 report.units[feature_id] = unit
+        if self.measure_mi:
+            mi_by_unit = mutual_information_by_unit(
+                iterations, self.features,
+                permutations=self.mi_permutations,
+            )
+            for feature_id, mi in mi_by_unit.items():
+                report.units[feature_id].mi = mi
         stats_seconds = time.perf_counter() - stats_started
 
         extract_started = time.perf_counter()
@@ -215,6 +234,27 @@ class MicroSampler:
     def _flagged(self, association: AssociationResult) -> bool:
         return (association.cramers_v > self.v_threshold
                 and association.p_value < self.alpha)
+
+    # -- phase 2: localization --------------------------------------------------
+
+    def localize(self, workload: Workload, *, report: LeakageReport = None,
+                 features=None, permutations: int | None = None,
+                 seed: int = 0, max_cycles_per_run: int = 5_000_000):
+        """Localize every leaky unit of ``workload`` in time and code.
+
+        Runs :meth:`analyze` first when no ``report`` is given, then the
+        temporal scan + instruction attribution of :mod:`repro.localize`
+        over the flagged units (or an explicit ``features`` subset).
+        Returns a :class:`~repro.localize.LocalizationReport`.
+        """
+        from repro.localize import localize as _localize
+
+        kwargs = {}
+        if permutations is not None:
+            kwargs["permutations"] = permutations
+        return _localize(workload, sampler=self, report=report,
+                         features=features, seed=seed,
+                         max_cycles_per_run=max_cycles_per_run, **kwargs)
 
 
 def adaptive_analyze(workload_factory, *, start_inputs: int = 8,

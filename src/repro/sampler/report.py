@@ -18,9 +18,12 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
         f"engine={report.engine}",
         "",
     ]
+    show_mi = any(unit.mi is not None for unit in report.units.values())
     header = f"{'unit':<12} {'V':>6} {'p-value':>10} {'hashes':>7} {'flag':>6}"
     if show_notiming:
         header += f" {'V(no-t)':>8}"
+    if show_mi:
+        header += f" {'MI bits':>8} {'MI p':>8}"
     lines.append(header)
     lines.append("-" * len(header))
     for feature_id, unit in report.units.items():
@@ -29,6 +32,12 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
                f"{a.n_categories:>7} {'LEAK' if unit.leaky else '-':>6}")
         if show_notiming and unit.association_notiming is not None:
             row += f" {unit.association_notiming.cramers_v:>8.3f}"
+        if show_mi:
+            if unit.mi is not None:
+                row += (f" {unit.mi.mutual_information_bits:>8.3f}"
+                        f" {unit.mi.p_value:>8.3g}")
+            else:
+                row += f" {'-':>8} {'-':>8}"
         lines.append(row)
     lines.append("")
     if report.leakage_detected:
@@ -79,6 +88,14 @@ def report_to_dict(report: LeakageReport) -> dict:
             "association_notiming": association(unit.association_notiming),
             "leaky": unit.leaky,
         }
+        if unit.mi is not None:
+            entry["mi"] = {
+                "mutual_information_bits": unit.mi.mutual_information_bits,
+                "label_entropy_bits": unit.mi.label_entropy_bits,
+                "leakage_fraction": unit.mi.leakage_fraction,
+                "p_value": unit.mi.p_value,
+                "leaky": unit.mi.leaky,
+            }
         if unit.root_cause is not None:
             entry["root_cause"] = {
                 "unique_values": {

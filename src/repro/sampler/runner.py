@@ -102,8 +102,8 @@ class CampaignResult:
 
 
 def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
-                 features, keep_raw, memory_map, max_cycles_per_run,
-                 expect_exit_code) -> list[RunTask]:
+                 features, keep_raw, log_commits, memory_map,
+                 max_cycles_per_run, expect_exit_code) -> list[RunTask]:
     return [
         RunTask(
             run_index=run_index,
@@ -114,6 +114,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                                for region in workload.warm_regions),
             features=tuple(features) if features is not None else None,
             keep_raw=True if keep_raw is True else tuple(keep_raw),
+            log_commits=bool(log_commits),
             memory_map=memory_map,
             max_cycles=max_cycles_per_run,
             expect_exit_code=expect_exit_code,
@@ -123,7 +124,8 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
 
 
 def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
-                 features=None, keep_raw=(), memory_map: MemoryMap | None = None,
+                 features=None, keep_raw=(), log_commits: bool = False,
+                 memory_map: MemoryMap | None = None,
                  max_cycles_per_run: int = 5_000_000,
                  expect_exit_code: int = 0,
                  jobs: int | None = 1, cache=None) -> CampaignResult:
@@ -134,7 +136,9 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     ``cache`` is an optional :class:`~repro.sampler.trace_cache.TraceCache`
     (or ``True`` for the default directory): inputs simulated before — by
     any backend — are replayed from it, and identical inputs inside one
-    campaign are simulated only once.
+    campaign are simulated only once.  ``log_commits`` records each
+    iteration's architectural ``(cycle, pc, mnemonic)`` commit stream for
+    the localization phase (:mod:`repro.localize`).
     """
     if not workload.inputs:
         raise WorkloadError(f"workload {workload.name!r} has no inputs")
@@ -145,7 +149,8 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     program = workload.assemble()
     tasks = _build_tasks(
         workload, program, config, features=features, keep_raw=keep_raw,
-        memory_map=memory_map, max_cycles_per_run=max_cycles_per_run,
+        log_commits=log_commits, memory_map=memory_map,
+        max_cycles_per_run=max_cycles_per_run,
         expect_exit_code=expect_exit_code,
     )
 
@@ -183,7 +188,8 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         # Replay the stored twin; fall back to simulating if the store failed.
         outputs[index] = cache.load(key) or execute_run(tasks[index])
 
-    tracer = MicroarchTracer(features=features, keep_raw=keep_raw)
+    tracer = MicroarchTracer(features=features, keep_raw=keep_raw,
+                             log_commits=log_commits)
     tracer.timed = True
     runs = merge_outputs(outputs, tracer)
     elapsed = time.perf_counter() - started

@@ -9,8 +9,8 @@ worth eliminating entirely.
 
 Each campaign input is keyed by the *content* it is a pure function of: the
 assembled (and patched) program image, the core configuration, the memory
-map, and the tracer settings (tracked features, retained raw rows), plus
-the warm-region and cycle-budget knobs.  Mutating any of them — a changed
+map, and the tracer settings (tracked features, retained raw rows, commit
+logging), plus the warm-region and cycle-budget knobs.  Mutating any of them — a changed
 source line, a different secret key, one more ROB entry — yields a new key;
 everything else is a byte-identical replay.  Keys are salted with the
 package version and a cache format version, but **not** with the simulator
@@ -39,8 +39,13 @@ from repro.trace.tracer import iteration_from_payload, iteration_to_payload
 from repro.uarch.core import CoreStats, RunResult
 from repro.util.hashing import stable_hex_digest
 
-#: Bump when the payload layout or key canonicalization changes.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the payload layout or key canonicalization changes.  Version
+#: history: 1 = original layout; 2 = iteration payloads carry per-cycle
+#: digest sequences and commit logs (``log_commits`` joined the key
+#: material).  Entries written by older versions fail the version check and
+#: decode as misses, so campaigns needing localization inputs are
+#: transparently re-simulated instead of replaying traces without them.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
@@ -83,6 +88,7 @@ def task_key(task: RunTask) -> str:
         dataclasses.asdict(task.memory_map) if task.memory_map else None,
         tuple(features),
         keep_raw,
+        bool(task.log_commits),
         tuple(tuple(region) for region in task.warm_regions),
         task.max_cycles,
         task.expect_exit_code,

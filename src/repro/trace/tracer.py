@@ -9,8 +9,17 @@ digest per cycle plus the run-length-deduplicated raw rows.
 
 At ``iter.end`` the snapshot is finalized into a compact
 :class:`FeatureIteration` (hashes, value set, first-occurrence ordering) so
-that memory stays bounded even over long campaigns; raw matrices are kept
-only for features listed in ``keep_raw``.
+that memory stays bounded even over long campaigns; raw matrices and the
+per-cycle row-digest sequence are kept only for features listed in
+``keep_raw``.
+
+For leakage *localization* (:mod:`repro.localize`) the tracer can also
+record a per-iteration commit log: with ``log_commits=True`` and the
+tracer's :meth:`MicroarchTracer.on_commit` installed as the core's
+``commit_listener``, every architecturally committed instruction inside an
+open iteration is recorded as ``(cycle, pc, mnemonic)``.  Together with the
+retained per-cycle digests this is what lets the localization phase map a
+leaking cycle window back onto instructions.
 """
 
 from __future__ import annotations
@@ -36,6 +45,10 @@ class FeatureIteration:
     values: frozenset
     order: tuple
     rows: tuple | None = None  # deduplicated raw rows, when retained
+    #: per-cycle row digests in sample order (index = cycle offset from the
+    #: iteration's start), retained with ``keep_raw`` — the temporal-scan
+    #: input of :mod:`repro.localize`.
+    cycle_digests: tuple | None = None
 
 
 @dataclass
@@ -51,6 +64,10 @@ class IterationRecord:
     #: that run (used for warm-up exclusion).
     run_index: int = 0
     ordinal: int = 0
+    #: committed-instruction log for this iteration — ``(cycle, pc,
+    #: mnemonic)`` tuples in commit order — when the tracer ran with
+    #: ``log_commits=True``; None otherwise.
+    commits: tuple | None = None
 
     @property
     def cycles(self) -> int:
@@ -90,6 +107,7 @@ class _FeatureAccumulator:
             values=frozenset(seen),
             order=tuple(values),
             rows=tuple(self.dedup_rows) if keep_raw else None,
+            cycle_digests=tuple(self.digests) if keep_raw else None,
         )
 
     def _notiming_hash(self) -> int:
@@ -150,26 +168,33 @@ def iteration_to_payload(record: IterationRecord) -> tuple:
         record.ordinal,
         tuple(
             (feature_id, fi.snapshot_hash, fi.snapshot_hash_notiming,
-             tuple(fi.values), fi.order, fi.rows)
+             tuple(fi.values), fi.order, fi.rows, fi.cycle_digests)
             for feature_id, fi in record.features.items()
         ),
+        record.commits,
     )
 
 
 def iteration_from_payload(payload: tuple) -> IterationRecord:
     """Rebuild an :class:`IterationRecord` from :func:`iteration_to_payload`."""
-    index, label, start_cycle, end_cycle, run_index, ordinal, features = payload
+    (index, label, start_cycle, end_cycle, run_index, ordinal, features,
+     commits) = payload
     record = IterationRecord(
         index=index, label=label, start_cycle=start_cycle,
         end_cycle=end_cycle, run_index=run_index, ordinal=ordinal,
+        commits=(tuple(tuple(entry) for entry in commits)
+                 if commits is not None else None),
     )
-    for feature_id, digest, digest_notiming, values, order, rows in features:
+    for (feature_id, digest, digest_notiming, values, order, rows,
+         cycle_digests) in features:
         record.features[feature_id] = FeatureIteration(
             snapshot_hash=digest,
             snapshot_hash_notiming=digest_notiming,
             values=frozenset(values),
             order=tuple(order),
             rows=tuple(tuple(row) for row in rows) if rows is not None else None,
+            cycle_digests=(tuple(cycle_digests)
+                           if cycle_digests is not None else None),
         )
     return record
 
@@ -182,11 +207,17 @@ class MicroarchTracer:
     features:
         Feature IDs to track (default: all of Table IV).
     keep_raw:
-        Feature IDs whose deduplicated raw rows should be retained for
-        feature extraction, or True for all tracked features.
+        Feature IDs whose deduplicated raw rows (and per-cycle digest
+        sequences) should be retained for feature extraction and
+        localization, or True for all tracked features.
+    log_commits:
+        When True, record every architecturally committed instruction
+        inside an open iteration as ``(cycle, pc, mnemonic)``.  Requires
+        :meth:`on_commit` to be installed as the core's ``commit_listener``
+        (the execution backend does this automatically).
     """
 
-    def __init__(self, features=None, keep_raw=()):
+    def __init__(self, features=None, keep_raw=(), log_commits: bool = False):
         ids = tuple(features) if features is not None else FEATURE_ORDER
         unknown = [f for f in ids if f not in FEATURES]
         if unknown:
@@ -219,6 +250,8 @@ class MicroarchTracer:
         self._open: IterationRecord | None = None
         self._accumulators: dict[str, _FeatureAccumulator] = {}
         self._samplers: list = []
+        self.log_commits = bool(log_commits)
+        self._commit_log: list = []
         self.cycles_sampled = 0
         #: When True, time spent sampling/finalizing is accumulated in
         #: ``sample_seconds`` (used for the Table VI stage breakdown).
@@ -249,6 +282,7 @@ class MicroarchTracer:
                 ordinal=self._run_ordinal,
             )
             self._run_ordinal += 1
+            self._commit_log = []
             self._accumulators = {
                 spec.feature_id: _FeatureAccumulator() for spec in self.specs
             }
@@ -266,6 +300,9 @@ class MicroarchTracer:
             started = time.perf_counter() if self.timed else 0.0
             record = self._open
             record.end_cycle = cycle
+            if self.log_commits:
+                record.commits = tuple(self._commit_log)
+                self._commit_log = []
             for spec in self.specs:
                 accumulator = self._accumulators[spec.feature_id]
                 record.features[spec.feature_id] = accumulator.finalize(
@@ -276,6 +313,26 @@ class MicroarchTracer:
             self._accumulators = {}
             if self.timed:
                 self.sample_seconds += time.perf_counter() - started
+
+    #: Marker mnemonics excluded from the commit log: they delimit the
+    #: window rather than execute inside it (and ``iter.end`` commits after
+    #: its record has already been closed).
+    _MARKER_MNEMONICS = frozenset(
+        {"iter.begin", "iter.end", "roi.begin", "roi.end"})
+
+    def on_commit(self, pc: int, mnemonic: str, rd: int, value: int,
+                  cycle: int) -> None:
+        """Core ``commit_listener`` hook: log one committed instruction.
+
+        Signature matches :attr:`repro.uarch.core.Core.commit_listener`.
+        Only instructions committing inside an open iteration are kept, so
+        the log is exactly the architectural instruction stream of the
+        snapshot window.
+        """
+        if (self._open is None or not self.log_commits
+                or mnemonic in self._MARKER_MNEMONICS):
+            return
+        self._commit_log.append((cycle, pc, mnemonic))
 
     def on_cycle(self, core, cycle: int) -> None:
         if self._open is None:

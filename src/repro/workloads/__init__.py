@@ -21,7 +21,12 @@ from repro.workloads.cipher import (
     sbox_table,
 )
 from repro.workloads.keygen import balanced_keys, memcmp_input_pairs, random_keys
-from repro.workloads.memcmp import make_ct_memcmp, reference_results
+from repro.workloads.memcmp import (
+    make_ct_memcmp,
+    make_ct_memcmp_safe,
+    make_early_exit_memcmp,
+    reference_results,
+)
 from repro.workloads.modexp import (
     DEFAULT_BASE,
     DEFAULT_MODULUS,
@@ -59,6 +64,8 @@ __all__ = [
     "generate_chacha_source",
     "make_chacha20",
     "make_ct_memcmp",
+    "make_ct_memcmp_safe",
+    "make_early_exit_memcmp",
     "make_me_v1_cv",
     "make_me_v1_mv",
     "make_div_timing",

@@ -161,3 +161,150 @@ def make_ct_memcmp(n_pairs: int = 32, length: int = 32, seed: int = 2,
 def reference_results(pairs: list[tuple[bytes, bytes]]) -> list[int]:
     """Architectural result of run() per pair: equal->100, inequal->204."""
     return [100 if a == b else 204 for a, b in pairs]
+
+
+# The early-exit and safe variants reuse the exact CT-MEM-CMP driver (data
+# layout, warm-up, per-pair copy loop and iteration markers) and differ only
+# in the compare routine / consumer, so localization differences between the
+# three are attributable to the compared code alone.
+_DRIVER_PRELUDE = _SOURCE_TEMPLATE[:_SOURCE_TEMPLATE.index("run:")]
+
+_EARLY_EXIT_BODY = """
+run:                         # branchless consumer: the leak is memcmp's own
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    call memcmp_ee
+    snez a0, a0
+    addi a0, a0, 100
+    iter.end
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret
+
+memcmp_ee:                   # classic early-exit memcmp (the textbook leak)
+    li   t0, 0
+    beqz a2, 2f
+1:
+    lbu  t1, 0(a0)
+    lbu  t2, 0(a1)
+    sub  t3, t1, t2
+    bnez t3, 3f              # secret-dependent early exit
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    bgtz a2, 1b
+2:
+    mv   a0, zero
+    ret
+3:
+    mv   a0, t3
+    ret
+
+equal:                       # kept for driver warm-up parity
+    slli a0, a0, 1
+    addi a0, a0, 100
+    ret
+
+inequal:
+    slli a0, a0, 2
+    addi a0, a0, 200
+    ret
+"""
+
+_SAFE_BODY = """
+run:                         # Listing 7 with a *branchless* consumer
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    call CRYPTO_memcmp
+    snez a0, a0              # no secret-dependent control flow anywhere
+    slli t1, a0, 2
+    add  a0, a0, t1
+    addi a0, a0, 100
+    iter.end
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret
+
+CRYPTO_memcmp:               # Listing 7: OpenSSL constant-time memcmp
+    li   t0, 0
+    beqz a2, 2f
+1:
+    lbu  t1, 0(a0)
+    lbu  t2, 0(a1)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    xor  t1, t1, t2
+    or   t0, t0, t1
+    bgtz a2, 1b
+2:
+    mv   a0, t0
+    ret
+
+equal:                       # kept for driver warm-up parity
+    slli a0, a0, 1
+    addi a0, a0, 100
+    ret
+
+inequal:
+    slli a0, a0, 2
+    addi a0, a0, 200
+    ret
+"""
+
+
+def _memcmp_variant(name: str, body: str, description: str, n_pairs: int,
+                    length: int, seed: int, n_runs: int) -> Workload:
+    source = (_DRIVER_PRELUDE + body).format(
+        pairs_bytes=n_pairs * 2 * length,
+        labels_bytes=8 * n_pairs,
+        length=length,
+        pair_stride=2 * length,
+        n_pairs=n_pairs,
+    )
+    inputs = []
+    for run_index in range(n_runs):
+        pairs = memcmp_input_pairs(n_pairs, length, seed + 101 * run_index)
+        blob = b"".join(a + b for a, b in pairs)
+        labels = b"".join(
+            (1 if a == b else 0).to_bytes(8, "little") for a, b in pairs
+        )
+        inputs.append({"pairs": blob, "labels": labels})
+    return Workload(
+        name=name,
+        source=source,
+        entry="main",
+        inputs=inputs,
+        description=description,
+    )
+
+
+def make_early_exit_memcmp(n_pairs: int = 32, length: int = 32,
+                           seed: int = 2, n_runs: int = 2) -> Workload:
+    """Classic early-exit memcmp: the canonical localization case study.
+
+    Unequal pairs (random bytes) almost surely mismatch at byte 0, so the
+    early exit fires at a stable point in the loop — the temporal scan
+    should pin the leak to a window starting at the divergence and the
+    attribution should rank the compare/early-exit-branch PCs first.
+    """
+    return _memcmp_variant(
+        "ee-mem-cmp", _EARLY_EXIT_BODY,
+        "classic early-exit memcmp (localization case study)",
+        n_pairs, length, seed, n_runs,
+    )
+
+
+def make_ct_memcmp_safe(n_pairs: int = 32, length: int = 32,
+                        seed: int = 2, n_runs: int = 2) -> Workload:
+    """CRYPTO_memcmp with a branchless consumer: the fixed baseline.
+
+    Removing the caller's branch on the comparison result removes the
+    speculative leak of Listings 7-8; detection and localization should
+    both come back clean.
+    """
+    return _memcmp_variant(
+        "ct-mem-cmp-safe", _SAFE_BODY,
+        "CRYPTO_memcmp + branchless consumer (fixed baseline)",
+        n_pairs, length, seed, n_runs,
+    )

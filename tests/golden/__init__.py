@@ -54,6 +54,58 @@ def case_workloads() -> dict:
     }
 
 
+def localization_case():
+    """The pinned localization campaign: early-exit memcmp, two units.
+
+    Restricted to two representative units (an address trace and an
+    occupancy trace) so the fixture stays compact and the tier-1 run fast;
+    the full-unit behavior is covered by the e2e localization tests.
+    """
+    from repro.uarch import MEGA_BOOM
+    from repro.workloads.memcmp import make_early_exit_memcmp
+
+    workload = make_early_exit_memcmp(n_pairs=8, seed=2, n_runs=2)
+    return workload, MEGA_BOOM, ("ROB-PC", "ROB-OCPNCY")
+
+
+def localization_to_golden(report) -> dict:
+    """Project a LocalizationReport onto the pinned fixture schema.
+
+    Pins the scan's window and flagged offsets, the peak offset's
+    statistics, and the full attribution ranking (PC, mnemonic, MI,
+    permutation p) per unit.
+    """
+    units = {}
+    for feature_id, unit in report.units.items():
+        scan = unit.scan
+        peak = scan.peak
+        entry = {
+            "n_offsets": scan.n_offsets,
+            "flagged_offsets": list(scan.flagged_offsets),
+            "window": ([scan.window.start, scan.window.end]
+                       if scan.window is not None else None),
+            "peak": (
+                {"offset": peak.offset,
+                 "cramers_v": peak.association.cramers_v,
+                 "p_value": peak.association.p_value}
+                if peak is not None else None
+            ),
+            "instructions": [
+                {"pc": score.pc, "mnemonic": score.mnemonic,
+                 "mi_bits": score.mi_bits, "p_value": score.p_value}
+                for score in (unit.attribution.scores
+                              if unit.attribution is not None else ())
+            ],
+        }
+        units[feature_id] = entry
+    return {
+        "workload": report.workload_name,
+        "config": report.config_name,
+        "localized_units": sorted(report.localized_units),
+        "units": units,
+    }
+
+
 def report_to_golden(report) -> dict:
     """Project a LeakageReport onto the pinned fixture schema."""
     units = {}

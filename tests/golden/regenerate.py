@@ -17,7 +17,13 @@ import json
 
 from repro.sampler import MicroSampler
 
-from tests.golden import GOLDEN_DIR, case_workloads, report_to_golden
+from tests.golden import (
+    GOLDEN_DIR,
+    case_workloads,
+    localization_case,
+    localization_to_golden,
+    report_to_golden,
+)
 
 
 def main() -> None:
@@ -30,6 +36,15 @@ def main() -> None:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path.name}: {len(payload['leaky_units'])} leaky units, "
               f"{len(payload['units'])} units")
+
+    workload, config, features = localization_case()
+    sampler = MicroSampler(config, engine="python", cache=None)
+    localization = sampler.localize(workload, features=features)
+    payload = localization_to_golden(localization)
+    path = GOLDEN_DIR / "localize_ee_memcmp.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path.name}: "
+          f"{len(payload['localized_units'])} localized units")
 
 
 if __name__ == "__main__":

@@ -98,6 +98,12 @@ class TestKeying:
         assert task_key(base) != task_key(
             _task(_workload(), max_cycles=1000))
 
+    def test_log_commits_changes_key(self):
+        # Localization campaigns (commit logs on) must never replay an
+        # entry that was simulated without them, and vice versa.
+        assert task_key(_task(_workload())) != task_key(
+            _task(_workload(), log_commits=True))
+
 
 class TestReplay:
     def test_hit_is_bit_identical_to_cold_run(self, cache):
