@@ -2,22 +2,33 @@
 
 Every benchmark regenerates one table or figure from the paper's evaluation
 and both prints it and writes it to ``benchmarks/results/<name>.txt`` so the
-series survive pytest's output capturing.
+series survive pytest's output capturing.  Benchmarks that also pass
+machine-readable ``data`` get a ``results/<name>.json`` twin, so trend
+tracking across commits does not have to re-parse the ASCII tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a figure/table reproduction and persist it to results/."""
+def emit(name: str, text: str, data=None) -> None:
+    """Print a figure/table reproduction and persist it to results/.
+
+    ``data`` (any JSON-serializable value) additionally lands in
+    ``results/<name>.json``, with stable key order for clean diffs.
+    """
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def v_series(report, notiming: bool = False) -> dict:

@@ -101,6 +101,15 @@ def _add_engine_argument(parser) -> None:
                              "agree to within 1e-9)")
 
 
+def _add_profile_argument(parser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="record a per-stage simulator time breakdown "
+                             "(fetch/rename/issue/writeback/commit/memory/"
+                             "tracer); runs replayed from the trace cache do "
+                             "no simulation work and contribute nothing — "
+                             "combine with --no-cache to profile every run")
+
+
 def _add_backend_arguments(parser) -> None:
     parser.add_argument("--jobs", type=_jobs_argument, default=1,
                         help="simulate this many inputs concurrently "
@@ -189,6 +198,7 @@ def cmd_analyze(args) -> int:
         cache=cache,
         engine=args.engine,
         measure_mi=getattr(args, "mi", False),
+        profile=getattr(args, "profile", False),
     )
     print(f"analyzing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -309,7 +319,8 @@ def cmd_audit(args) -> int:
                     for name in names if name in AUDIT_EXPECTATIONS}
     jobs, cache = _resolve_backend(args)
     result = run_audit(workloads, config=config, expectations=expectations,
-                       jobs=jobs, cache=cache, engine=args.engine)
+                       jobs=jobs, cache=cache, engine=args.engine,
+                       profile=getattr(args, "profile", False))
     print(result.render())
     return 0 if result.passed else 1
 
@@ -434,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "instructions")
     _add_engine_argument(analyze)
     _add_backend_arguments(analyze)
+    _add_profile_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     localize = sub.add_parser(
@@ -506,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=3)
     _add_engine_argument(audit)
     _add_backend_arguments(audit)
+    _add_profile_argument(audit)
     audit.set_defaults(func=cmd_audit)
 
     trace = sub.add_parser(

@@ -59,10 +59,19 @@ class InstructionSpec:
     func_class: FuncClass
     #: (size_bytes, signed) for loads/stores; None otherwise.
     mem: tuple[int, bool] | None = None
+    #: Whether execution consumes the immediate as the second operand
+    #: (I-format ALU ops and U-format; loads/stores/jalr fold the immediate
+    #: into address generation instead).
+    uses_imm: bool = False
 
 
 def _spec(mnemonic, fmt, func_class, mem=None):
-    return InstructionSpec(mnemonic, fmt, func_class, mem)
+    uses_imm = (
+        fmt is Format.I
+        and func_class is not FuncClass.LOAD
+        and mnemonic != "jalr"
+    ) or fmt is Format.U
+    return InstructionSpec(mnemonic, fmt, func_class, mem, uses_imm)
 
 
 _R = Format.R
@@ -177,67 +186,49 @@ class Instruction:
     origin: str = ""
     spec: InstructionSpec = field(init=False, repr=False)
 
+    # Operand/class predicates, precomputed once at construction: the core
+    # model reads them several times per micro-op per cycle, and operand
+    # fields are never mutated after assembly/decode.
+    func_class: FuncClass = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_jump: bool = field(init=False, repr=False, compare=False)
+    is_control_flow: bool = field(init=False, repr=False, compare=False)
+    is_marker: bool = field(init=False, repr=False, compare=False)
+    writes_rd: bool = field(init=False, repr=False, compare=False)
+    reads_rs1: bool = field(init=False, repr=False, compare=False)
+    reads_rs2: bool = field(init=False, repr=False, compare=False)
+
     def __post_init__(self):
         try:
-            object.__setattr__(self, "spec", INSTRUCTION_SPECS[self.mnemonic])
+            spec = INSTRUCTION_SPECS[self.mnemonic]
         except KeyError:
             raise ValueError(f"unknown mnemonic: {self.mnemonic!r}") from None
-
-    @property
-    def func_class(self) -> FuncClass:
-        return self.spec.func_class
-
-    @property
-    def is_load(self) -> bool:
-        return self.spec.func_class is FuncClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.spec.func_class is FuncClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.spec.func_class is FuncClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.spec.func_class is FuncClass.JUMP
-
-    @property
-    def is_control_flow(self) -> bool:
-        return self.spec.func_class in (FuncClass.BRANCH, FuncClass.JUMP)
-
-    @property
-    def is_marker(self) -> bool:
-        return self.spec.func_class is FuncClass.MARKER
-
-    @property
-    def writes_rd(self) -> bool:
-        """Whether the instruction architecturally writes a destination."""
-        if self.rd == 0:
-            return False
-        return self.spec.func_class in (
+        self.spec = spec
+        fc = spec.func_class
+        fmt = spec.fmt
+        self.func_class = fc
+        self.is_load = fc is FuncClass.LOAD
+        self.is_store = fc is FuncClass.STORE
+        self.is_branch = fc is FuncClass.BRANCH
+        self.is_jump = fc is FuncClass.JUMP
+        self.is_control_flow = fc in (FuncClass.BRANCH, FuncClass.JUMP)
+        self.is_marker = fc is FuncClass.MARKER
+        self.writes_rd = self.rd != 0 and fc in (
             FuncClass.ALU,
             FuncClass.MUL,
             FuncClass.DIV,
             FuncClass.LOAD,
             FuncClass.JUMP,
         )
-
-    @property
-    def reads_rs1(self) -> bool:
-        fmt = self.spec.fmt
-        if self.spec.func_class is FuncClass.MARKER:
-            return self.mnemonic == "iter.begin"
-        if self.spec.func_class is FuncClass.SYSTEM:
-            return False
-        if self.mnemonic in ("lui", "auipc", "jal"):
-            return False
-        return fmt in (Format.R, Format.I, Format.S, Format.B)
-
-    @property
-    def reads_rs2(self) -> bool:
-        return self.spec.fmt in (Format.R, Format.S, Format.B)
+        if fc is FuncClass.MARKER:
+            self.reads_rs1 = self.mnemonic == "iter.begin"
+        elif fc is FuncClass.SYSTEM or self.mnemonic in ("lui", "auipc", "jal"):
+            self.reads_rs1 = False
+        else:
+            self.reads_rs1 = fmt in (Format.R, Format.I, Format.S, Format.B)
+        self.reads_rs2 = fmt in (Format.R, Format.S, Format.B)
 
     def branch_target(self) -> int:
         """Taken target for PC-relative control flow (branches and jal)."""

@@ -39,6 +39,9 @@ class AuditResult:
 
     config_name: str
     entries: list = field(default_factory=list)
+    #: Suite-wide per-stage simulator time breakdown when profiling was
+    #: requested (:class:`repro.util.profiling.StageProfile`).
+    profile: object | None = None
 
     @property
     def unexpected(self) -> list:
@@ -75,6 +78,9 @@ class AuditResult:
         lines.append("AUDIT PASSED" if self.passed else
                      f"AUDIT FAILED: {len(self.unexpected)} unexpected "
                      f"verdict(s)")
+        if self.profile is not None:
+            lines.append("")
+            lines.append(self.profile.render())
         return "\n".join(lines)
 
 
@@ -82,21 +88,24 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
               expectations: dict | None = None,
               sampler: MicroSampler | None = None,
               jobs: int | None = 1, cache=None,
-              engine: str = "numpy") -> AuditResult:
+              engine: str = "numpy", profile: bool = False) -> AuditResult:
     """Analyze every workload; ``expectations[name]`` = True means "should
     leak" (a litmus), False means "must be clean" (a hardened primitive).
 
-    ``jobs``/``cache``/``engine`` configure the simulation backend and the
-    statistics engine when no explicit ``sampler`` is supplied (see
-    :func:`repro.sampler.run_campaign` and
-    :class:`~repro.sampler.pipeline.MicroSampler`)."""
+    ``jobs``/``cache``/``engine``/``profile`` configure the simulation
+    backend and the statistics engine when no explicit ``sampler`` is
+    supplied (see :func:`repro.sampler.run_campaign` and
+    :class:`~repro.sampler.pipeline.MicroSampler`); with ``profile`` the
+    suite-wide per-stage breakdown lands on ``AuditResult.profile``."""
     sampler = sampler or MicroSampler(config, jobs=jobs, cache=cache,
-                                      engine=engine)
+                                      engine=engine, profile=profile)
     expectations = expectations or {}
     result = AuditResult(config_name=config.name)
+    profiles = []
     for workload in workloads:
         started = time.perf_counter()
         report = sampler.analyze(workload)
+        profiles.append(report.profile)
         result.entries.append(AuditEntry(
             name=workload.name,
             leakage_detected=report.leakage_detected,
@@ -106,4 +115,8 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
             seconds=time.perf_counter() - started,
             expected=expectations.get(workload.name),
         ))
+    if any(profile is not None for profile in profiles):
+        from repro.util.profiling import merge_profiles
+
+        result.profile = merge_profiles(profiles)
     return result

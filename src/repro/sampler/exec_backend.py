@@ -55,6 +55,10 @@ class RunTask:
     memory_map: MemoryMap | None = None
     max_cycles: int = 5_000_000
     expect_exit_code: int | None = 0
+    #: Attach a per-stage wall-clock profiler to the core (``--profile``).
+    #: Observational only — excluded from the trace-cache key, and cached
+    #: replays simply carry no profile.
+    profile: bool = False
 
 
 @dataclass
@@ -68,6 +72,8 @@ class RunOutput:
     sample_seconds: float = 0.0
     #: True when this output was replayed from the trace cache.
     from_cache: bool = False
+    #: Per-stage time breakdown when the task requested profiling.
+    profile: object | None = None
 
 
 def execute_run(task: RunTask) -> RunOutput:
@@ -93,6 +99,10 @@ def execute_run(task: RunTask) -> RunOutput:
     )
     if task.log_commits:
         core.commit_listener = tracer.on_commit
+    if task.profile:
+        from repro.util.profiling import StageProfile
+
+        core.profiler = StageProfile()
     for symbol, length in task.warm_regions:
         base = task.program.symbols[symbol]
         for address in range(base, base + length, 64):
@@ -109,7 +119,8 @@ def execute_run(task: RunTask) -> RunOutput:
         iterations=tracer.iterations,
         run=result,
         cycles_sampled=tracer.cycles_sampled,
-        sample_seconds=tracer.sample_seconds,
+        sample_seconds=tracer.sample_seconds + tracer.finalize_seconds,
+        profile=core.profiler,
     )
 
 

@@ -74,6 +74,9 @@ class LeakageReport:
     timings: StageTimings | None = None
     #: Which statistics engine produced the verdicts ("python" or "numpy").
     engine: str = "python"
+    #: Per-stage simulator time breakdown (``--profile``), merged over all
+    #: simulated runs (:class:`repro.util.profiling.StageProfile`).
+    profile: object | None = None
 
     @property
     def leaky_units(self) -> list[str]:
@@ -122,7 +125,8 @@ class MicroSampler:
                  cache=None,
                  engine: str = "numpy",
                  measure_mi: bool = False,
-                 mi_permutations: int = 200):
+                 mi_permutations: int = 200,
+                 profile: bool = False):
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown analysis engine {engine!r}; choose from "
@@ -147,6 +151,9 @@ class MicroSampler:
         #: (plus a label-permutation significance test) as a cross-check.
         self.measure_mi = measure_mi
         self.mi_permutations = mi_permutations
+        #: Attach a per-stage wall-clock profiler to every simulated core
+        #: and surface the merged breakdown on ``LeakageReport.profile``.
+        self.profile = profile
 
     # -- full pipeline ----------------------------------------------------------
 
@@ -156,7 +163,7 @@ class MicroSampler:
         campaign = run_campaign(
             workload, self.config, features=self.features,
             max_cycles_per_run=max_cycles_per_run,
-            jobs=self.jobs, cache=self.cache,
+            jobs=self.jobs, cache=self.cache, profile=self.profile,
         )
         return self.analyze_campaign(campaign)
 
@@ -229,6 +236,7 @@ class MicroSampler:
             stats_seconds=stats_seconds,
             extract_seconds=extract_seconds,
         )
+        report.profile = campaign.profile
         return report
 
     def _flagged(self, association: AssociationResult) -> bool:

@@ -51,6 +51,9 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
             f"parse={t.parse_seconds:.2f}s stats={t.stats_seconds:.2f}s "
             f"extract={t.extract_seconds:.2f}s"
         )
+    if report.profile is not None:
+        lines.append("")
+        lines.append(report.profile.render())
     root_causes = [u.root_cause for u in report.units.values() if u.root_cause]
     if root_causes:
         lines.append("")
@@ -130,6 +133,8 @@ def report_to_dict(report: LeakageReport) -> dict:
             "extract": report.timings.extract_seconds,
             "total": report.timings.total_seconds,
         }
+    if report.profile is not None:
+        payload["profile"] = report.profile.to_dict()
     return payload
 
 

@@ -92,6 +92,10 @@ class CampaignResult:
     parse_seconds: float
     #: How many of the runs were replayed from the trace cache.
     n_cached_runs: int = 0
+    #: Merged per-stage time breakdown when profiling was requested
+    #: (:class:`repro.util.profiling.StageProfile`); cached runs contribute
+    #: nothing, so an all-cached campaign reports ``None``.
+    profile: object | None = None
 
     @property
     def iterations(self):
@@ -103,7 +107,8 @@ class CampaignResult:
 
 def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                  features, keep_raw, log_commits, memory_map,
-                 max_cycles_per_run, expect_exit_code) -> list[RunTask]:
+                 max_cycles_per_run, expect_exit_code,
+                 profile=False) -> list[RunTask]:
     return [
         RunTask(
             run_index=run_index,
@@ -118,6 +123,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
             memory_map=memory_map,
             max_cycles=max_cycles_per_run,
             expect_exit_code=expect_exit_code,
+            profile=bool(profile),
         )
         for run_index, patches in enumerate(workload.inputs)
     ]
@@ -128,7 +134,8 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                  memory_map: MemoryMap | None = None,
                  max_cycles_per_run: int = 5_000_000,
                  expect_exit_code: int = 0,
-                 jobs: int | None = 1, cache=None) -> CampaignResult:
+                 jobs: int | None = 1, cache=None,
+                 profile: bool = False) -> CampaignResult:
     """Run ``workload`` over all its inputs, collecting iteration snapshots.
 
     ``jobs`` sets how many inputs simulate concurrently (``0``/``None`` =
@@ -138,7 +145,10 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     any backend — are replayed from it, and identical inputs inside one
     campaign are simulated only once.  ``log_commits`` records each
     iteration's architectural ``(cycle, pc, mnemonic)`` commit stream for
-    the localization phase (:mod:`repro.localize`).
+    the localization phase (:mod:`repro.localize`).  ``profile`` attaches a
+    per-stage wall-clock profiler to every simulated core and reports the
+    merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
+    simulation work, contribute nothing).
     """
     if not workload.inputs:
         raise WorkloadError(f"workload {workload.name!r} has no inputs")
@@ -152,6 +162,7 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         log_commits=log_commits, memory_map=memory_map,
         max_cycles_per_run=max_cycles_per_run,
         expect_exit_code=expect_exit_code,
+        profile=profile,
     )
 
     started = time.perf_counter()
@@ -194,6 +205,11 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     runs = merge_outputs(outputs, tracer)
     elapsed = time.perf_counter() - started
     parse_seconds = tracer.sample_seconds
+    merged_profile = None
+    if profile:
+        from repro.util.profiling import merge_profiles
+
+        merged_profile = merge_profiles(output.profile for output in outputs)
     return CampaignResult(
         workload=workload,
         config=config,
@@ -202,4 +218,5 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         simulate_seconds=max(elapsed - parse_seconds, 0.0),
         parse_seconds=parse_seconds,
         n_cached_runs=n_cached,
+        profile=merged_profile,
     )

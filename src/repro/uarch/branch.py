@@ -8,6 +8,7 @@ BTB are updated non-speculatively at commit, as in BOOM.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.uarch.config import CoreConfig
@@ -60,7 +61,7 @@ class BranchTargetBuffer:
     def __init__(self, entries: int):
         self.capacity = entries
         self.table: dict[int, int] = {}
-        self.order: list[int] = []
+        self.order: deque[int] = deque()
 
     def lookup(self, pc: int) -> int | None:
         return self.table.get(pc)
@@ -68,7 +69,7 @@ class BranchTargetBuffer:
     def update(self, pc: int, target: int) -> None:
         if pc not in self.table:
             if len(self.order) >= self.capacity:
-                evicted = self.order.pop(0)
+                evicted = self.order.popleft()
                 del self.table[evicted]
             self.order.append(pc)
         self.table[pc] = target
@@ -79,11 +80,11 @@ class ReturnAddressStack:
 
     def __init__(self, entries: int):
         self.capacity = entries
-        self.stack: list[int] = []
+        self.stack: deque[int] = deque()
 
     def push(self, address: int) -> None:
         if len(self.stack) >= self.capacity:
-            self.stack.pop(0)
+            self.stack.popleft()
         self.stack.append(address)
 
     def pop(self) -> int | None:
@@ -95,7 +96,7 @@ class ReturnAddressStack:
         return tuple(self.stack)
 
     def restore(self, snapshot: tuple[int, ...]) -> None:
-        self.stack = list(snapshot)
+        self.stack = deque(snapshot)
 
 
 class BranchPredictor:

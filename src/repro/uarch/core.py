@@ -16,6 +16,7 @@ are precisely the mechanisms whose state MicroSampler samples.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import zlib
@@ -34,6 +35,18 @@ from repro.uarch.memsys import DataCachePort, InstructionCachePort
 from repro.uarch.uop import MicroOp
 
 _RA = 1  # return-address register (x1)
+
+#: Execution-unit kind by functional class (AGU handles both memory classes;
+#: everything without a dedicated unit executes on an ALU).
+_UNIT_KIND = {
+    FuncClass.MUL: "mul",
+    FuncClass.DIV: "div",
+    FuncClass.LOAD: "agu",
+    FuncClass.STORE: "agu",
+}
+for _fc in FuncClass:
+    _UNIT_KIND.setdefault(_fc, "alu")
+del _fc
 
 
 class SimulationError(RuntimeError):
@@ -124,16 +137,27 @@ class Core:
             self.prf_ready[i] = True
         self.map_table = list(range(32))
         self.committed_map = list(range(32))
-        self.free_list = list(range(32, n_prf))
+        #: FIFO of free physical registers (strict head allocation keeps
+        #: rename assignment deterministic and bit-identical to the seed).
+        self.free_list: deque[int] = deque(range(32, n_prf))
         self.prf_value[2] = self.memory_map.stack_top  # sp
 
         # Pipeline structures.
-        self.rob: list[MicroOp] = []
+        self.rob: deque[MicroOp] = deque()
         self.iq: list[MicroOp] = []
-        self.fetch_buffer: list[MicroOp] = []
+        self.fetch_buffer: deque[MicroOp] = deque()
         self.pending_folds: list[_FoldRecord] = []
         self.inflight_loads: list[MicroOp] = []
         self.pending_recoveries: list[MicroOp] = []
+        #: Sampled-state version for the ROB-* features: bumped on every
+        #: append/pop/flush (see docs/performance.md for the bump rules).
+        self.rob_version = 0
+        #: Per-slot ROB-PC row, maintained incrementally at every ROB
+        #: mutation so sampling is a tuple copy instead of an O(rob) rebuild.
+        #: Invariant: ``_rob_row[slot]`` is the ``rob_value`` of the live
+        #: uop in that slot, 0 when the slot is free (``rob_value`` is final
+        #: before dispatch appends the uop, so no later updates are needed).
+        self._rob_row: list[int] = [0] * config.rob_entries
 
         self.predictor = BranchPredictor(config)
         self.units = ExecUnitPool(config)
@@ -169,6 +193,9 @@ class Core:
         self._rob_next_slot = 0
         self.halted = False
         self.stats = CoreStats()
+        #: Optional per-stage profiler (util.profiling.StageProfile); when
+        #: set, :meth:`step` routes through the instrumented variant.
+        self.profiler = None
         self.arch = _CommittedState(self)
         #: Optional commit listener: called as listener(pc, mnemonic,
         #: rd, rd_value, cycle) for every architecturally committed
@@ -190,27 +217,110 @@ class Core:
     # ------------------------------------------------------------------- run
 
     def step(self) -> None:
-        """Advance the core by one clock cycle."""
-        self.cycle += 1
-        self.stats.cycles = self.cycle
-        self.dcache.begin_cycle()
-        self._commit()
-        if self.halted:
-            return
-        self.dcache.tick(self.cycle)
-        self.icache.tick(self.cycle)
-        self._writeback()
-        self._fire_due_recoveries()
-        self.lsu.drain_committed_store(self.cycle)
-        self.lsu.probe_stores(self.cycle)
-        self.inflight_loads.extend(
-            self.lsu.issue_loads(self.cycle, self.config.agu_count)
-        )
-        self._issue()
-        self._rename_dispatch()
+        """Advance the core by one clock cycle.
+
+        Stage order is identical to the original unconditional sequence;
+        fully-idle subsystems are skipped (each guarded call is a no-op on
+        the guarded condition, verified by the differential tracer tests).
+        """
+        if self.profiler is not None:
+            return self._step_profiled()
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self.stats.cycles = cycle
+        dcache = self.dcache
+        dcache.begin_cycle()
+        if self.rob:
+            self._commit()
+            if self.halted:
+                return
+        cycle = self.cycle
+        if dcache.mshrs or dcache.lfb.entries:
+            dcache.tick(cycle)
+        icache = self.icache
+        if icache.pending:
+            icache.tick(cycle)
+        if self.units.versions["active"] or self.inflight_loads:
+            self._writeback()
+        if self.pending_recoveries:
+            self._fire_due_recoveries()
+        lsu = self.lsu
+        if lsu.store_queue:
+            lsu.drain_committed_store(cycle)
+            lsu.probe_stores(cycle)
+        if lsu.load_queue:
+            started = lsu.issue_loads(cycle, self.config.agu_count)
+            if started:
+                self.inflight_loads.extend(started)
+        if self.iq:
+            self._issue()
+        if self.fetch_buffer:
+            self._rename_dispatch()
         self._fetch()
         if self.tracer is not None:
-            self.tracer.on_cycle(self, self.cycle)
+            self.tracer.on_cycle(self, cycle)
+
+    def _step_profiled(self) -> None:
+        """One cycle with per-stage wall-clock attribution (``--profile``).
+
+        Runs the same guarded stage sequence as :meth:`step` but brackets
+        each stage with ``perf_counter`` reads, accumulating into
+        ``self.profiler`` (a :class:`repro.util.profiling.StageProfile`).
+        """
+        from time import perf_counter
+
+        profile = self.profiler
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self.stats.cycles = cycle
+        profile.cycles += 1
+        dcache = self.dcache
+        dcache.begin_cycle()
+        if self.rob:
+            t0 = perf_counter()
+            self._commit()
+            profile.commit_seconds += perf_counter() - t0
+            if self.halted:
+                return
+        cycle = self.cycle
+        t0 = perf_counter()
+        if dcache.mshrs or dcache.lfb.entries:
+            dcache.tick(cycle)
+        icache = self.icache
+        if icache.pending:
+            icache.tick(cycle)
+        t1 = perf_counter()
+        profile.memsys_seconds += t1 - t0
+        if self.units.versions["active"] or self.inflight_loads:
+            self._writeback()
+        if self.pending_recoveries:
+            self._fire_due_recoveries()
+        t0 = perf_counter()
+        profile.writeback_seconds += t0 - t1
+        lsu = self.lsu
+        if lsu.store_queue:
+            lsu.drain_committed_store(cycle)
+            lsu.probe_stores(cycle)
+        if lsu.load_queue:
+            started = lsu.issue_loads(cycle, self.config.agu_count)
+            if started:
+                self.inflight_loads.extend(started)
+        t1 = perf_counter()
+        profile.memsys_seconds += t1 - t0
+        if self.iq:
+            self._issue()
+        t0 = perf_counter()
+        profile.issue_seconds += t0 - t1
+        if self.fetch_buffer:
+            self._rename_dispatch()
+        t1 = perf_counter()
+        profile.rename_seconds += t1 - t0
+        self._fetch()
+        t0 = perf_counter()
+        profile.fetch_seconds += t0 - t1
+        if self.tracer is not None:
+            self.tracer.on_cycle(self, cycle)
+            profile.tracer_seconds += perf_counter() - t0
 
     def run(self, max_cycles: int = 5_000_000) -> RunResult:
         """Run to completion (program exit via the proxy kernel)."""
@@ -231,8 +341,13 @@ class Core:
 
     def _commit(self) -> None:
         committed = 0
-        while self.rob and committed < self.config.commit_width:
-            uop = self.rob[0]
+        rob = self.rob
+        stats = self.stats
+        config = self.config
+        rob_entries = config.rob_entries
+        commit_width = config.commit_width
+        while rob and committed < commit_width:
+            uop = rob[0]
             if not uop.complete:
                 break
             if uop.mispredicted and not uop.recovery_done:
@@ -243,24 +358,28 @@ class Core:
                 if self.lsu.committed_stores_pending():
                     break  # drain stores so the kernel sees consistent memory
                 self._commit_bookkeeping(uop)
-                self.rob.pop(0)
-                self._rob_next_slot = (uop.rob_slot + 1) % self.config.rob_entries
-                self.stats.ecalls += 1
-                self.stats.committed += 1 + len(uop.folded_pcs)
+                rob.popleft()
+                self.rob_version += 1
+                self._rob_row[uop.rob_slot] = 0
+                self._rob_next_slot = (uop.rob_slot + 1) % rob_entries
+                stats.ecalls += 1
+                stats.committed += 1 + len(uop.folded_pcs)
                 if not self.kernel.handle_ecall(self.arch):
                     self.halted = True
                     return
                 self._flush_all()
                 self.fetch_pc = (uop.pc + 4) & MASK64
                 self.fetch_resume_cycle = (
-                    self.cycle + self.config.mispredict_redirect_penalty
+                    self.cycle + config.mispredict_redirect_penalty
                 )
                 return
             if fc is FuncClass.SYSTEM and inst.mnemonic == "ebreak":
                 self._commit_bookkeeping(uop)
-                self.rob.pop(0)
-                self._rob_next_slot = (uop.rob_slot + 1) % self.config.rob_entries
-                self.stats.committed += 1 + len(uop.folded_pcs)
+                rob.popleft()
+                self.rob_version += 1
+                self._rob_row[uop.rob_slot] = 0
+                self._rob_next_slot = (uop.rob_slot + 1) % rob_entries
+                stats.committed += 1 + len(uop.folded_pcs)
                 self.halted = True
                 return
             if uop.is_store:
@@ -282,9 +401,11 @@ class Core:
                         label = self.arch.read_reg(inst.rs1)
                     self.tracer.on_marker(inst.mnemonic, label, self.cycle)
                 self._commit_bookkeeping(uop)
-                self.rob.pop(0)
-                self._rob_next_slot = (uop.rob_slot + 1) % self.config.rob_entries
-                self.stats.committed += 1 + len(uop.folded_pcs)
+                rob.popleft()
+                self.rob_version += 1
+                self._rob_row[uop.rob_slot] = 0
+                self._rob_next_slot = (uop.rob_slot + 1) % rob_entries
+                stats.committed += 1 + len(uop.folded_pcs)
                 self._flush_all()
                 self.fetch_pc = (uop.pc + 4) & MASK64
                 self.fetch_resume_cycle = self.cycle + 1
@@ -298,12 +419,14 @@ class Core:
                 elif inst.mnemonic == "jalr":
                     self.predictor.train_indirect(uop.pc, uop.resolved_target)
             if inst.is_branch:
-                self.stats.branches += 1
+                stats.branches += 1
             self._commit_bookkeeping(uop)
-            self.rob.pop(0)
-            self._rob_next_slot = (uop.rob_slot + 1) % self.config.rob_entries
+            rob.popleft()
+            self.rob_version += 1
+            self._rob_row[uop.rob_slot] = 0
+            self._rob_next_slot = (uop.rob_slot + 1) % rob_entries
             committed += 1
-            self.stats.committed += 1 + len(uop.folded_pcs)
+            stats.committed += 1 + len(uop.folded_pcs)
 
     def _commit_bookkeeping(self, uop: MicroOp) -> None:
         """Update the committed map and recycle overwritten physical regs."""
@@ -329,20 +452,24 @@ class Core:
     # ------------------------------------------------------------- writeback
 
     def _writeback(self) -> None:
-        finished = self.units.retire_finished(self.cycle)
-        done_loads = [u for u in self.inflight_loads
-                      if u.mem_complete_cycle <= self.cycle]
-        if done_loads:
-            self.inflight_loads = [
-                u for u in self.inflight_loads
-                if u.mem_complete_cycle > self.cycle
-            ]
-        finished.extend(done_loads)
-        finished.sort(key=lambda u: u.seq)
+        cycle = self.cycle
+        finished = self.units.retire_finished(cycle)
+        inflight = self.inflight_loads
+        if inflight:
+            done_loads = [u for u in inflight
+                          if u.mem_complete_cycle <= cycle]
+            if done_loads:
+                self.inflight_loads = [
+                    u for u in inflight if u.mem_complete_cycle > cycle
+                ]
+                finished.extend(done_loads)
+        if not finished:
+            return
+        if len(finished) > 1:
+            finished.sort(key=lambda u: u.seq)
         for uop in finished:
-            if getattr(uop, "_squashed", False):
-                continue
-            self._complete_uop(uop)
+            if not uop._squashed:
+                self._complete_uop(uop)
 
     def _complete_uop(self, uop: MicroOp) -> None:
         uop.complete_cycle = self.cycle
@@ -352,10 +479,14 @@ class Core:
             uop.addr_ready = True
             uop.data_ready = True
             uop.complete = True
+            # The SQ-ADDR row gates on addr_ready, so resolution is a
+            # sampled-state mutation even though queue membership is stable.
+            self.lsu.sq_version += 1
             return
         if uop.is_load:
             if not uop.addr_ready:
                 uop.addr_ready = True  # AGU completion; memory access follows
+                self.lsu.lq_version += 1
                 return
             self._write_prf(uop)
             uop.complete = True
@@ -450,7 +581,7 @@ class Core:
         """Squash every in-flight uop younger than ``seq``."""
         # Fetch buffer uops have not been renamed; just drop them.
         dropped = len(self.fetch_buffer)
-        self.fetch_buffer = []
+        self.fetch_buffer.clear()
         squashed: set[int] = set()
         # Pending folds are the youngest renamed ops.
         for fold in reversed(self.pending_folds):
@@ -458,11 +589,16 @@ class Core:
                 self._undo_rename(fold.lrd, fold.prd, fold.old_prd)
                 squashed.add(fold.seq)
         self.pending_folds = [f for f in self.pending_folds if f.seq <= seq]
+        rob_squashed = False
         while self.rob and self.rob[-1].seq > seq:
             victim = self.rob.pop()
             victim._squashed = True
+            self._rob_row[victim.rob_slot] = 0
             self._undo_uop_rename(victim)
             squashed.add(victim.seq)
+            rob_squashed = True
+        if rob_squashed:
+            self.rob_version += 1
         self.stats.squashed_uops += len(squashed) + dropped
 
         def is_squashed(uop):
@@ -478,9 +614,12 @@ class Core:
         for uop in self.rob:
             uop._squashed = True
         self.stats.squashed_uops += len(self.rob) + len(self.fetch_buffer)
-        self.rob = []
+        if self.rob:
+            self.rob_version += 1
+            self._rob_row = [0] * self.config.rob_entries
+        self.rob = deque()
         self.iq = []
-        self.fetch_buffer = []
+        self.fetch_buffer = deque()
         self.pending_folds = []
         self.inflight_loads = []
         self.pending_recoveries = []
@@ -491,8 +630,8 @@ class Core:
         self.lsu.reset_slots()
         self.map_table = list(self.committed_map)
         in_use = set(self.committed_map)
-        self.free_list = [p for p in range(1, self.config.int_prf_entries)
-                          if p not in in_use]
+        self.free_list = deque(p for p in range(1, self.config.int_prf_entries)
+                               if p not in in_use)
         for arch_reg in range(32):
             self.prf_ready[self.committed_map[arch_reg]] = True
 
@@ -504,17 +643,24 @@ class Core:
     def _issue(self) -> None:
         issued = 0
         still_queued = []
+        queue_uop = still_queued.append
+        issue_width = self.config.issue_width
+        prf_ready = self.prf_ready
+        cycle = self.cycle
+        acquire = self.units.acquire
         for uop in self.iq:
-            if issued >= self.config.issue_width:
-                still_queued.append(uop)
+            if issued >= issue_width:
+                queue_uop(uop)
                 continue
-            if not (self._operand_ready(uop.prs1) and self._operand_ready(uop.prs2)):
-                still_queued.append(uop)
+            prs1 = uop.prs1
+            prs2 = uop.prs2
+            if (prs1 >= 0 and not prf_ready[prs1]) or \
+                    (prs2 >= 0 and not prf_ready[prs2]):
+                queue_uop(uop)
                 continue
-            kind = self._unit_kind(uop)
-            unit = self.units.acquire(kind, self.cycle)
+            unit = acquire(_UNIT_KIND[uop.inst.func_class], cycle)
             if unit is None:
-                still_queued.append(uop)
+                queue_uop(uop)
                 continue
             self._begin_execution(uop, unit)
             issued += 1
@@ -522,30 +668,30 @@ class Core:
 
     @staticmethod
     def _unit_kind(uop: MicroOp) -> str:
-        fc = uop.inst.func_class
-        if fc is FuncClass.MUL:
-            return "mul"
-        if fc is FuncClass.DIV:
-            return "div"
-        if fc in (FuncClass.LOAD, FuncClass.STORE):
-            return "agu"
-        return "alu"
+        return _UNIT_KIND[uop.inst.func_class]
 
     def _read_operand(self, phys: int) -> int:
         return self.prf_value[phys] if phys >= 0 else 0
 
     def _begin_execution(self, uop: MicroOp, unit) -> None:
         inst = uop.inst
-        a = self._read_operand(uop.prs1)
-        b = inst.imm & MASK64 if uop.uses_imm else self._read_operand(uop.prs2)
+        prf_value = self.prf_value
+        prs1 = uop.prs1
+        prs2 = uop.prs2
+        a = prf_value[prs1] if prs1 >= 0 else 0
+        if uop.uses_imm:
+            b = inst.imm & MASK64
+        else:
+            b = prf_value[prs2] if prs2 >= 0 else 0
         fc = inst.func_class
-        latency = self.config.alu_latency
+        config = self.config
+        latency = config.alu_latency
         if fc is FuncClass.MUL:
-            latency = self.config.mul_latency
+            latency = config.mul_latency
         elif fc is FuncClass.DIV:
-            latency = (divider_latency(a, b, self.config.div_latency)
-                       if self.config.variable_div_latency
-                       else self.config.div_latency)
+            latency = (divider_latency(a, b, config.div_latency)
+                       if config.variable_div_latency
+                       else config.div_latency)
         if fc in (FuncClass.ALU, FuncClass.MUL, FuncClass.DIV):
             if inst.mnemonic == "auipc":
                 a = uop.pc
@@ -553,8 +699,9 @@ class Core:
                 a = 0
             uop.result = compute_alu(inst.mnemonic, a, b)
         elif fc is FuncClass.BRANCH:
-            uop.resolved_taken = branch_taken(inst.mnemonic, a,
-                                              self._read_operand(uop.prs2))
+            # Branches never use the immediate operand, so ``b`` already
+            # holds the rs2 value.
+            uop.resolved_taken = branch_taken(inst.mnemonic, a, b)
             uop.resolved_target = inst.branch_target()
         elif inst.mnemonic == "jalr":
             uop.result = (uop.pc + 4) & MASK64
@@ -564,20 +711,33 @@ class Core:
             uop.mem_addr = (a + inst.imm) & MASK64
         elif fc is FuncClass.STORE:
             uop.mem_addr = (a + inst.imm) & MASK64
-            uop.store_data = self._read_operand(uop.prs2)
+            uop.store_data = b
+        cycle = self.cycle
         uop.executing = True
-        uop.issue_cycle = self.cycle
-        unit.start(uop, self.cycle, latency)
+        uop.issue_cycle = cycle
+        unit.start(uop, cycle, latency)
 
     # -------------------------------------------------------------- dispatch
 
     def _rename_dispatch(self) -> None:
         dispatched = 0
-        while self.fetch_buffer and dispatched < self.config.decode_width:
-            uop = self.fetch_buffer[0]
-            if (uop.inst.is_marker and uop.inst.mnemonic != "iter.end"
-                    and (self.rob or self.lsu.store_queue
-                         or self.lsu.load_queue)):
+        fetch_buffer = self.fetch_buffer
+        config = self.config
+        decode_width = config.decode_width
+        rob_entries = config.rob_entries
+        iq_entries = config.iq_entries
+        rob = self.rob
+        rob_row = self._rob_row
+        iq = self.iq
+        lsu = self.lsu
+        free_list = self.free_list
+        cycle = self.cycle
+        complete_at_dispatch = self._complete_at_dispatch
+        while fetch_buffer and dispatched < decode_width:
+            uop = fetch_buffer[0]
+            inst = uop.inst
+            if (inst.is_marker and inst.mnemonic != "iter.end"
+                    and (rob or lsu.store_queue or lsu.load_queue)):
                 # Serialize-before: a window-opening marker waits for every
                 # older instruction to commit and every store to drain, so
                 # no instruction can run ahead across an iteration boundary
@@ -586,17 +746,28 @@ class Core:
                 # behaviour (it is what exposes transient execution), and
                 # its commit still gates on the store-buffer drain.
                 break
-            if not self._resources_available(uop):
+            # _resources_available, inlined (same check order) so the
+            # complete-at-dispatch predicate is evaluated once per uop.
+            if len(rob) >= rob_entries:
                 break
-            self.fetch_buffer.pop(0)
-            uop.dispatch_cycle = self.cycle
+            if inst.writes_rd and not free_list:
+                break
+            completes = complete_at_dispatch(uop)
+            if not completes and len(iq) >= iq_entries:
+                break
+            is_mem = uop.is_load or uop.is_store
+            if is_mem and not lsu.can_allocate(uop):
+                break
+            fetch_buffer.popleft()
+            uop.dispatch_cycle = cycle
             if self._try_fast_bypass(uop):
                 dispatched += 1
                 continue
             self._rename(uop)
-            self._attach_pending_folds(uop)
-            if self.rob:
-                uop.rob_slot = (self.rob[-1].rob_slot + 1) % self.config.rob_entries
+            if self.pending_folds:
+                self._attach_pending_folds(uop)
+            if rob:
+                uop.rob_slot = (rob[-1].rob_slot + 1) % rob_entries
             else:
                 uop.rob_slot = self._rob_next_slot
             if uop.folded_pcs:
@@ -604,17 +775,19 @@ class Core:
                 for pc in (*uop.folded_pcs[1:], uop.pc):
                     value = ((value * 0x100003) ^ pc) & 0xFFFFFFFFFFFF
                 uop.rob_value = value
-            self.rob.append(uop)
-            if self._complete_at_dispatch(uop):
+            rob.append(uop)
+            self.rob_version += 1
+            rob_row[uop.rob_slot] = uop.rob_value
+            if completes:
                 uop.complete = True
-                if uop.inst.mnemonic == "jal":
+                if inst.mnemonic == "jal":
                     uop.result = (uop.pc + 4) & MASK64
                     self._write_prf(uop)
             else:
                 uop.in_iq = True
-                self.iq.append(uop)
-                if uop.is_load or uop.is_store:
-                    self.lsu.allocate(uop)
+                iq.append(uop)
+                if is_mem:
+                    lsu.allocate(uop)
             dispatched += 1
 
     def _resources_available(self, uop: MicroOp) -> bool:
@@ -638,14 +811,10 @@ class Core:
         inst = uop.inst
         uop.prs1 = self.map_table[inst.rs1] if inst.reads_rs1 else -1
         uop.prs2 = self.map_table[inst.rs2] if inst.reads_rs2 else -1
-        uop.uses_imm = (
-            inst.spec.fmt.name == "I" and inst.func_class is not FuncClass.LOAD
-        ) or inst.spec.fmt.name == "U"
-        if inst.mnemonic == "jalr":
-            uop.uses_imm = False  # target computed from rs1 + imm explicitly
+        uop.uses_imm = inst.spec.uses_imm
         if inst.writes_rd:
             uop.old_prd = self.map_table[inst.rd]
-            uop.prd = self.free_list.pop(0)
+            uop.prd = self.free_list.popleft()
             self.prf_ready[uop.prd] = False
             self.map_table[inst.rd] = uop.prd
 
@@ -678,7 +847,7 @@ class Core:
         if not triggered:
             return False
         old_prd = self.map_table[inst.rd]
-        prd = self.free_list.pop(0)
+        prd = self.free_list.popleft()
         self.prf_value[prd] = 0
         self.prf_ready[prd] = True
         self.map_table[inst.rd] = prd
@@ -694,29 +863,35 @@ class Core:
     def _fetch(self) -> None:
         if self.halted or self.fetch_wait_uop is not None:
             return
-        if self.cycle < self.fetch_resume_cycle:
+        cycle = self.cycle
+        if cycle < self.fetch_resume_cycle:
             return
         pc = self.fetch_pc
-        ready = self.icache.fetch_ready(pc, self.cycle)
-        if ready is None:
+        if self.icache.fetch_ready(pc, cycle) is None:
             return
-        fetch_bytes = self.config.icache.fetch_bytes
+        config = self.config
+        fetch_bytes = config.icache.fetch_bytes
         packet_limit = min(
-            self.config.fetch_width,
+            config.fetch_width,
             (fetch_bytes - (pc % fetch_bytes)) // 4 or 1,
         )
+        fetch_buffer = self.fetch_buffer
+        buffer_capacity = config.fetch_buffer_entries
+        instruction_at = self.program.instruction_at
+        stats = self.stats
         for _ in range(packet_limit):
-            if len(self.fetch_buffer) >= self.config.fetch_buffer_entries:
+            if len(fetch_buffer) >= buffer_capacity:
                 break
-            inst = self.program.instruction_at(pc)
+            inst = instruction_at(pc)
             if inst is None:
                 # Wrong-path fetch ran off the text section; idle until the
                 # mispredicted branch resolves and redirects us.
                 self.fetch_pc = pc
                 return
-            uop = MicroOp(inst, self._next_seq())
-            uop.fetch_cycle = self.cycle
-            self.stats.fetched += 1
+            self.seq_counter = seq = self.seq_counter + 1
+            uop = MicroOp(inst, seq)
+            uop.fetch_cycle = cycle
+            stats.fetched += 1
             next_pc = (pc + 4) & MASK64
             if inst.is_branch:
                 uop.predictor_checkpoint = self.predictor.checkpoint()
@@ -725,14 +900,14 @@ class Core:
                 uop.predicted_taken = taken
                 uop.predicted_target = inst.branch_target()
                 uop.ghr_at_predict = ghr
-                self.fetch_buffer.append(uop)
+                fetch_buffer.append(uop)
                 if taken:
                     self.fetch_pc = inst.branch_target()
                     return
             elif inst.mnemonic == "jal":
                 if inst.rd == _RA:
                     self.predictor.on_call(next_pc)
-                self.fetch_buffer.append(uop)
+                fetch_buffer.append(uop)
                 self.fetch_pc = inst.branch_target()
                 return
             elif inst.mnemonic == "jalr":
@@ -742,7 +917,7 @@ class Core:
                 predicted = self.predictor.predict_jalr_target(
                     pc, is_return=is_return, is_call=is_call, next_pc=next_pc,
                 )
-                self.fetch_buffer.append(uop)
+                fetch_buffer.append(uop)
                 if predicted is None:
                     self.fetch_wait_uop = uop
                     self.fetch_pc = pc  # resolution will redirect
@@ -752,7 +927,7 @@ class Core:
                 self.fetch_pc = predicted
                 return
             else:
-                self.fetch_buffer.append(uop)
+                fetch_buffer.append(uop)
             pc = next_pc
             self.fetch_pc = pc
 
@@ -767,20 +942,24 @@ class Core:
         Each slot holds the PC of its instruction; a slot shared by a
         fast-bypassed instruction and its host (Section VII-B) holds a
         combined scalar, so entry sharing is visible to feature extraction.
+        The row is maintained incrementally (``_rob_row``) at every ROB
+        mutation, so sampling is a single tuple copy.
         """
-        row = [0] * self.config.rob_entries
-        for uop in self.rob:
-            row[uop.rob_slot] = uop.rob_value
-        return tuple(row)
+        return tuple(self._rob_row)
 
     #: Sampled pipeline depth per unit kind (in-flight slots per unit).
     _UNIT_DEPTH = {"alu": 1, "agu": 1, "div": 1, "mul": 3}
 
     def unit_busy_pcs(self, kind: str) -> tuple[int, ...]:
         depth = self._UNIT_DEPTH[kind]
+        if depth == 1:
+            return tuple(
+                unit.in_flight[0][1].pc if unit.in_flight else 0
+                for unit in self.units.by_kind[kind]
+            )
         row = []
         for unit in self.units.by_kind[kind]:
-            pcs = list(unit.busy_pcs())[:depth]
+            pcs = [uop.pc for _, uop in unit.in_flight[:depth]]
             pcs += [0] * (depth - len(pcs))
             row.extend(pcs)
         return tuple(row)

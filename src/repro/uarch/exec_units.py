@@ -9,6 +9,16 @@ from __future__ import annotations
 from repro.isa.semantics import MASK64, to_signed
 
 
+def _fresh_versions(kind: str) -> dict[str, int]:
+    """Version map for a standalone unit (the pool shares one across units).
+
+    ``"active"`` counts in-flight operations across all units sharing the
+    map (the core's fully-idle short circuit); the per-kind entries are
+    monotonic state versions for the change-detection tracer (EUU-* rows).
+    """
+    return {"active": 0, kind: 0}
+
+
 class ExecUnit:
     """One functional unit.
 
@@ -16,12 +26,16 @@ class ExecUnit:
     (the divider) are busy until their current operation completes.
     """
 
-    def __init__(self, kind: str, index: int, *, pipelined: bool):
+    __slots__ = ("kind", "index", "pipelined", "in_flight", "versions")
+
+    def __init__(self, kind: str, index: int, *, pipelined: bool,
+                 versions: dict[str, int] | None = None):
         self.kind = kind
         self.index = index
         self.pipelined = pipelined
         #: list of (complete_cycle, uop) currently in the unit.
         self.in_flight: list[tuple[int, object]] = []
+        self.versions = versions if versions is not None else _fresh_versions(kind)
 
     def can_accept(self, cycle: int) -> bool:
         if self.pipelined:
@@ -32,18 +46,35 @@ class ExecUnit:
         """Begin executing ``uop``; returns its completion cycle."""
         complete = cycle + latency
         self.in_flight.append((complete, uop))
+        versions = self.versions
+        versions[self.kind] += 1
+        versions["active"] += 1
         return complete
 
     def retire_finished(self, cycle: int) -> list[object]:
         """Remove and return uops whose results complete at ``cycle``."""
-        done = [uop for (complete, uop) in self.in_flight if complete <= cycle]
+        in_flight = self.in_flight
+        if not in_flight:
+            return []
+        done = [uop for (complete, uop) in in_flight if complete <= cycle]
         if done:
-            self.in_flight = [(c, u) for (c, u) in self.in_flight if c > cycle]
+            self.in_flight = [(c, u) for (c, u) in in_flight if c > cycle]
+            versions = self.versions
+            versions[self.kind] += 1
+            versions["active"] -= len(done)
         return done
 
     def squash(self, is_squashed) -> None:
         """Drop in-flight operations for which ``is_squashed(uop)`` holds."""
-        self.in_flight = [(c, u) for (c, u) in self.in_flight if not is_squashed(u)]
+        in_flight = self.in_flight
+        if not in_flight:
+            return
+        kept = [(c, u) for (c, u) in in_flight if not is_squashed(u)]
+        if len(kept) != len(in_flight):
+            versions = self.versions
+            versions[self.kind] += 1
+            versions["active"] -= len(in_flight) - len(kept)
+            self.in_flight = kept
 
     def busy_pcs(self) -> tuple[int, ...]:
         """PCs of the operations currently occupying this unit."""
@@ -71,18 +102,22 @@ class ExecUnitPool:
     """All functional units of one core, grouped by kind."""
 
     def __init__(self, config):
-        self.alus = [ExecUnit("alu", i, pipelined=True)
+        #: Shared across every unit: live in-flight count ("active") plus one
+        #: monotonic version per kind, sampled by the tracer's EUU-* features.
+        self.versions = {"active": 0, "alu": 0, "mul": 0, "div": 0, "agu": 0}
+        self.alus = [ExecUnit("alu", i, pipelined=True, versions=self.versions)
                      for i in range(config.alu_count)]
-        self.muls = [ExecUnit("mul", i, pipelined=True)
+        self.muls = [ExecUnit("mul", i, pipelined=True, versions=self.versions)
                      for i in range(config.mul_count)]
-        self.divs = [ExecUnit("div", i, pipelined=False)
+        self.divs = [ExecUnit("div", i, pipelined=False, versions=self.versions)
                      for i in range(config.div_count)]
-        self.agus = [ExecUnit("agu", i, pipelined=True)
+        self.agus = [ExecUnit("agu", i, pipelined=True, versions=self.versions)
                      for i in range(config.agu_count)]
         self.by_kind = {
             "alu": self.alus, "mul": self.muls,
             "div": self.divs, "agu": self.agus,
         }
+        self._units = [*self.alus, *self.muls, *self.divs, *self.agus]
 
     def acquire(self, kind: str, cycle: int) -> ExecUnit | None:
         """Find a unit of ``kind`` able to accept a new op this cycle."""
@@ -92,15 +127,19 @@ class ExecUnitPool:
         return None
 
     def all_units(self):
-        for units in self.by_kind.values():
-            yield from units
+        yield from self._units
 
     def retire_finished(self, cycle: int) -> list[object]:
+        if not self.versions["active"]:
+            return []
         finished = []
-        for unit in self.all_units():
-            finished.extend(unit.retire_finished(cycle))
+        for unit in self._units:
+            if unit.in_flight:
+                finished.extend(unit.retire_finished(cycle))
         return finished
 
     def squash(self, is_squashed) -> None:
-        for unit in self.all_units():
+        if not self.versions["active"]:
+            return
+        for unit in self._units:
             unit.squash(is_squashed)

@@ -11,6 +11,8 @@ execution does on real hardware.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.isa.semantics import MASK64, to_signed
 from repro.uarch.memsys import DataCachePort
 from repro.uarch.uop import MicroOp
@@ -31,8 +33,14 @@ class LoadStoreUnit:
         self.memory = memory
         self.memory_size = memory_size
         self.store_miss_drain_penalty = store_miss_drain_penalty
-        self.load_queue: list[MicroOp] = []
-        self.store_queue: list[MicroOp] = []
+        self.load_queue: deque[MicroOp] = deque()
+        self.store_queue: deque[MicroOp] = deque()
+        #: Sampled-state versions for the change-detection tracer: bumped on
+        #: every mutation that can alter an LQ-*/SQ-* row — queue membership
+        #: changes here, plus address-resolution (``addr_ready``) flips in
+        #: ``Core._complete_uop``.
+        self.lq_version = 0
+        self.sq_version = 0
         self.loads_issued = 0
         self.forwards = 0
         # Stable circular slot allocation (like the RTL's physical entries):
@@ -56,6 +64,7 @@ class LoadStoreUnit:
             else:
                 uop.lq_slot = self._lq_next_slot
             queue.append(uop)
+            self.lq_version += 1
         else:
             queue = self.store_queue
             if queue:
@@ -63,6 +72,7 @@ class LoadStoreUnit:
             else:
                 uop.sq_slot = self._sq_next_slot
             queue.append(uop)
+            self.sq_version += 1
 
     # -- address clamping ------------------------------------------------------
 
@@ -108,7 +118,8 @@ class LoadStoreUnit:
             return False
         address = self._clamp(head.mem_addr, head.mem_size)
         self.memory.store(address, head.store_data, head.mem_size)
-        self.store_queue.pop(0)
+        self.store_queue.popleft()
+        self.sq_version += 1
         self._sq_next_slot = (head.sq_slot + 1) % self.stq_capacity
         return True
 
@@ -145,14 +156,18 @@ class LoadStoreUnit:
         """
         started = []
         ports_left = max_ports
+        store_queue = self.store_queue
         for load in self.load_queue:
             if ports_left == 0:
                 break
             if not load.addr_ready or load.mem_issued:
                 continue
-            status, store = self._older_store_status(load)
-            if status == "wait":
-                continue
+            if store_queue:
+                status, store = self._older_store_status(load)
+                if status == "wait":
+                    continue
+            else:
+                status, store = "ok", None
             load.mem_issued = True
             if status == "forward":
                 load.forwarded = True
@@ -218,16 +233,32 @@ class LoadStoreUnit:
     # -- commit / squash ---------------------------------------------------------
 
     def on_commit(self, uop: MicroOp) -> None:
-        if uop.is_load and uop in self.load_queue:
-            self.load_queue.remove(uop)
+        if uop.is_load:
+            queue = self.load_queue
+            if queue and queue[0] is uop:
+                # Loads commit in program order, so the head is the common
+                # case; ``remove`` stays as the slow path for robustness.
+                queue.popleft()
+            elif uop in queue:
+                queue.remove(uop)
+            else:
+                return
+            self.lq_version += 1
             self._lq_next_slot = (uop.lq_slot + 1) % self.ldq_capacity
         # Stores stay in the SQ (marked committed) until they drain.
 
     def squash(self, is_squashed) -> None:
-        self.load_queue = [u for u in self.load_queue if not is_squashed(u)]
-        self.store_queue = [
-            u for u in self.store_queue if u.committed or not is_squashed(u)
-        ]
+        if self.load_queue:
+            kept = [u for u in self.load_queue if not is_squashed(u)]
+            if len(kept) != len(self.load_queue):
+                self.load_queue = deque(kept)
+                self.lq_version += 1
+        if self.store_queue:
+            kept = [u for u in self.store_queue
+                    if u.committed or not is_squashed(u)]
+            if len(kept) != len(self.store_queue):
+                self.store_queue = deque(kept)
+                self.sq_version += 1
 
     def committed_stores_pending(self) -> bool:
         return any(u.committed for u in self.store_queue)

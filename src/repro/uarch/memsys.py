@@ -7,16 +7,24 @@ This separation keeps functional correctness independent of the timing model
 while still exposing every microarchitectural side effect MicroSampler
 samples: request addresses, MSHR contents, LFB contents, TLB residency and
 prefetcher activity.
+
+Every structure the tracer samples carries a monotonically increasing
+version counter bumped on each mutation of its *sampled* state (see
+``docs/performance.md``).  The change-detection tracer compares versions
+cycle to cycle and skips resampling unchanged units, so the counters must be
+bumped on every mutation that can alter a sampled row — over-bumping merely
+costs a resample, under-bumping silently corrupts snapshots.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.uarch.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -45,7 +53,11 @@ class SetAssocCache:
 
     def lookup(self, line_addr: int) -> bool:
         """Probe for ``line_addr``; updates LRU and hit/miss statistics."""
-        cache_set = self._set_for(line_addr)
+        cache_set = self.sets[line_addr % self.config.sets]
+        if cache_set and cache_set[-1] == line_addr:
+            # Already most-recently-used: skip the remove/append shuffle.
+            self.stats.hits += 1
+            return True
         if line_addr in cache_set:
             cache_set.remove(line_addr)
             cache_set.append(line_addr)
@@ -81,7 +93,7 @@ class SetAssocCache:
         return [line for cache_set in self.sets for line in cache_set]
 
 
-@dataclass
+@dataclass(slots=True)
 class Mshr:
     """One miss-status holding register: an in-flight miss.
 
@@ -97,7 +109,7 @@ class Mshr:
     fills: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class LfbEntry:
     """One line-fill-buffer entry: fill data en route to the cache."""
 
@@ -113,17 +125,21 @@ class LineFillBuffer:
     def __init__(self, entries: int):
         self.capacity = entries
         self.entries: list[LfbEntry] = []
+        #: bumped on every change to ``entries`` (LFB-ADDR / LFB-Data rows).
+        self.version = 0
 
     def full(self) -> bool:
         return len(self.entries) >= self.capacity
 
     def add(self, entry: LfbEntry) -> None:
         self.entries.append(entry)
+        self.version += 1
 
     def pop_ready(self, cycle: int) -> list[LfbEntry]:
         ready = [e for e in self.entries if e.ready_cycle <= cycle]
         if ready:
             self.entries = [e for e in self.entries if e.ready_cycle > cycle]
+            self.version += 1
         return ready
 
 
@@ -139,22 +155,31 @@ class Tlb:
         self.capacity = entries
         self.page_size = page_size
         self.miss_latency = miss_latency
-        self.pages: list[int] = []  # most-recently-used last
+        self.pages: deque[int] = deque()  # most-recently-used last
         self.hits = 0
         self.misses = 0
+        #: bumped whenever residency or MRU order changes (TLB-ADDR rows).
+        self.version = 0
 
     def translate(self, address: int) -> int:
         """Return the extra latency for translating ``address`` (0 on hit)."""
         page = address // self.page_size
-        if page in self.pages:
-            self.pages.remove(page)
-            self.pages.append(page)
+        pages = self.pages
+        if pages and pages[-1] == page:
+            # Already most-recently-used: residency and order are unchanged.
             self.hits += 1
             return 0
+        if page in pages:
+            pages.remove(page)
+            pages.append(page)
+            self.hits += 1
+            self.version += 1
+            return 0
         self.misses += 1
-        if len(self.pages) >= self.capacity:
-            self.pages.pop(0)
-        self.pages.append(page)
+        if len(pages) >= self.capacity:
+            pages.popleft()
+        pages.append(page)
+        self.version += 1
         return self.miss_latency
 
     def resident_pages(self) -> tuple[int, ...]:
@@ -168,6 +193,8 @@ class NextLinePrefetcher:
         self.enabled = enabled
         self.last_prefetch_line: int = 0
         self.issued = 0
+        #: bumped whenever ``last_prefetch_line`` is rewritten (NLP-ADDR).
+        self.version = 0
 
     def on_demand_miss(self, line_addr: int) -> int | None:
         """Return the line to prefetch (or None)."""
@@ -175,10 +202,11 @@ class NextLinePrefetcher:
             return None
         self.last_prefetch_line = line_addr + 1
         self.issued += 1
+        self.version += 1
         return line_addr + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a cache port request."""
 
@@ -215,29 +243,39 @@ class DataCachePort:
         self.hit_latency = cache_config.hit_latency
         #: addresses requested this cycle (cleared by begin_cycle).
         self.requests_this_cycle: list[int] = []
+        #: bumped whenever ``requests_this_cycle`` changes (Cache-ADDR rows).
+        self.request_version = 0
+        #: bumped whenever the MSHR list changes (MSHR-ADDR rows).
+        self.mshr_version = 0
         #: callable line_addr -> small digest of line data, for LFB-Data.
         self.memory_digest = memory_digest or (lambda line_addr: 0)
 
     # -- per-cycle maintenance ------------------------------------------------
 
     def begin_cycle(self) -> None:
-        self.requests_this_cycle = []
+        if self.requests_this_cycle:
+            self.requests_this_cycle.clear()
+            self.request_version += 1
 
     def tick(self, cycle: int) -> None:
         """Complete memory fills: MSHR -> LFB -> cache data array."""
-        for entry in self.lfb.pop_ready(cycle):
+        mshrs = self.mshrs
+        lfb = self.lfb
+        if not mshrs and not lfb.entries:
+            return
+        for entry in lfb.pop_ready(cycle):
             self.cache.install(entry.line_addr)
             if self.l2 is not None:
                 self.l2.install(entry.line_addr)
             if entry.is_prefetch:
                 self.cache.stats.prefetch_fills += 1
         remaining = []
-        for mshr in self.mshrs:
+        for mshr in mshrs:
             if mshr.ready_cycle <= cycle:
                 if not mshr.fills:
                     continue  # posted store write: done, nothing to install
-                if not self.lfb.full():
-                    self.lfb.add(
+                if not lfb.full():
+                    lfb.add(
                         LfbEntry(
                             line_addr=mshr.line_addr,
                             ready_cycle=cycle + 1,
@@ -247,6 +285,8 @@ class DataCachePort:
                     )
                     continue
             remaining.append(mshr)
+        if len(remaining) != len(mshrs):
+            self.mshr_version += 1
         self.mshrs = remaining
 
     # -- requests -------------------------------------------------------------
@@ -280,6 +320,7 @@ class DataCachePort:
         the full memory latency, and the store-queue drain blocks on it.
         """
         self.requests_this_cycle.append(address)
+        self.request_version += 1
         extra = self.tlb.translate(address)
         line_addr = self.cache.line_address(address)
         if self.cache.lookup(line_addr):
@@ -296,6 +337,7 @@ class DataCachePort:
                 return AccessResult(False)
             ready = cycle + self._fill_latency(line_addr)
             self.mshrs.append(Mshr(line_addr, ready, fills=False))
+            self.mshr_version += 1
             self._maybe_prefetch(line_addr, cycle)
             return AccessResult(True, ready + extra, hit=False)
         lfb_entry = self._lfb_pending(line_addr)
@@ -311,6 +353,7 @@ class DataCachePort:
             return AccessResult(False)  # retry next cycle
         ready = cycle + self._fill_latency(line_addr)
         self.mshrs.append(Mshr(line_addr, ready))
+        self.mshr_version += 1
         self._maybe_prefetch(line_addr, cycle)
         return AccessResult(True, ready + 1 + self.hit_latency + extra, hit=False)
 
@@ -331,6 +374,7 @@ class DataCachePort:
             return
         self.mshrs.append(Mshr(target, cycle + self.memory_latency,
                                is_prefetch=True))
+        self.mshr_version += 1
 
     # -- state exposure for the tracer ---------------------------------------
 

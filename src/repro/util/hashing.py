@@ -24,44 +24,73 @@ def _rotl(value: int, amount: int) -> int:
     return ((value << amount) | (value >> (64 - amount))) & _MASK64
 
 
+def _siprounds(n: int, v0: int, v1: int, v2: int, v3: int,
+               _M: int = _MASK64) -> tuple[int, int, int, int]:
+    """``n`` SipRounds with the rotations inlined (cold path helper)."""
+    for _ in range(n):
+        v0 = (v0 + v1) & _M
+        v1 = (((v1 << 13) | (v1 >> 51)) & _M) ^ v0
+        v0 = ((v0 << 32) | (v0 >> 32)) & _M
+        v2 = (v2 + v3) & _M
+        v3 = (((v3 << 16) | (v3 >> 48)) & _M) ^ v2
+        v0 = (v0 + v3) & _M
+        v3 = (((v3 << 21) | (v3 >> 43)) & _M) ^ v0
+        v2 = (v2 + v1) & _M
+        v1 = (((v1 << 17) | (v1 >> 47)) & _M) ^ v2
+        v2 = ((v2 << 32) | (v2 >> 32)) & _M
+    return v0, v1, v2, v3
+
+
 def siphash24(data: bytes, key: tuple[int, int] = DEFAULT_KEY) -> int:
-    """SipHash-2-4 of ``data`` with a 128-bit ``key``; returns a 64-bit int."""
+    """SipHash-2-4 of ``data`` with a 128-bit ``key``; returns a 64-bit int.
+
+    This is the innermost hash of every finalized snapshot, so the word loop
+    decodes all message words with one ``struct.unpack_from`` and runs its
+    two SipRounds inline — no per-rotation function calls.
+    """
     k0, k1 = key
+    _M = _MASK64
     v0 = k0 ^ 0x736F6D6570736575
     v1 = k1 ^ 0x646F72616E646F6D
     v2 = k0 ^ 0x6C7967656E657261
     v3 = k1 ^ 0x7465646279746573
 
-    def rounds(n, a, b, c, d):
-        for _ in range(n):
-            a = (a + b) & _MASK64
-            b = _rotl(b, 13) ^ a
-            a = _rotl(a, 32)
-            c = (c + d) & _MASK64
-            d = _rotl(d, 16) ^ c
-            a = (a + d) & _MASK64
-            d = _rotl(d, 21) ^ a
-            c = (c + b) & _MASK64
-            b = _rotl(b, 17) ^ c
-            c = _rotl(c, 32)
-        return a, b, c, d
-
     length = len(data)
-    end = length - (length % 8)
-    for offset in range(0, end, 8):
-        m = int.from_bytes(data[offset:offset + 8], "little")
-        v3 ^= m
-        v0, v1, v2, v3 = rounds(2, v0, v1, v2, v3)
-        v0 ^= m
-    tail = data[end:]
+    nwords = length >> 3
+    if nwords:
+        for m in struct.unpack_from(f"<{nwords}Q", data):
+            v3 ^= m
+            # SipRound x2, inlined.
+            v0 = (v0 + v1) & _M
+            v1 = (((v1 << 13) | (v1 >> 51)) & _M) ^ v0
+            v0 = ((v0 << 32) | (v0 >> 32)) & _M
+            v2 = (v2 + v3) & _M
+            v3 = (((v3 << 16) | (v3 >> 48)) & _M) ^ v2
+            v0 = (v0 + v3) & _M
+            v3 = (((v3 << 21) | (v3 >> 43)) & _M) ^ v0
+            v2 = (v2 + v1) & _M
+            v1 = (((v1 << 17) | (v1 >> 47)) & _M) ^ v2
+            v2 = ((v2 << 32) | (v2 >> 32)) & _M
+            v0 = (v0 + v1) & _M
+            v1 = (((v1 << 13) | (v1 >> 51)) & _M) ^ v0
+            v0 = ((v0 << 32) | (v0 >> 32)) & _M
+            v2 = (v2 + v3) & _M
+            v3 = (((v3 << 16) | (v3 >> 48)) & _M) ^ v2
+            v0 = (v0 + v3) & _M
+            v3 = (((v3 << 21) | (v3 >> 43)) & _M) ^ v0
+            v2 = (v2 + v1) & _M
+            v1 = (((v1 << 17) | (v1 >> 47)) & _M) ^ v2
+            v2 = ((v2 << 32) | (v2 >> 32)) & _M
+            v0 ^= m
+    tail = data[nwords << 3:]
     m = (length & 0xFF) << 56
     m |= int.from_bytes(tail, "little")
     v3 ^= m
-    v0, v1, v2, v3 = rounds(2, v0, v1, v2, v3)
+    v0, v1, v2, v3 = _siprounds(2, v0, v1, v2, v3)
     v0 ^= m
     v2 ^= 0xFF
-    v0, v1, v2, v3 = rounds(4, v0, v1, v2, v3)
-    return (v0 ^ v1 ^ v2 ^ v3) & _MASK64
+    v0, v1, v2, v3 = _siprounds(4, v0, v1, v2, v3)
+    return (v0 ^ v1 ^ v2 ^ v3) & _M
 
 
 def row_digest(row: tuple) -> int:
@@ -74,7 +103,17 @@ def row_digest(row: tuple) -> int:
     return hash(row) & _MASK64
 
 
-def combine_digests(digests: list[int], key: tuple[int, int] = DEFAULT_KEY) -> int:
+def pack_digests(digests) -> bytes:
+    """Pack a sequence of 64-bit digests into their SipHash input bytes.
+
+    One ``struct.pack`` call per iteration snapshot.  The packed form
+    doubles as an exact memo key for :func:`combine_digests` results (the
+    tracer's snapshot-level hash cache).
+    """
+    return struct.pack(f"<{len(digests)}Q", *digests)
+
+
+def combine_digests(digests, key: tuple[int, int] = DEFAULT_KEY) -> int:
     """SipHash-2-4 over a sequence of 64-bit row digests."""
     return siphash24(struct.pack(f"<{len(digests)}Q", *digests), key)
 

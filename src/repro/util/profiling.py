@@ -1,0 +1,95 @@
+"""Per-stage wall-clock profiling for the simulator (``--profile``).
+
+A :class:`StageProfile` accumulates how much host time each pipeline stage
+of :class:`~repro.uarch.core.Core` consumed over a run.  When attached to a
+core (``core.profiler = StageProfile()``), ``Core.step`` routes through an
+instrumented variant that brackets each stage with ``perf_counter`` reads.
+
+Profiling is strictly observational: the instrumented step executes the
+exact same guarded stage sequence as the fast path, so simulated behaviour
+(and therefore every snapshot hash) is unchanged — only host wall-clock is
+recorded.  The overhead of the bracketing itself (~10 timer reads per
+cycle) is why profiling is opt-in rather than always-on.
+
+Profiles from the runs of one campaign are merged with :meth:`merge` and
+surface in :class:`~repro.sampler.pipeline.LeakageReport` and the report
+JSON (``report_to_dict``) under ``"profile"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+#: Stage attribute -> human-readable label, in pipeline order (commit first,
+#: matching the reverse-pipeline stage sequence the core steps through).
+STAGE_LABELS: tuple[tuple[str, str], ...] = (
+    ("commit_seconds", "commit"),
+    ("memsys_seconds", "memory system"),
+    ("writeback_seconds", "writeback"),
+    ("issue_seconds", "issue"),
+    ("rename_seconds", "rename/dispatch"),
+    ("fetch_seconds", "fetch"),
+    ("tracer_seconds", "tracer"),
+)
+
+
+@dataclass
+class StageProfile:
+    """Accumulated host seconds per simulator stage for one or more runs."""
+
+    fetch_seconds: float = 0.0
+    rename_seconds: float = 0.0
+    issue_seconds: float = 0.0
+    writeback_seconds: float = 0.0
+    commit_seconds: float = 0.0
+    memsys_seconds: float = 0.0
+    tracer_seconds: float = 0.0
+    cycles: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.fetch_seconds + self.rename_seconds + self.issue_seconds
+                + self.writeback_seconds + self.commit_seconds
+                + self.memsys_seconds + self.tracer_seconds)
+
+    def merge(self, other: "StageProfile") -> None:
+        """Fold ``other`` into this profile (campaign-level aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def to_dict(self) -> dict:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["total_seconds"] = self.total_seconds
+        return data
+
+    def render(self) -> str:
+        """Human-readable per-stage breakdown table."""
+        total = self.total_seconds
+        lines = ["Per-stage simulator time"
+                 f" ({self.cycles:,} cycles, {total:.3f} s attributed):"]
+        for attr, label in STAGE_LABELS:
+            seconds = getattr(self, attr)
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            per_cycle = 1e6 * seconds / self.cycles if self.cycles else 0.0
+            lines.append(
+                f"  {label:<16s} {seconds:8.3f} s  {share:5.1f}%"
+                f"  {per_cycle:7.2f} us/cycle"
+            )
+        return "\n".join(lines)
+
+
+def merge_profiles(profiles) -> StageProfile | None:
+    """Merge an iterable of ``StageProfile | None`` into one (or ``None``).
+
+    Runs replayed from the trace cache carry no profile (no simulation work
+    happened for them); they simply contribute nothing to the aggregate.
+    """
+    merged: StageProfile | None = None
+    for profile in profiles:
+        if profile is None:
+            continue
+        if merged is None:
+            merged = StageProfile()
+        merged.merge(profile)
+    return merged

@@ -187,13 +187,13 @@ class TestSquash:
         lsu.allocate(done)
         lsu.allocate(speculative)
         lsu.squash(lambda u: u.seq > 1)
-        assert lsu.store_queue == [done]
+        assert list(lsu.store_queue) == [done]
 
     def test_squash_clears_loads(self):
         lsu, _ = _lsu()
         lsu.allocate(_load(5, 0x100))
         lsu.squash(lambda u: u.seq > 2)
-        assert lsu.load_queue == []
+        assert list(lsu.load_queue) == []
 
 
 class TestTracerRows:

@@ -13,6 +13,12 @@ class FakeCore:
         self._rows = list(rows)
         self._index = 0
 
+    @property
+    def rob_version(self):
+        # A fresh token every cycle: the incremental tracer must resample
+        # each canned row (the fake "ROB" mutates on every read).
+        return self._index
+
     def rob_occupancy(self):
         row = self._rows[self._index]
         self._index += 1
