@@ -5,27 +5,72 @@ and both prints it and writes it to ``benchmarks/results/<name>.txt`` so the
 series survive pytest's output capturing.  Benchmarks that also pass
 machine-readable ``data`` get a ``results/<name>.json`` twin, so trend
 tracking across commits does not have to re-parse the ASCII tables.
+
+Every JSON twin carries a ``meta`` block recording the repo commit the
+numbers were measured at and content digests of the bundled core configs,
+so a series archived from CI is attributable: a drift in the numbers can be
+told apart from a deliberate core-parameter change by comparing digests.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
+import subprocess
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _repo_commit() -> str | None:
+    """Current repo HEAD SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _config_digests() -> dict:
+    """Content digests of the bundled core configurations."""
+    from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM
+    from repro.util.hashing import stable_hex_digest
+
+    return {
+        config.name: stable_hex_digest(dataclasses.asdict(config))
+        for config in (SMALL_BOOM, MEDIUM_BOOM, MEGA_BOOM)
+    }
+
+
+def result_meta() -> dict:
+    """Provenance block stamped into every results JSON."""
+    return {
+        "commit": _repo_commit(),
+        "core_config_digests": _config_digests(),
+    }
 
 
 def emit(name: str, text: str, data=None) -> None:
     """Print a figure/table reproduction and persist it to results/.
 
     ``data`` (any JSON-serializable value) additionally lands in
-    ``results/<name>.json``, with stable key order for clean diffs.
+    ``results/<name>.json`` with stable key order for clean diffs, wrapped
+    as ``{"meta": ..., "results": data}`` unless the caller already
+    supplied its own top-level ``meta``.
     """
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if data is not None:
+        if not (isinstance(data, dict) and "meta" in data):
+            data = {"meta": result_meta(), "results": data}
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"
         )

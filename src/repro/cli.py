@@ -15,6 +15,8 @@ Commands
     Assemble a RISC-V assembly file and run it on the out-of-order core.
 ``disasm FILE``
     Assemble a file and print its disassembly with addresses.
+``cache {stats,prune}``
+    Inspect or garbage-collect the trace/checkpoint cache directory.
 """
 
 from __future__ import annotations
@@ -90,6 +92,30 @@ def _jobs_argument(value: str) -> int:
         raise argparse.ArgumentTypeError(
             f"must be >= 0 (0 = one per CPU), got {jobs}")
     return jobs
+
+
+def _warmup_insts_argument(value: str):
+    from repro.sampler.checkpoint import parse_warmup
+
+    try:
+        return parse_warmup(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_checkpoint_argument(parser) -> None:
+    from repro.sampler.checkpoint import DEFAULT_WARMUP_INSTS
+
+    parser.add_argument(
+        "--warmup-insts", type=_warmup_insts_argument,
+        default=DEFAULT_WARMUP_INSTS, metavar="{none,full,N}",
+        help="fast-forward checkpointing: run the pre-ROI prefix on the "
+             "functional interpreter and simulate cycle-accurately only "
+             "from a checkpoint N instructions before roi.begin (those N "
+             "are replayed untraced to warm caches and predictors). "
+             "'none' = jump straight to the ROI on a cold core; 'full' = "
+             "no checkpointing, simulate everything cycle-accurately "
+             f"(default: {DEFAULT_WARMUP_INSTS})")
 
 
 def _add_engine_argument(parser) -> None:
@@ -196,6 +222,7 @@ def cmd_analyze(args) -> int:
         analyze_timing_removed=not args.no_timing_removed,
         jobs=jobs,
         cache=cache,
+        warmup_insts=getattr(args, "warmup_insts", None),
         engine=args.engine,
         measure_mi=getattr(args, "mi", False),
         profile=getattr(args, "profile", False),
@@ -250,7 +277,9 @@ def cmd_localize(args) -> int:
         warmup_iterations=args.warmup,
         jobs=jobs,
         cache=cache,
+        warmup_insts=getattr(args, "warmup_insts", None),
         engine=args.engine,
+        profile=getattr(args, "profile", False),
     )
     print(f"localizing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -319,10 +348,48 @@ def cmd_audit(args) -> int:
                     for name in names if name in AUDIT_EXPECTATIONS}
     jobs, cache = _resolve_backend(args)
     result = run_audit(workloads, config=config, expectations=expectations,
-                       jobs=jobs, cache=cache, engine=args.engine,
+                       jobs=jobs, cache=cache,
+                       warmup_insts=getattr(args, "warmup_insts", None),
+                       engine=args.engine,
                        profile=getattr(args, "profile", False))
     print(result.render())
     return 0 if result.passed else 1
+
+
+def _format_bytes(count: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return (f"{count} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def cmd_cache(args) -> int:
+    """Inspect or garbage-collect the trace/checkpoint cache."""
+    from repro.sampler.trace_cache import cache_stats, prune_cache
+
+    if args.action == "stats":
+        stats = cache_stats(args.cache_dir)
+        print(f"cache root: {stats['root']}")
+        for kind in ("trace", "checkpoint"):
+            bucket = stats[kind]
+            print(f"  {kind:<11} {bucket['entries']:>6} entries "
+                  f"({_format_bytes(bucket['bytes'])}), "
+                  f"{bucket['stale_entries']} stale "
+                  f"({_format_bytes(bucket['stale_bytes'])})")
+        total_stale = (stats["trace"]["stale_entries"]
+                       + stats["checkpoint"]["stale_entries"])
+        if total_stale:
+            print(f"  run 'microsampler cache prune' to delete the "
+                  f"{total_stale} stale entr"
+                  f"{'y' if total_stale == 1 else 'ies'}")
+        return 0
+    result = prune_cache(args.cache_dir, all_entries=args.all)
+    print(f"pruned {result['removed_entries']} entries "
+          f"({_format_bytes(result['removed_bytes'])}) "
+          f"from {result['root']}")
+    return 0
 
 
 def cmd_pipeview(args) -> int:
@@ -445,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "instructions")
     _add_engine_argument(analyze)
     _add_backend_arguments(analyze)
+    _add_checkpoint_argument(analyze)
     _add_profile_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -476,6 +544,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the localization as JSON (for CI)")
     _add_engine_argument(localize)
     _add_backend_arguments(localize)
+    _add_checkpoint_argument(localize)
+    _add_profile_argument(localize)
     localize.set_defaults(func=cmd_localize)
 
     simulate = sub.add_parser("simulate",
@@ -518,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=3)
     _add_engine_argument(audit)
     _add_backend_arguments(audit)
+    _add_checkpoint_argument(audit)
     _add_profile_argument(audit)
     audit.set_defaults(func=cmd_audit)
 
@@ -531,6 +602,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--inputs", type=int, default=8)
     trace.add_argument("--seed", type=int, default=3)
     trace.set_defaults(func=cmd_trace)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the trace/checkpoint cache")
+    cache.add_argument("action", choices=["stats", "prune"],
+                       help="'stats' inventories entries by kind and "
+                            "staleness; 'prune' deletes stale (pre-format-"
+                            "bump or unreadable) entries")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: "
+                            "$MICROSAMPLER_CACHE_DIR or "
+                            "~/.cache/microsampler)")
+    cache.add_argument("--all", action="store_true",
+                       help="prune every entry, not just stale ones")
+    cache.set_defaults(func=cmd_cache)
 
     reanalyze = sub.add_parser(
         "reanalyze", help="statistical analysis over an archived trace log")

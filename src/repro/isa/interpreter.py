@@ -81,20 +81,59 @@ class FlatMemory:
         return bytes(self.data[address:address + length])
 
 
+class TrackingMemory(FlatMemory):
+    """Flat memory that records which pages have been written.
+
+    Checkpoint capture uses this to snapshot only the pages a program has
+    dirtied relative to the pristine program image, instead of the whole
+    address space.  ``dirty_pages`` holds page base addresses.
+    """
+
+    def __init__(self, size: int = 1 << 22, page_size: int = 4096):
+        super().__init__(size)
+        self.page_size = page_size
+        self.dirty_pages: set[int] = set()
+
+    def store(self, address: int, value: int, size: int) -> None:
+        super().store(address, value, size)
+        page = self.page_size
+        self.dirty_pages.add((address // page) * page)
+        last = ((address + size - 1) // page) * page
+        if last != (address // page) * page:
+            self.dirty_pages.add(last)
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        super().write_bytes(address, payload)
+        if payload:
+            page = self.page_size
+            first = (address // page) * page
+            last = ((address + len(payload) - 1) // page) * page
+            self.dirty_pages.update(range(first, last + page, page))
+
+
 class Interpreter:
     """Functional executor for a :class:`Program`.
 
     ``syscall_handler(interp) -> bool`` services ``ecall``; returning False
     halts execution.  The default handler implements the proxy-kernel exit
     convention (a7=93 exits with code a0).
+
+    With ``track_dirty_pages=True`` the memory records which pages the
+    *program* writes (the initial data image does not count as dirty); the
+    checkpoint machinery in :mod:`repro.sampler.checkpoint` relies on this.
     """
 
     def __init__(self, program: Program, memory_map: MemoryMap | None = None,
                  record_arch_trace: bool = False,
-                 syscall_handler: Callable[["Interpreter"], bool] | None = None):
+                 syscall_handler: Callable[["Interpreter"], bool] | None = None,
+                 track_dirty_pages: bool = False):
         self.program = program
         self.memory_map = memory_map or MemoryMap()
-        self.memory = FlatMemory(self.memory_map.memory_size)
+        if track_dirty_pages:
+            self.memory: FlatMemory = TrackingMemory(
+                self.memory_map.memory_size, self.memory_map.page_size)
+        else:
+            self.memory = FlatMemory(self.memory_map.memory_size)
         self.regs = [0] * 32
         self.pc = program.entry
         self.record_arch_trace = record_arch_trace
@@ -105,6 +144,8 @@ class Interpreter:
         self.markers: list[MarkerEvent] = []
         self.arch_trace: list[ArchEvent] = []
         self.memory.write_bytes(program.data_base, bytes(program.data))
+        if track_dirty_pages:
+            self.memory.dirty_pages.clear()  # the image is not program-dirty
         self.regs[2] = self.memory_map.stack_top  # sp
 
     # -- register helpers ---------------------------------------------------
@@ -172,6 +213,11 @@ class Interpreter:
         else:  # pragma: no cover - all classes handled above
             raise ExecutionError(f"unhandled class {fc}")
         self.pc = next_pc
+
+    def run_until(self, target_steps: int) -> None:
+        """Execute until ``self.steps`` reaches ``target_steps`` (or halt)."""
+        while not self.halted and self.steps < target_steps:
+            self.step()
 
     def run(self, max_steps: int = 10_000_000) -> InterpreterResult:
         """Run until halt (or ``max_steps``), returning the result summary."""

@@ -82,3 +82,17 @@ class ProxyKernel:
     @property
     def console_text(self) -> str:
         return self.console.decode("latin-1")
+
+    # -- checkpoint support --------------------------------------------------
+
+    def checkpoint_state(self) -> tuple[bytes, int]:
+        """Snapshot of the kernel-side architectural state (console, brk)."""
+        return bytes(self.console), self._brk
+
+    def restore_state(self, state: tuple[bytes, int]) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint_state`."""
+        console, brk = state
+        self.console = bytearray(console)
+        self._brk = brk
+        self.exit_code = 0
+        self.exited = False

@@ -117,6 +117,9 @@ def render_localization(report: LocalizationReport, *, program=None,
         f"scan={report.scan_seconds:.2f}s "
         f"attribute={report.attribute_seconds:.2f}s"
     )
+    if report.profile is not None:
+        lines.append("")
+        lines.append(report.profile.render())
     return "\n".join(lines)
 
 
@@ -176,4 +179,6 @@ def localization_to_dict(report: LocalizationReport, *,
             "scan": report.scan_seconds,
             "attribute": report.attribute_seconds,
         },
+        "profile": (report.profile.to_dict()
+                    if report.profile is not None else None),
     }

@@ -62,6 +62,9 @@ class LocalizationReport:
     simulate_seconds: float = 0.0
     scan_seconds: float = 0.0
     attribute_seconds: float = 0.0
+    #: Merged per-stage simulator time across both phases when the sampler
+    #: was profiling (:class:`repro.util.profiling.StageProfile`), else None.
+    profile: object | None = None
 
     @property
     def localized_units(self) -> list[str]:
@@ -162,10 +165,13 @@ def localize(workload: Workload, *, sampler=None, report=None,
             n_iterations=report.n_iterations if report is not None else 0,
             n_classes=report.n_classes if report is not None else 0,
             engine=sampler.engine,
+            profile=report.profile if report is not None else None,
         )
     campaign_kwargs = dict(
         features=targets, keep_raw=True, log_commits=True,
         max_cycles_per_run=max_cycles_per_run, jobs=sampler.jobs,
+        warmup_insts=getattr(sampler, "warmup_insts", None),
+        profile=sampler.profile,
     )
     campaign = run_campaign(workload, sampler.config,
                             cache=sampler.cache, **campaign_kwargs)
@@ -174,10 +180,18 @@ def localize(workload: Workload, *, sampler=None, report=None,
         # localization inputs: re-simulate instead of crashing the scan.
         campaign = run_campaign(workload, sampler.config, cache=None,
                                 **campaign_kwargs)
-    return localize_campaign(
+    result = localize_campaign(
         campaign, targets,
         v_threshold=sampler.v_threshold, alpha=sampler.alpha,
         engine=sampler.engine,
         warmup_iterations=sampler.warmup_iterations,
         permutations=permutations, seed=seed,
     )
+    if sampler.profile:
+        from repro.util.profiling import merge_profiles
+
+        result.profile = merge_profiles([
+            report.profile if report is not None else None,
+            campaign.profile,
+        ])
+    return result

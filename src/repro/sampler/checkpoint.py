@@ -1,0 +1,282 @@
+"""Fast-forward checkpointing: functional warm-up to ``roi.begin``.
+
+Campaign analysis only consumes the ``roi.begin``/``roi.end`` window, yet
+every run used to pay full cycle-accurate simulation for the program's
+bootstrap — key and buffer setup, copy loops, library-style initialisation.
+This module runs that prefix on the fast functional interpreter instead,
+captures the architectural state just before the ROI, and lets the
+out-of-order core start from there (``Core.restore_architectural_state``).
+
+Because the checkpoint is purely architectural, restoring it discards the
+microarchitectural residue the skipped instructions would have left (D-cache
+and TLB residency, predictor training, L2 contents).  The *warm-up budget*
+controls how much of that residue is reconstructed: the last
+``warmup_insts`` pre-ROI instructions are excluded from the checkpoint and
+replayed cycle-accurately — and untraced, since the tracer samples nothing
+outside an open iteration window — before the ROI begins.
+
+* ``warmup_insts=None`` ("full"): no checkpointing at all; today's behaviour,
+  bit-identical by construction.
+* ``warmup_insts=0`` ("none"): jump straight to ``roi.begin`` on a cold
+  core.  Fastest, but verdicts can shift for workloads whose first
+  iterations measurably depend on bootstrap-warmed state.
+* ``warmup_insts=N``: checkpoint ``N`` instructions short of ``roi.begin``.
+  When ``N`` covers the whole prologue the checkpoint degenerates to step 0
+  and the run is bit-identical to full simulation (the default setting does
+  exactly this for every bundled workload).
+
+Checkpoints are content-addressed over the patched program image, the
+memory map and the warm-up budget — the core configuration is irrelevant to
+an architectural checkpoint, so every core config shares the same entry —
+and stored alongside the trace cache so reruns and ``--jobs`` workers reuse
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.isa.assembler import Program
+from repro.isa.interpreter import ExecutionError, Interpreter
+from repro.kernel.memory_map import MemoryMap
+from repro.kernel.proxy_kernel import ProxyKernel, SyscallError
+from repro.util.hashing import stable_hex_digest
+
+#: Bump when the checkpoint payload layout or key canonicalization changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Default warm-up budget (instructions replayed cycle-accurately before the
+#: ROI).  Generous enough to cover every bundled workload's prologue, so the
+#: default is bit-identical to full simulation while still fast-forwarding
+#: bootstrap-heavy programs.
+DEFAULT_WARMUP_INSTS = 512
+
+#: Guard for the functional passes: a program that cannot reach
+#: ``roi.begin`` within this many steps is simulated in full instead.
+MAX_CAPTURE_STEPS = 10_000_000
+
+
+def parse_warmup(text: str) -> int | None:
+    """Parse a ``--warmup-insts`` value: ``full`` | ``none`` | N."""
+    lowered = text.strip().lower()
+    if lowered == "full":
+        return None
+    if lowered == "none":
+        return 0
+    value = int(lowered)  # ValueError propagates (argparse renders it)
+    if value < 0:
+        raise ValueError(f"warm-up budget must be >= 0, got {value}")
+    return value
+
+
+def describe_warmup(warmup_insts: int | None) -> str:
+    if warmup_insts is None:
+        return "full"
+    if warmup_insts == 0:
+        return "none"
+    return f"{warmup_insts} insts"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Architectural state at a pre-ROI program point.
+
+    ``steps`` is how many instructions the functional interpreter executed
+    to reach this state; ``pre_roi_steps`` is the full distance to
+    ``roi.begin`` (so ``pre_roi_steps - steps`` instructions remain for the
+    cycle-accurate warm-up replay).  ``pages`` holds only the pages the
+    program dirtied relative to the pristine image, as ``(base, bytes)``.
+    """
+
+    pc: int
+    regs: tuple  # 32 architectural registers (x0 included, always 0)
+    pages: tuple  # ((page_base, payload), ...) sorted by base
+    console: bytes
+    brk: int
+    steps: int
+    pre_roi_steps: int
+
+
+def checkpoint_key(program: Program, memory_map: MemoryMap | None,
+                   warmup_insts: int) -> str:
+    """Content-addressed key for a (program, memory map, warm-up) triple."""
+    # Imported lazily: trace_cache imports exec_backend at module scope, and
+    # exec_backend reaches back into this module from its worker path.
+    from repro.sampler.trace_cache import program_fingerprint
+
+    material = (
+        CHECKPOINT_FORMAT_VERSION,
+        getattr(repro, "__version__", "0"),
+        program_fingerprint(program),
+        dataclasses.asdict(memory_map) if memory_map else None,
+        warmup_insts,
+    )
+    return stable_hex_digest(material)
+
+
+def capture_checkpoint(program: Program, *,
+                       memory_map: MemoryMap | None = None,
+                       warmup_insts: int = 0,
+                       max_steps: int = MAX_CAPTURE_STEPS) -> Checkpoint | None:
+    """Functionally execute ``program`` and checkpoint it before the ROI.
+
+    Returns None when fast-forwarding is not applicable: the program emits
+    no ``roi.begin``, halts first, traps, or exceeds ``max_steps``.  Callers
+    fall back to full cycle-accurate simulation in that case.
+    """
+    mm = memory_map or MemoryMap()
+
+    # Pass A: locate roi.begin (first marker wins, matching the tracer's
+    # roi_seen latch).  The scout run needs no dirty-page tracking.
+    scout_kernel = ProxyKernel(memory_map=mm)
+    scout = Interpreter(program, memory_map=mm,
+                        syscall_handler=scout_kernel.handle_ecall)
+    try:
+        while not scout.halted and scout.steps < max_steps:
+            inst = program.instruction_at(scout.pc)
+            if inst is not None and inst.mnemonic == "roi.begin":
+                break
+            scout.step()
+        else:
+            return None  # halted or budget exceeded before any roi.begin
+    except (ExecutionError, SyscallError):
+        return None
+    pre_roi_steps = scout.steps
+    target = max(0, pre_roi_steps - warmup_insts)
+
+    # Pass B: re-execute to the checkpoint point with dirty-page tracking
+    # and kernel state capture.  Deterministic, so no surprises vs pass A.
+    kernel = ProxyKernel(memory_map=mm)
+    interp = Interpreter(program, memory_map=mm,
+                         syscall_handler=kernel.handle_ecall,
+                         track_dirty_pages=True)
+    interp.run_until(target)
+    console, brk = kernel.checkpoint_state()
+    page_size = mm.page_size
+    pages = tuple(
+        (base, interp.memory.read_bytes(base, page_size))
+        for base in sorted(interp.memory.dirty_pages)
+    )
+    return Checkpoint(
+        pc=interp.pc,
+        regs=tuple(interp.read_reg(i) for i in range(32)),
+        pages=pages,
+        console=console,
+        brk=brk,
+        steps=interp.steps,
+        pre_roi_steps=pre_roi_steps,
+    )
+
+
+def _checkpoint_to_payload(checkpoint: Checkpoint) -> tuple:
+    return (
+        CHECKPOINT_FORMAT_VERSION,
+        checkpoint.pc,
+        checkpoint.regs,
+        checkpoint.pages,
+        checkpoint.console,
+        checkpoint.brk,
+        checkpoint.steps,
+        checkpoint.pre_roi_steps,
+    )
+
+
+def _checkpoint_from_payload(payload: tuple) -> Checkpoint | None:
+    if not isinstance(payload, tuple) or len(payload) != 8:
+        return None
+    if payload[0] != CHECKPOINT_FORMAT_VERSION:
+        return None
+    _, pc, regs, pages, console, brk, steps, pre_roi_steps = payload
+    return Checkpoint(pc=pc, regs=regs, pages=pages, console=console,
+                      brk=brk, steps=steps, pre_roi_steps=pre_roi_steps)
+
+
+class CheckpointStore:
+    """Filesystem-backed checkpoint cache, sharing the trace-cache root.
+
+    Same contract as :class:`~repro.sampler.trace_cache.TraceCache`: lookups
+    and stores never raise on I/O problems, and any unreadable, corrupt or
+    version-mismatched entry is a miss.  Entries live one file per key under
+    ``root/<key[:2]>/<key>.ckpt``.
+    """
+
+    SUBDIR = "checkpoints"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def for_cache_root(cls, cache_root: str | Path) -> "CheckpointStore":
+        return cls(Path(cache_root) / cls.SUBDIR)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.ckpt"
+
+    def load(self, key: str) -> Checkpoint | None:
+        try:
+            raw = self._path(key).read_bytes()
+            checkpoint = _checkpoint_from_payload(pickle.loads(raw))
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                TypeError, AttributeError, ImportError, IndexError):
+            checkpoint = None
+        if checkpoint is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return checkpoint
+
+    def store(self, key: str, checkpoint: Checkpoint) -> bool:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(_checkpoint_to_payload(checkpoint),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            prefix=f".{key}.")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+
+def load_or_capture(program: Program, *,
+                    memory_map: MemoryMap | None = None,
+                    warmup_insts: int = 0,
+                    store: CheckpointStore | None = None,
+                    max_steps: int = MAX_CAPTURE_STEPS) -> Checkpoint | None:
+    """Fetch a checkpoint from ``store`` or capture (and persist) one.
+
+    A missing ``roi.begin`` is not cached as a negative entry: programs
+    without markers re-run the (cheap, aborted) scout pass each time.
+    """
+    key = None
+    if store is not None:
+        key = checkpoint_key(program, memory_map, warmup_insts)
+        cached = store.load(key)
+        if cached is not None:
+            return cached
+    checkpoint = capture_checkpoint(program, memory_map=memory_map,
+                                    warmup_insts=warmup_insts,
+                                    max_steps=max_steps)
+    if checkpoint is not None and store is not None:
+        store.store(key, checkpoint)
+    return checkpoint

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -55,6 +56,16 @@ class RunTask:
     memory_map: MemoryMap | None = None
     max_cycles: int = 5_000_000
     expect_exit_code: int | None = 0
+    #: Fast-forward warm-up budget: ``None`` = full cycle-accurate
+    #: simulation (no checkpointing, today's behaviour); an int = functional
+    #: fast-forward to ``roi.begin`` minus that many instructions, which are
+    #: replayed cycle-accurately and untraced (``sampler/checkpoint.py``).
+    #: Changes what the core simulates, so it joins the trace-cache key.
+    warmup_insts: int | None = None
+    #: Directory for content-addressed checkpoint reuse (None = capture
+    #: in-memory only).  Storage location, not content — excluded from the
+    #: trace-cache key like ``profile``.
+    checkpoint_dir: str | None = None
     #: Attach a per-stage wall-clock profiler to the core (``--profile``).
     #: Observational only — excluded from the trace-cache key, and cached
     #: replays simply carry no profile.
@@ -72,6 +83,8 @@ class RunOutput:
     sample_seconds: float = 0.0
     #: True when this output was replayed from the trace cache.
     from_cache: bool = False
+    #: Instructions skipped via functional fast-forward (0 = full sim).
+    ff_steps: int = 0
     #: Per-stage time breakdown when the task requested profiling.
     profile: object | None = None
 
@@ -91,6 +104,21 @@ def execute_run(task: RunTask) -> RunOutput:
                              log_commits=task.log_commits)
     tracer.timed = True
     tracer.begin_run(task.run_index)
+
+    checkpoint = None
+    ff_seconds = 0.0
+    if task.warmup_insts is not None:
+        from repro.sampler.checkpoint import CheckpointStore, load_or_capture
+
+        started = time.perf_counter()
+        store = (CheckpointStore(task.checkpoint_dir)
+                 if task.checkpoint_dir else None)
+        checkpoint = load_or_capture(
+            task.program, memory_map=task.memory_map,
+            warmup_insts=task.warmup_insts, store=store,
+        )
+        ff_seconds = time.perf_counter() - started
+
     core = Core(
         task.program, task.config,
         memory_map=task.memory_map,
@@ -103,10 +131,27 @@ def execute_run(task: RunTask) -> RunOutput:
         from repro.util.profiling import StageProfile
 
         core.profiler = StageProfile()
+    if checkpoint is not None and checkpoint.steps > 0:
+        # A step-0 checkpoint is the reset state: skip the restore so the
+        # run is the full-simulation code path, not merely equivalent to it.
+        started = time.perf_counter()
+        core.restore_architectural_state(checkpoint)
+        ff_seconds += time.perf_counter() - started
     for symbol, length in task.warm_regions:
         base = task.program.symbols[symbol]
         for address in range(base, base + length, 64):
             core.dcache.warm_line(address)
+    ff_steps = checkpoint.steps if checkpoint is not None else 0
+    if core.profiler is not None:
+        core.profiler.fastforward_seconds += ff_seconds
+        core.profiler.ff_steps += ff_steps
+        # Attribute pre-ROI cycle-accurate simulation (the warm-up replay,
+        # or the whole prologue when checkpointing is off) to its own phase.
+        started = time.perf_counter()
+        while (not core.halted and not tracer.roi_seen
+                and core.cycle < task.max_cycles):
+            core.step()
+        core.profiler.warmup_seconds += time.perf_counter() - started
     result = core.run(max_cycles=task.max_cycles)
     if (task.expect_exit_code is not None
             and result.exit_code != task.expect_exit_code):
@@ -120,6 +165,7 @@ def execute_run(task: RunTask) -> RunOutput:
         run=result,
         cycles_sampled=tracer.cycles_sampled,
         sample_seconds=tracer.sample_seconds + tracer.finalize_seconds,
+        ff_steps=ff_steps,
         profile=core.profiler,
     )
 

@@ -123,6 +123,7 @@ class MicroSampler:
                  warmup_iterations: int = 0,
                  jobs: int | None = 1,
                  cache=None,
+                 warmup_insts: int | None = None,
                  engine: str = "numpy",
                  measure_mi: bool = False,
                  mi_permutations: int = 200,
@@ -147,6 +148,13 @@ class MicroSampler:
         #: inputs simulated concurrently, and an optional trace cache.
         self.jobs = jobs
         self.cache = cache
+        #: Fast-forward checkpointing budget (``None`` = full simulation):
+        #: functional warm-up to ``roi.begin`` minus this many instructions,
+        #: which are replayed cycle-accurately (see
+        #: :mod:`repro.sampler.checkpoint`).  Distinct from
+        #: ``warmup_iterations``, which drops *traced* iterations from the
+        #: statistical analysis.
+        self.warmup_insts = warmup_insts
         #: Also score every unit with MicroWalk-style mutual information
         #: (plus a label-permutation significance test) as a cross-check.
         self.measure_mi = measure_mi
@@ -163,7 +171,8 @@ class MicroSampler:
         campaign = run_campaign(
             workload, self.config, features=self.features,
             max_cycles_per_run=max_cycles_per_run,
-            jobs=self.jobs, cache=self.cache, profile=self.profile,
+            jobs=self.jobs, cache=self.cache,
+            warmup_insts=self.warmup_insts, profile=self.profile,
         )
         return self.analyze_campaign(campaign)
 

@@ -96,6 +96,9 @@ class CampaignResult:
     #: (:class:`repro.util.profiling.StageProfile`); cached runs contribute
     #: nothing, so an all-cached campaign reports ``None``.
     profile: object | None = None
+    #: Instructions skipped via functional fast-forward, summed over runs
+    #: (0 when checkpointing is disabled or nothing could be skipped).
+    ff_steps_total: int = 0
 
     @property
     def iterations(self):
@@ -108,6 +111,7 @@ class CampaignResult:
 def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                  features, keep_raw, log_commits, memory_map,
                  max_cycles_per_run, expect_exit_code,
+                 warmup_insts=None, checkpoint_dir=None,
                  profile=False) -> list[RunTask]:
     return [
         RunTask(
@@ -123,6 +127,8 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
             memory_map=memory_map,
             max_cycles=max_cycles_per_run,
             expect_exit_code=expect_exit_code,
+            warmup_insts=warmup_insts,
+            checkpoint_dir=checkpoint_dir,
             profile=bool(profile),
         )
         for run_index, patches in enumerate(workload.inputs)
@@ -135,6 +141,8 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                  max_cycles_per_run: int = 5_000_000,
                  expect_exit_code: int = 0,
                  jobs: int | None = 1, cache=None,
+                 warmup_insts: int | None = None,
+                 checkpoint_dir: str | None = None,
                  profile: bool = False) -> CampaignResult:
     """Run ``workload`` over all its inputs, collecting iteration snapshots.
 
@@ -145,7 +153,11 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     any backend — are replayed from it, and identical inputs inside one
     campaign are simulated only once.  ``log_commits`` records each
     iteration's architectural ``(cycle, pc, mnemonic)`` commit stream for
-    the localization phase (:mod:`repro.localize`).  ``profile`` attaches a
+    the localization phase (:mod:`repro.localize`).  ``warmup_insts``
+    enables fast-forward checkpointing (``None`` = full simulation; see
+    :mod:`repro.sampler.checkpoint`); checkpoints persist under
+    ``checkpoint_dir``, defaulting to a ``checkpoints/`` subdirectory of the
+    trace-cache root when a cache is in use.  ``profile`` attaches a
     per-stage wall-clock profiler to every simulated core and reports the
     merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
     simulation work, contribute nothing).
@@ -156,12 +168,18 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         from repro.sampler.trace_cache import TraceCache
 
         cache = TraceCache()
+    if warmup_insts is not None and checkpoint_dir is None and cache is not None:
+        from repro.sampler.checkpoint import CheckpointStore
+
+        checkpoint_dir = str(CheckpointStore.for_cache_root(cache.root).root)
     program = workload.assemble()
     tasks = _build_tasks(
         workload, program, config, features=features, keep_raw=keep_raw,
         log_commits=log_commits, memory_map=memory_map,
         max_cycles_per_run=max_cycles_per_run,
         expect_exit_code=expect_exit_code,
+        warmup_insts=warmup_insts,
+        checkpoint_dir=checkpoint_dir,
         profile=profile,
     )
 
@@ -219,4 +237,5 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         parse_seconds=parse_seconds,
         n_cached_runs=n_cached,
         profile=merged_profile,
+        ff_steps_total=sum(output.ff_steps for output in outputs),
     )

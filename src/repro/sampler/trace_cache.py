@@ -42,10 +42,13 @@ from repro.util.hashing import stable_hex_digest
 #: Bump when the payload layout or key canonicalization changes.  Version
 #: history: 1 = original layout; 2 = iteration payloads carry per-cycle
 #: digest sequences and commit logs (``log_commits`` joined the key
-#: material).  Entries written by older versions fail the version check and
-#: decode as misses, so campaigns needing localization inputs are
-#: transparently re-simulated instead of replaying traces without them.
-CACHE_FORMAT_VERSION = 2
+#: material); 3 = fast-forward checkpointing (``warmup_insts`` joined the
+#: key material, payloads record the fast-forwarded instruction count).
+#: Entries written by older versions fail the version check and decode as
+#: misses, so campaigns needing localization inputs are transparently
+#: re-simulated instead of replaying traces without them; ``microsampler
+#: cache prune`` garbage-collects the stale files.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
@@ -92,6 +95,10 @@ def task_key(task: RunTask) -> str:
         tuple(tuple(region) for region in task.warm_regions),
         task.max_cycles,
         task.expect_exit_code,
+        # Fast-forward warm-up budget: changes which instructions are
+        # simulated cycle-accurately, hence the snapshots.  The checkpoint
+        # *directory* is storage location only and stays out of the key.
+        task.warmup_insts,
     )
     return stable_hex_digest(material)
 
@@ -105,13 +112,15 @@ def _output_to_payload(output: RunOutput) -> tuple:
          tuple(run.marker_cycles)),
         output.cycles_sampled,
         output.sample_seconds,
+        output.ff_steps,
     )
 
 
 def _output_from_payload(payload: tuple) -> RunOutput | None:
-    if not isinstance(payload, tuple) or len(payload) != 5:
+    if not isinstance(payload, tuple) or len(payload) != 6:
         return None
-    version, iterations, run, cycles_sampled, sample_seconds = payload
+    (version, iterations, run, cycles_sampled, sample_seconds,
+     ff_steps) = payload
     if version != CACHE_FORMAT_VERSION:
         return None
     exit_code, stats, console, marker_cycles = run
@@ -127,6 +136,7 @@ def _output_from_payload(payload: tuple) -> RunOutput | None:
         cycles_sampled=cycles_sampled,
         sample_seconds=sample_seconds,
         from_cache=True,
+        ff_steps=ff_steps,
     )
 
 
@@ -186,3 +196,99 @@ class TraceCache:
             return False
         self.stores += 1
         return True
+
+
+# -- maintenance (``microsampler cache``) -----------------------------------
+#
+# Format bumps orphan every entry written by earlier versions: they decode
+# as misses forever but keep their disk space.  These helpers let the CLI
+# inspect and garbage-collect them.  Both entry kinds live under one root:
+# trace payloads as ``<root>/<xx>/<key>.pkl`` and checkpoints as
+# ``<root>/checkpoints/<xx>/<key>.ckpt``.
+
+
+def _payload_version(path: Path) -> int | None:
+    """First element of a pickled payload tuple, or None if unreadable."""
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+            TypeError, AttributeError, ImportError, IndexError,
+            MemoryError):
+        return None
+    if not isinstance(payload, tuple) or not payload:
+        return None
+    return payload[0] if isinstance(payload[0], int) else None
+
+
+def _scan_entries(root: Path):
+    """Yield ``(path, kind, current_version)`` for every cache entry file."""
+    from repro.sampler.checkpoint import (CHECKPOINT_FORMAT_VERSION,
+                                          CheckpointStore)
+
+    checkpoint_root = root / CheckpointStore.SUBDIR
+    if root.is_dir():
+        for path in sorted(root.rglob("*.pkl")):
+            if checkpoint_root in path.parents:
+                continue
+            yield path, "trace", CACHE_FORMAT_VERSION
+    if checkpoint_root.is_dir():
+        for path in sorted(checkpoint_root.rglob("*.ckpt")):
+            yield path, "checkpoint", CHECKPOINT_FORMAT_VERSION
+
+
+def cache_stats(root: str | Path | None = None) -> dict:
+    """Inventory of the cache directory, split by entry kind and staleness.
+
+    An entry is *stale* when its recorded format version differs from the
+    current one (or it cannot be decoded at all): it can never hit again
+    and only occupies disk until pruned.
+    """
+    root = Path(root) if root is not None else default_cache_dir()
+    stats = {
+        kind: {"entries": 0, "bytes": 0, "stale_entries": 0, "stale_bytes": 0}
+        for kind in ("trace", "checkpoint")
+    }
+    for path, kind, current in _scan_entries(root):
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        bucket = stats[kind]
+        bucket["entries"] += 1
+        bucket["bytes"] += size
+        if _payload_version(path) != current:
+            bucket["stale_entries"] += 1
+            bucket["stale_bytes"] += size
+    return {"root": str(root), **stats}
+
+
+def prune_cache(root: str | Path | None = None, *,
+                all_entries: bool = False) -> dict:
+    """Delete stale cache entries (or every entry with ``all_entries``).
+
+    Returns ``{"root", "removed_entries", "removed_bytes"}``.  Removal is
+    best-effort (a vanished or undeletable file is skipped) and empty
+    shard directories are cleaned up afterwards.
+    """
+    root = Path(root) if root is not None else default_cache_dir()
+    removed = 0
+    removed_bytes = 0
+    for path, _kind, current in _scan_entries(root):
+        if not all_entries and _payload_version(path) == current:
+            continue
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        removed_bytes += size
+    if root.is_dir():
+        for directory in sorted(root.rglob("*"), reverse=True):
+            if directory.is_dir():
+                try:
+                    directory.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+    return {"root": str(root), "removed_entries": removed,
+            "removed_bytes": removed_bytes}

@@ -54,6 +54,11 @@ class GsharePredictor:
         elif not taken and counter > 0:
             self.counters[index] = counter - 1
 
+    def reset(self) -> None:
+        """Power-on state: all counters weakly not-taken, empty history."""
+        self.counters = [1] * self.entries
+        self.ghr = 0
+
 
 class BranchTargetBuffer:
     """Small fully-associative BTB with FIFO replacement."""
@@ -73,6 +78,10 @@ class BranchTargetBuffer:
                 del self.table[evicted]
             self.order.append(pc)
         self.table[pc] = target
+
+    def reset(self) -> None:
+        self.table.clear()
+        self.order.clear()
 
 
 class ReturnAddressStack:
@@ -98,6 +107,9 @@ class ReturnAddressStack:
     def restore(self, snapshot: tuple[int, ...]) -> None:
         self.stack = deque(snapshot)
 
+    def reset(self) -> None:
+        self.stack.clear()
+
 
 class BranchPredictor:
     """Front-end prediction unit combining gshare, BTB and RAS."""
@@ -111,6 +123,14 @@ class BranchPredictor:
 
     def checkpoint(self) -> PredictorCheckpoint:
         return PredictorCheckpoint(ghr=self.gshare.ghr, ras=self.ras.snapshot())
+
+    def reset(self) -> None:
+        """Reset-from-checkpoint path: untrained predictors, zero counters."""
+        self.gshare.reset()
+        self.btb.reset()
+        self.ras.reset()
+        self.mispredicts = 0
+        self.branches = 0
 
     def restore(self, checkpoint: PredictorCheckpoint) -> None:
         self.gshare.ghr = checkpoint.ghr

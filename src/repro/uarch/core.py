@@ -635,6 +635,37 @@ class Core:
         for arch_reg in range(32):
             self.prf_ready[self.committed_map[arch_reg]] = True
 
+    # ------------------------------------------- checkpoint restore
+
+    def restore_architectural_state(self, checkpoint) -> None:
+        """Adopt a functional-interpreter checkpoint as architectural state.
+
+        ``checkpoint`` is a :class:`repro.sampler.checkpoint.Checkpoint`
+        (duck-typed: ``pc``, ``regs``, ``pages``, ``console``, ``brk``).
+        The pipeline is flushed, every timing structure (caches, TLB,
+        predictors, LSU) returns to its power-on state, and the committed
+        register file, memory and proxy-kernel state are overwritten — so
+        simulation resumes at ``checkpoint.pc`` exactly as if the preceding
+        instructions had been executed, minus their microarchitectural
+        residue.  Callers that want that residue replay a warm-up window of
+        pre-ROI instructions cycle-accurately instead (see
+        ``sampler/checkpoint.py``).
+        """
+        self._flush_all()
+        self.dcache.reset()
+        self.icache.reset()
+        self.predictor.reset()
+        self.lsu.reset()
+        arch = self.arch
+        for reg in range(1, 32):
+            arch.write_reg(reg, checkpoint.regs[reg])
+        for page_base, payload in checkpoint.pages:
+            self.memory.write_bytes(page_base, payload)
+        self.kernel.restore_state((checkpoint.console, checkpoint.brk))
+        self.fetch_pc = checkpoint.pc
+        self.fetch_resume_cycle = self.cycle
+        self.halted = False
+
     # ----------------------------------------------------------------- issue
 
     def _operand_ready(self, phys: int) -> bool:

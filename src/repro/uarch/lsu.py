@@ -275,6 +275,24 @@ class LoadStoreUnit:
         if not self.store_queue:
             self._sq_next_slot = 0
 
+    def reset(self) -> None:
+        """Reset-from-checkpoint path: empty queues, re-homed slots.
+
+        Only valid once in-flight stores have drained (or are being
+        discarded along with the rest of the pipeline by a checkpoint
+        restore, which rewrites memory wholesale).
+        """
+        if self.load_queue:
+            self.load_queue.clear()
+            self.lq_version += 1
+        if self.store_queue:
+            self.store_queue.clear()
+            self.sq_version += 1
+        self.loads_issued = 0
+        self.forwards = 0
+        self._lq_next_slot = 0
+        self._sq_next_slot = 0
+
     # -- tracer state exposure -----------------------------------------------------
 
     def sq_addresses(self) -> tuple[int, ...]:

@@ -92,6 +92,12 @@ class SetAssocCache:
     def resident_lines(self) -> list[int]:
         return [line for cache_set in self.sets for line in cache_set]
 
+    def reset(self) -> None:
+        """Return to the power-on state: no resident lines, zero stats."""
+        for cache_set in self.sets:
+            cache_set.clear()
+        self.stats = CacheStats()
+
 
 @dataclass(slots=True)
 class Mshr:
@@ -142,6 +148,11 @@ class LineFillBuffer:
             self.version += 1
         return ready
 
+    def reset(self) -> None:
+        if self.entries:
+            self.entries = []
+        self.version += 1
+
 
 class Tlb:
     """A fully-associative LRU TLB with identity translation.
@@ -185,6 +196,12 @@ class Tlb:
     def resident_pages(self) -> tuple[int, ...]:
         return tuple(self.pages)
 
+    def reset(self) -> None:
+        self.pages.clear()
+        self.hits = 0
+        self.misses = 0
+        self.version += 1
+
 
 class NextLinePrefetcher:
     """Issues a prefetch for line N+1 on a demand miss to line N."""
@@ -204,6 +221,11 @@ class NextLinePrefetcher:
         self.issued += 1
         self.version += 1
         return line_addr + 1
+
+    def reset(self) -> None:
+        self.last_prefetch_line = 0
+        self.issued = 0
+        self.version += 1
 
 
 @dataclass(slots=True)
@@ -391,6 +413,26 @@ class DataCachePort:
         """Install the line containing ``address`` (models a prior access)."""
         self.cache.install(self.cache.line_address(address))
 
+    def reset(self) -> None:
+        """Reset-from-checkpoint path: cold caches, no in-flight requests.
+
+        Architectural data lives in the backing memory, so dropping every
+        timing structure is safe; version counters are bumped (never zeroed)
+        so the change-detection tracer resamples the emptied rows.
+        """
+        self.cache.reset()
+        if self.l2 is not None:
+            self.l2.reset()
+        if self.mshrs:
+            self.mshrs = []
+        self.mshr_version += 1
+        self.lfb.reset()
+        self.tlb.reset()
+        self.prefetcher.reset()
+        if self.requests_this_cycle:
+            self.requests_this_cycle.clear()
+        self.request_version += 1
+
 
 class InstructionCachePort:
     """Timing model for the L1 instruction cache (no TLB modeling)."""
@@ -427,3 +469,8 @@ class InstructionCachePort:
 
     def flush_line(self, address: int) -> bool:
         return self.cache.flush_line(address)
+
+    def reset(self) -> None:
+        """Reset-from-checkpoint path: cold cache, no in-flight fills."""
+        self.cache.reset()
+        self.pending.clear()

@@ -46,6 +46,17 @@ class StageProfile:
     memsys_seconds: float = 0.0
     tracer_seconds: float = 0.0
     cycles: int = 0
+    #: Fast-forward phase: functional interpreter passes plus the
+    #: checkpoint capture/restore work (``sampler/checkpoint.py``).  Not a
+    #: pipeline stage — reported as a separate phase, outside the per-stage
+    #: attribution above.
+    fastforward_seconds: float = 0.0
+    #: Instructions skipped by the functional fast-forward.
+    ff_steps: int = 0
+    #: Pre-ROI cycle-accurate simulation (the warm-up replay, or the whole
+    #: prologue when checkpointing is off).  Overlaps the per-stage times —
+    #: it is a phase of the same simulated cycles, not extra work.
+    warmup_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -75,6 +86,18 @@ class StageProfile:
             lines.append(
                 f"  {label:<16s} {seconds:8.3f} s  {share:5.1f}%"
                 f"  {per_cycle:7.2f} us/cycle"
+            )
+        if self.fastforward_seconds or self.warmup_seconds or self.ff_steps:
+            lines.append(
+                "Fast-forward phases (not per-stage attributed):"
+            )
+            lines.append(
+                f"  fast-forward     {self.fastforward_seconds:8.3f} s"
+                f"  ({self.ff_steps:,} insts skipped functionally)"
+            )
+            lines.append(
+                f"  pre-ROI warm-up  {self.warmup_seconds:8.3f} s"
+                "  (cycle-accurate, untraced)"
             )
         return "\n".join(lines)
 

@@ -1,0 +1,96 @@
+"""Bootstrap-heavy workload variants for the fast-forward benchmarks.
+
+The bundled workloads deliberately keep their pre-ROI prologue tiny (a
+dozen instructions of register setup), which is the *opposite* of the
+deployment scenario that motivates fast-forward checkpointing: a real
+library self-test reaches its constant-time kernel only after relocation,
+allocator warm-up, key-schedule expansion and self-check loops — millions
+of instructions whose cycle-accurate simulation contributes nothing to the
+verdict because the tracer only samples inside the ROI.
+
+:func:`with_bootstrap` models that shape without touching the workload's
+measured region: it splices a store/load scrub loop over a private scratch
+buffer directly after the entry label, before any original instruction.
+The loop uses only ``t``-registers (dead at entry, and re-initialised by
+every bundled workload before use) and its own ``.data`` symbol, so every
+register and memory location the workload observes at ``roi.begin`` is
+identical to the unmodified workload's.  Only the *time to get there*
+changes, which is exactly the cost fast-forward checkpointing is meant to
+delete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.sampler.runner import Workload
+
+#: Bytes of private scratch the scrub loop walks (64 doublewords).
+SCRATCH_BYTES = 512
+
+#: Instructions per scrub-loop trip: andi/slli/add/sd/ld/addi/bgtz.
+_INSTS_PER_TRIP = 7
+
+#: Setup instructions ahead of the loop (la + li).
+_SETUP_INSTS = 2
+
+_BOOTSTRAP_TEMPLATE = """\
+    la   t0, __bootstrap_scratch
+    li   t1, {trips}
+__bootstrap_loop:
+    andi t2, t1, 63
+    slli t2, t2, 3
+    add  t3, t0, t2
+    sd   t1, 0(t3)
+    ld   t4, 0(t3)
+    addi t1, t1, -1
+    bgtz t1, __bootstrap_loop
+"""
+
+_SCRATCH_SECTION = f"""
+.data
+__bootstrap_scratch: .zero {SCRATCH_BYTES}
+"""
+
+
+def bootstrap_insts(trips: int) -> int:
+    """Dynamic instruction count of a ``trips``-trip bootstrap loop."""
+    return _SETUP_INSTS + _INSTS_PER_TRIP * trips
+
+
+def inject_bootstrap(source: str, *, insts: int, entry: str = "main") -> str:
+    """Splice a ``>= insts``-instruction scrub loop after ``entry:``.
+
+    Raises :class:`ValueError` when the entry label is missing or the
+    source already carries a bootstrap loop (double injection would clash
+    on the loop label and skew instruction accounting).
+    """
+    if "__bootstrap_loop" in source:
+        raise ValueError("source already contains a bootstrap loop")
+    if insts < _SETUP_INSTS + _INSTS_PER_TRIP:
+        raise ValueError(f"insts must be at least "
+                         f"{_SETUP_INSTS + _INSTS_PER_TRIP}, got {insts}")
+    trips = -(-(insts - _SETUP_INSTS) // _INSTS_PER_TRIP)
+    pattern = re.compile(rf"^([ \t]*){re.escape(entry)}:[ \t]*$",
+                         flags=re.MULTILINE)
+    match = pattern.search(source)
+    if match is None:
+        raise ValueError(f"entry label {entry!r} not found in source")
+    insertion = match.end()
+    loop = _BOOTSTRAP_TEMPLATE.format(trips=trips)
+    return (source[:insertion] + "\n" + loop.rstrip("\n")
+            + source[insertion:] + _SCRATCH_SECTION)
+
+
+def with_bootstrap(workload: Workload, *, insts: int = 20_000) -> Workload:
+    """A copy of ``workload`` that executes ``>= insts`` extra pre-ROI
+    instructions; everything from ``roi.begin`` on is unchanged."""
+    return dataclasses.replace(
+        workload,
+        name=f"{workload.name}+boot",
+        source=inject_bootstrap(workload.source, insts=insts,
+                                entry=workload.entry),
+        description=(f"{workload.description} "
+                     f"[+{insts} bootstrap insts]").strip(),
+    )

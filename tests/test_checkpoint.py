@@ -1,0 +1,481 @@
+"""Fast-forward checkpointing: cosimulation, bit-identity and cache tests.
+
+Three layers of guarantees:
+
+* **Cosimulation** — the functional interpreter's architectural state at
+  ``roi.begin`` (registers, dirtied memory, kernel state) matches the
+  cycle-accurate core's committed state at the same program point, for
+  every bundled workload.  This is what makes a checkpoint a legal
+  substitute for simulating the prologue.
+* **Bit-identity** — at the default warm-up budget (which covers every
+  bundled workload's prologue) and at ``--warmup-insts full``, campaigns,
+  reports and localization dicts are byte-for-byte identical to full
+  simulation, with or without the checkpoint store.
+* **Cache plumbing** — checkpoint keys react to exactly the inputs that
+  change the checkpoint, the store round-trips and shrugs off corruption,
+  and the trace-cache key covers the warm-up budget.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.kernel import ProxyKernel
+from repro.sampler.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    DEFAULT_WARMUP_INSTS,
+    Checkpoint,
+    CheckpointStore,
+    capture_checkpoint,
+    checkpoint_key,
+    describe_warmup,
+    load_or_capture,
+    parse_warmup,
+)
+from repro.sampler.pipeline import MicroSampler
+from repro.sampler.runner import patch_program, run_campaign
+from repro.sampler.trace_cache import TraceCache, cache_stats, prune_cache
+from repro.trace import MicroarchTracer
+from repro.uarch import SMALL_BOOM, Core
+from repro.workloads.bignum import make_mp_modexp_ct
+from repro.workloads.bootstrap import inject_bootstrap, with_bootstrap
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
+from repro.workloads.memcmp import (
+    make_ct_memcmp,
+    make_ct_memcmp_safe,
+    make_early_exit_memcmp,
+)
+from repro.workloads.modexp import (
+    make_me_v2_safe,
+    make_sam_ct,
+    make_sam_leaky,
+)
+from repro.workloads.openssl import make_primitive_workload
+from repro.workloads.spectre import make_spectre_v1
+
+ROI_WORKLOADS = [
+    make_sam_leaky(n_keys=1),
+    make_sam_ct(n_keys=1),
+    make_me_v2_safe(n_keys=1),
+    make_ct_memcmp(n_pairs=2, n_runs=1),
+    make_early_exit_memcmp(n_pairs=2, n_runs=1),
+    make_ct_memcmp_safe(n_pairs=2, n_runs=1),
+    make_sbox_lookup(n_sets=2, n_runs=1),
+    make_sbox_ct(n_sets=2, n_runs=1),
+    make_spectre_v1(n_iters=2, n_runs=1),
+    make_chacha20(n_keys=1, n_blocks=1),
+    make_mp_modexp_ct(n_keys=1),
+    make_primitive_workload("constant_time_eq", n_sets=2, n_runs=1),
+    with_bootstrap(make_sam_ct(n_keys=1), insts=500),
+]
+
+ROI_IDS = [workload.name for workload in ROI_WORKLOADS]
+
+
+# --------------------------------------------------------- cosimulation
+
+
+def _core_state_at_roi(program):
+    """Simulate cycle-accurately until ``roi.begin`` commits; return the
+    core plus the committed (pc, regs) captured at that commit."""
+    core = Core(program, SMALL_BOOM, kernel=ProxyKernel(),
+                tracer=MicroarchTracer())
+    captured = {}
+
+    def listener(pc, mnemonic, rd, value, cycle):
+        if mnemonic == "roi.begin" and not captured:
+            captured["pc"] = pc
+            captured["regs"] = tuple(core.arch.read_reg(i)
+                                     for i in range(32))
+
+    core.commit_listener = listener
+    while not core.halted and not captured:
+        core.step()
+        assert core.cycle < 2_000_000, "roi.begin never committed"
+    return core, captured
+
+
+@pytest.mark.parametrize("workload", ROI_WORKLOADS, ids=ROI_IDS)
+def test_checkpoint_matches_core_at_roi_begin(workload):
+    """Interpreter checkpoint == core architectural state at roi.begin."""
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    checkpoint = capture_checkpoint(program, warmup_insts=0)
+    assert checkpoint is not None
+    assert checkpoint.steps == checkpoint.pre_roi_steps
+
+    core, committed = _core_state_at_roi(program)
+    assert committed["pc"] == checkpoint.pc
+    assert committed["regs"] == checkpoint.regs
+    # Every page the functional prologue dirtied reads back identically
+    # from the core's memory at the same commit point (the marker is
+    # serializing, so all pre-ROI stores have drained).
+    for page_base, payload in checkpoint.pages:
+        assert core.memory.read_bytes(page_base, len(payload)) == payload
+    assert bytes(core.kernel.console) == checkpoint.console
+    assert core.kernel.checkpoint_state() == (checkpoint.console,
+                                              checkpoint.brk)
+
+
+def test_capture_returns_none_without_roi_marker(sum_program):
+    assert capture_checkpoint(sum_program, warmup_insts=0) is None
+
+
+def test_capture_returns_none_when_budget_too_small():
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    assert capture_checkpoint(program, warmup_insts=0, max_steps=2) is None
+
+
+def test_full_warmup_budget_degenerates_to_step_zero():
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    checkpoint = capture_checkpoint(program,
+                                    warmup_insts=DEFAULT_WARMUP_INSTS)
+    assert checkpoint is not None
+    assert checkpoint.steps == 0
+    assert checkpoint.pre_roi_steps > 0
+
+
+def test_partial_warmup_budget_stops_short_of_roi():
+    workload = with_bootstrap(make_sam_ct(n_keys=1), insts=500)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    checkpoint = capture_checkpoint(program, warmup_insts=16)
+    assert checkpoint is not None
+    assert checkpoint.steps == checkpoint.pre_roi_steps - 16
+    assert checkpoint.steps > 0
+
+
+# --------------------------------------------------------- bit-identity
+
+
+def _campaign_signature(campaign):
+    """Everything observable about a campaign except wall-clock noise."""
+    return [
+        (
+            record.run_index,
+            record.label,
+            tuple(
+                (fid, feature.snapshot_hash, feature.snapshot_hash_notiming)
+                for fid, feature in sorted(record.features.items())
+            ),
+        )
+        for record in campaign.iterations
+    ]
+
+
+def _scrub_timings(value):
+    """Recursively drop wall-clock keys from a report/localization dict."""
+    if isinstance(value, dict):
+        return {
+            key: _scrub_timings(item)
+            for key, item in value.items()
+            if key not in ("timings_seconds", "timings", "profile")
+        }
+    if isinstance(value, list):
+        return [_scrub_timings(item) for item in value]
+    return value
+
+
+DIFFERENTIAL_WORKLOADS = [
+    make_chacha20(n_keys=2, n_blocks=1),
+    make_early_exit_memcmp(n_pairs=2, n_runs=2),
+    make_me_v2_safe(n_keys=2),
+]
+
+
+@pytest.mark.parametrize("workload", DIFFERENTIAL_WORKLOADS,
+                         ids=[w.name for w in DIFFERENTIAL_WORKLOADS])
+def test_default_warmup_is_bit_identical_to_full(workload, tmp_path):
+    """Traces and reports match full simulation at the default budget."""
+    from repro.sampler.report import report_to_dict
+
+    full = run_campaign(workload, SMALL_BOOM, warmup_insts=None)
+    ckpt = run_campaign(workload, SMALL_BOOM,
+                        warmup_insts=DEFAULT_WARMUP_INSTS,
+                        checkpoint_dir=str(tmp_path / "ckpt"))
+    assert _campaign_signature(full) == _campaign_signature(ckpt)
+    assert ckpt.ff_steps_total == 0  # default budget covers the prologue
+
+    reports = {}
+    for tag, warmup in (("full", None), ("ckpt", DEFAULT_WARMUP_INSTS)):
+        sampler = MicroSampler(SMALL_BOOM, warmup_insts=warmup)
+        reports[tag] = _scrub_timings(
+            report_to_dict(sampler.analyze(workload)))
+    assert reports["full"] == reports["ckpt"]
+
+
+def test_localization_dict_bit_identical_under_default_warmup():
+    from repro.localize.annotate import localization_to_dict
+
+    workload = make_early_exit_memcmp(n_pairs=2, n_runs=2)
+    dicts = {}
+    for tag, warmup in (("full", None), ("ckpt", DEFAULT_WARMUP_INSTS)):
+        sampler = MicroSampler(SMALL_BOOM, features=("ROB-PC",),
+                               warmup_insts=warmup)
+        dicts[tag] = _scrub_timings(
+            localization_to_dict(sampler.localize(workload)))
+    assert dicts["full"] == dicts["ckpt"]
+
+
+def test_restored_run_matches_cold_capture(tmp_path):
+    """Cold capture vs checkpoint-store replay: identical campaigns."""
+    workload = with_bootstrap(make_sam_ct(n_keys=2), insts=2_000)
+    checkpoint_dir = tmp_path / "ckpt"
+    cold = run_campaign(workload, SMALL_BOOM, warmup_insts=64,
+                        checkpoint_dir=str(checkpoint_dir))
+    assert cold.ff_steps_total > 0  # the restore path actually ran
+    assert list(checkpoint_dir.rglob("*.ckpt"))
+    warm = run_campaign(workload, SMALL_BOOM, warmup_insts=64,
+                        checkpoint_dir=str(checkpoint_dir))
+    assert _campaign_signature(cold) == _campaign_signature(warm)
+
+
+def test_bootstrap_variant_verdict_matches_full():
+    """Fast-forwarding a bootstrap-heavy program must not flip verdicts."""
+    workload = with_bootstrap(make_sam_ct(n_keys=2), insts=2_000)
+    verdicts = {}
+    for tag, warmup in (("full", None), ("ckpt", 64)):
+        report = MicroSampler(SMALL_BOOM, warmup_insts=warmup).analyze(
+            workload)
+        verdicts[tag] = (report.leakage_detected, sorted(report.leaky_units))
+    assert verdicts["full"] == verdicts["ckpt"]
+
+
+def test_audit_verdicts_unchanged_at_default_warmup():
+    """The audit path (litmus + hardened pair) agrees with expectations
+    when checkpointing is on — verdicts are unchanged vs full simulation
+    because the default budget degenerates to the full-simulation path."""
+    from repro.sampler import run_audit
+
+    workloads = [make_sam_leaky(n_keys=3, seed=3),
+                 make_sam_ct(n_keys=3, seed=3)]
+    result = run_audit(workloads, config=SMALL_BOOM,
+                       warmup_insts=DEFAULT_WARMUP_INSTS,
+                       expectations={"sam-leaky": True, "sam-ct": False})
+    assert result.passed
+
+
+def test_bootstrap_injection_preserves_architectural_results():
+    """The scrub loop leaves the state reaching roi.begin unchanged,
+    except for the t-registers it is allowed to clobber (dead at entry and
+    re-initialised by every workload before use)."""
+    base = make_sam_ct(n_keys=1)
+    boosted = with_bootstrap(base, insts=500)
+    base_ckpt = capture_checkpoint(
+        patch_program(base.assemble(), base.inputs[0]), warmup_insts=0)
+    boost_ckpt = capture_checkpoint(
+        patch_program(boosted.assemble(), boosted.inputs[0]),
+        warmup_insts=0)
+    t_regs = {5, 6, 7, 28, 29, 30, 31}
+    for reg in range(32):
+        if reg not in t_regs:
+            assert base_ckpt.regs[reg] == boost_ckpt.regs[reg], f"x{reg}"
+    assert boost_ckpt.pre_roi_steps > base_ckpt.pre_roi_steps + 500
+
+
+def test_inject_bootstrap_rejects_bad_input():
+    with pytest.raises(ValueError):
+        inject_bootstrap(".text\nstart:\n    ret\n", insts=100)  # no main
+    source = ".text\nmain:\n    ret\n"
+    doubled = inject_bootstrap(source, insts=100)
+    with pytest.raises(ValueError):
+        inject_bootstrap(doubled, insts=100)
+    with pytest.raises(ValueError):
+        inject_bootstrap(source, insts=1)
+
+
+# ------------------------------------------------------- keys and store
+
+
+def test_parse_and_describe_warmup():
+    assert parse_warmup("full") is None
+    assert parse_warmup("none") == 0
+    assert parse_warmup("512") == 512
+    with pytest.raises(ValueError):
+        parse_warmup("-3")
+    with pytest.raises(ValueError):
+        parse_warmup("many")
+    assert describe_warmup(None) == "full"
+    assert describe_warmup(0) == "none"
+    assert describe_warmup(64) == "64 insts"
+
+
+def test_checkpoint_key_sensitivity():
+    workload = make_sam_ct(n_keys=2)
+    program_a = patch_program(workload.assemble(), workload.inputs[0])
+    program_b = patch_program(workload.assemble(), workload.inputs[1])
+    key = checkpoint_key(program_a, None, 64)
+    assert key == checkpoint_key(program_a, None, 64)
+    assert key != checkpoint_key(program_a, None, 65)
+    assert key != checkpoint_key(program_b, None, 64)
+
+
+def test_store_round_trip_and_corruption(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpt")
+    checkpoint = Checkpoint(pc=0x1000, regs=tuple(range(32)),
+                            pages=((0x2000, b"\x01" * 64),),
+                            console=b"hi", brk=0x3000, steps=7,
+                            pre_roi_steps=9)
+    assert store.load("ab" * 8) is None
+    assert store.misses == 1
+    assert store.store("ab" * 8, checkpoint)
+    loaded = store.load("ab" * 8)
+    assert loaded == checkpoint
+    assert store.hits == 1
+
+    # Corruption and version mismatch degrade to a miss, never an error.
+    path = store._path("ab" * 8)
+    path.write_bytes(b"not a pickle")
+    assert store.load("ab" * 8) is None
+    path.write_bytes(pickle.dumps((CHECKPOINT_FORMAT_VERSION + 1,) * 8))
+    assert store.load("ab" * 8) is None
+
+
+def test_load_or_capture_persists_and_replays(tmp_path):
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    store = CheckpointStore(tmp_path / "ckpt")
+    first = load_or_capture(program, warmup_insts=0, store=store)
+    assert first is not None and store.stores == 1
+    second = load_or_capture(program, warmup_insts=0, store=store)
+    assert second == first
+    assert store.hits == 1
+
+
+def test_trace_cache_key_covers_warmup_budget():
+    from repro.sampler.exec_backend import RunTask
+    from repro.sampler.trace_cache import task_key
+
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+
+    def key(**overrides):
+        return task_key(RunTask(run_index=0, workload_name=workload.name,
+                                program=program, config=SMALL_BOOM,
+                                **overrides))
+
+    assert key(warmup_insts=None) != key(warmup_insts=DEFAULT_WARMUP_INSTS)
+    assert key(warmup_insts=64) != key(warmup_insts=65)
+    # Storage location and observability knobs do not change content.
+    assert key(warmup_insts=64) == key(warmup_insts=64,
+                                       checkpoint_dir="/somewhere",
+                                       profile=True)
+
+
+# ------------------------------------------------------ dirty tracking
+
+
+def test_tracking_memory_records_dirty_pages():
+    from repro.isa.interpreter import TrackingMemory
+
+    memory = TrackingMemory(1 << 16, page_size=4096)
+    assert memory.dirty_pages == set()
+    memory.store(4096 + 8, 8, 0xAA)
+    assert memory.dirty_pages == {4096}
+    memory.store(2 * 4096 - 4, 8, 0xBB)  # straddles a page boundary
+    assert memory.dirty_pages == {4096, 2 * 4096}
+    memory.write_bytes(3 * 4096, b"\x01" * (2 * 4096))
+    assert memory.dirty_pages == {4096, 2 * 4096, 3 * 4096, 4 * 4096}
+
+
+def test_interpreter_data_image_is_not_dirty():
+    from repro.isa.interpreter import Interpreter
+
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    interp = Interpreter(program, track_dirty_pages=True)
+    assert interp.memory.dirty_pages == set()
+    interp.run_until(5)
+    assert interp.steps == 5
+
+
+# --------------------------------------------------- cache maintenance
+
+
+def _plant_stale_entries(root):
+    trace = root / "ab" / "stale.pkl"
+    trace.parent.mkdir(parents=True, exist_ok=True)
+    trace.write_bytes(pickle.dumps((1, [], None, 0, 0.0)))  # old version
+    ckpt = root / "checkpoints" / "cd" / "stale.ckpt"
+    ckpt.parent.mkdir(parents=True, exist_ok=True)
+    ckpt.write_bytes(b"garbage")
+    return trace, ckpt
+
+
+def test_cache_stats_and_prune(tmp_path):
+    root = tmp_path / "cache"
+    workload = make_sam_ct(n_keys=1)
+    run_campaign(workload, SMALL_BOOM, cache=TraceCache(root),
+                 warmup_insts=DEFAULT_WARMUP_INSTS)
+    trace, ckpt = _plant_stale_entries(root)
+
+    stats = cache_stats(root)
+    assert stats["trace"]["entries"] >= 2
+    assert stats["trace"]["stale_entries"] == 1
+    assert stats["checkpoint"]["stale_entries"] == 1
+
+    removed = prune_cache(root)
+    assert removed["removed_entries"] == 2
+    assert not trace.exists() and not ckpt.exists()
+    # Fresh entries survive a stale-only prune...
+    assert cache_stats(root)["trace"]["entries"] >= 1
+    # ...and a full prune clears everything.
+    prune_cache(root, all_entries=True)
+    stats = cache_stats(root)
+    assert stats["trace"]["entries"] == 0
+    assert stats["checkpoint"]["entries"] == 0
+
+
+def test_cache_cli_stats_and_prune(tmp_path, capsys):
+    from repro.cli import main
+
+    root = tmp_path / "cache"
+    _plant_stale_entries(root)
+    assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out and "checkpoint" in out
+    assert "1 stale" in out and "cache prune" in out
+
+    assert main(["cache", "prune", "--cache-dir", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 2 entries" in out
+    assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+    assert "0 stale" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------- CLI flags
+
+
+def test_analyze_cli_accepts_warmup_insts(capsys):
+    from repro.cli import main
+
+    code = main(["analyze", "sam-ct", "--inputs", "2", "--config", "small",
+                 "--no-cache", "--warmup-insts", "none"])
+    assert code == 0
+    code = main(["analyze", "sam-ct", "--inputs", "2", "--config", "small",
+                 "--no-cache", "--warmup-insts", "full"])
+    assert code == 0
+
+
+def test_localize_cli_profile_flag(capsys):
+    from repro.cli import main
+
+    code = main(["localize", "ct-mem-cmp-safe", "--inputs", "2",
+                 "--features", "ROB-PC", "--no-cache", "--profile"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Per-stage simulator time" in out
+
+
+def test_localize_profile_lands_in_json():
+    from repro.localize.annotate import localization_to_dict
+
+    workload = make_ct_memcmp_safe(n_pairs=2, n_runs=1)
+    sampler = MicroSampler(SMALL_BOOM, features=("ROB-PC",), profile=True)
+    result = localization_to_dict(sampler.localize(workload))
+    assert result["profile"] is not None
+    assert result["profile"]["cycles"] > 0
+    assert result["profile"]["total_seconds"] > 0
