@@ -1,0 +1,196 @@
+"""Lockstep batch execution: functional-phase throughput at N=32 lanes.
+
+The acceptance benchmark for the SIMD-across-inputs batch interpreter.  The
+functional phase of a campaign — the fast-forward warm-up to ``roi.begin``
+(:func:`repro.sampler.checkpoint.capture_checkpoints_batch`) plus the
+DATA-style software baseline (:func:`repro.baselines.data_tool.run_data_tool`)
+— executes the same instruction stream once per input.  Batching folds those
+N passes into one numpy-vectorized sweep; this benchmark times both phases
+scalar vs batched at N=32 on bootstrap-heavy chacha20 and mp-modexp-ct
+variants, asserts the captured checkpoints and baseline verdicts are
+bit-identical, and enforces a >= 3x combined speedup floor.
+
+Run as a script (``--quick`` for the CI smoke variant: one repeat, a
+smaller bootstrap, no floor) or through pytest, where the floor is
+enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import pytest
+
+from repro.baselines.data_tool import run_data_tool
+from repro.sampler.checkpoint import (
+    capture_checkpoint,
+    capture_checkpoints_batch,
+)
+from repro.sampler.runner import patch_program
+from repro.workloads.bignum import make_mp_modexp_ct
+from repro.workloads.bootstrap import with_bootstrap
+from repro.workloads.chacha import make_chacha20
+
+from _harness import emit
+
+#: Lane width under test (the ``--batch-lanes auto`` default).
+N_LANES = 32
+
+#: Pre-ROI scrub-loop size modeling a library self-test's bootstrap phase.
+BOOTSTRAP_INSTS = 60_000
+
+#: Smaller bootstrap for the CI smoke variant.
+QUICK_BOOTSTRAP_INSTS = 8_000
+
+#: Cycle-accurate replay budget (the bundled default).
+WARMUP_INSTS = 512
+
+#: Required combined functional-phase (fast-forward + baseline) speedup.
+SPEEDUP_FLOOR = 3.0
+
+
+def _make_pairs(insts: int):
+    """(bootstrap variant for fast-forward, base for the DATA baseline)."""
+    bases = [
+        make_chacha20(n_keys=N_LANES, n_blocks=1),
+        make_mp_modexp_ct(n_keys=N_LANES),
+    ]
+    return [(with_bootstrap(base, insts=insts), base) for base in bases]
+
+
+def _best(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure(pairs, repeats: int = 2) -> list[dict]:
+    rows = []
+    for boot, base in pairs:
+        program = boot.assemble()
+        programs = [patch_program(program, patches)
+                    for patches in boot.inputs]
+
+        ff_scalar_s, scalar_ckpts = _best(
+            lambda: [capture_checkpoint(p, warmup_insts=WARMUP_INSTS)
+                     for p in programs], repeats)
+        ff_batch_s, (batch_ckpts, divergences) = _best(
+            lambda: capture_checkpoints_batch(
+                programs, warmup_insts=WARMUP_INSTS), repeats)
+        ckpt_identical = (list(batch_ckpts) == list(scalar_ckpts)
+                          and not divergences)
+
+        data_scalar_s, scalar_report = _best(
+            lambda: run_data_tool(base), repeats)
+        data_batch_s, batch_report = _best(
+            lambda: run_data_tool(base, batch_lanes=N_LANES), repeats)
+        verdict_identical = (scalar_report.leakage_detected
+                             == batch_report.leakage_detected)
+
+        scalar_s = ff_scalar_s + data_scalar_s
+        batch_s = ff_batch_s + data_batch_s
+        rows.append({
+            "workload": boot.name,
+            "n_lanes": N_LANES,
+            "ff_scalar_seconds": round(ff_scalar_s, 3),
+            "ff_batch_seconds": round(ff_batch_s, 3),
+            "ff_speedup": round(ff_scalar_s / ff_batch_s, 2),
+            "baseline_scalar_seconds": round(data_scalar_s, 3),
+            "baseline_batch_seconds": round(data_batch_s, 3),
+            "baseline_speedup": round(data_scalar_s / data_batch_s, 2),
+            "combined_speedup": round(scalar_s / batch_s, 2),
+            "checkpoints_identical": ckpt_identical,
+            "verdicts_identical": verdict_identical,
+        })
+    return rows
+
+
+def _render(rows, insts, repeats) -> str:
+    lines = [
+        f"Lockstep batch execution at N={N_LANES} lanes "
+        f"(+{insts:,} bootstrap insts, best of {repeats})",
+        f"{'workload':<22} {'ff scalar':>10} {'ff batch':>9} "
+        f"{'data scalar':>12} {'data batch':>11} {'combined':>9} "
+        f"{'identical':>10}",
+        "-" * 90,
+    ]
+    for row in rows:
+        identical = (row["checkpoints_identical"]
+                     and row["verdicts_identical"])
+        lines.append(
+            f"{row['workload']:<22} {row['ff_scalar_seconds']:>9.2f}s "
+            f"{row['ff_batch_seconds']:>8.2f}s "
+            f"{row['baseline_scalar_seconds']:>11.2f}s "
+            f"{row['baseline_batch_seconds']:>10.2f}s "
+            f"{row['combined_speedup']:>8.2f}x "
+            f"{'yes' if identical else 'MISMATCH':>10}"
+        )
+    return "\n".join(lines)
+
+
+def run_benchmark(insts: int = BOOTSTRAP_INSTS,
+                  repeats: int = 2) -> list[dict]:
+    rows = measure(_make_pairs(insts), repeats)
+    emit("batch_lockstep", _render(rows, insts, repeats), {
+        "bootstrap_insts": insts,
+        "repeats": repeats,
+        "n_lanes": N_LANES,
+        "warmup_insts": WARMUP_INSTS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "rows": rows,
+    })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_benchmark()
+
+
+def test_batch_functional_phase_speedup_floor(rows):
+    for row in rows:
+        assert row["combined_speedup"] >= SPEEDUP_FLOOR, (
+            f"{row['workload']}: {row['combined_speedup']}x functional-phase "
+            f"throughput at N={N_LANES} is below the {SPEEDUP_FLOOR}x "
+            f"acceptance floor"
+        )
+
+
+def test_batch_results_bit_identical(rows):
+    for row in rows:
+        assert row["checkpoints_identical"], row
+        assert row["verdicts_identical"], row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke variant: one repeat, smaller "
+                             "bootstrap, no speedup floor")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per mode "
+                             "(default 2, or 1 with --quick)")
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (
+        1 if args.quick else 2)
+    insts = QUICK_BOOTSTRAP_INSTS if args.quick else BOOTSTRAP_INSTS
+    rows = run_benchmark(insts, repeats)
+    failed = False
+    for row in rows:
+        if not (row["checkpoints_identical"] and row["verdicts_identical"]):
+            print(f"FAIL: {row['workload']} batched results differ from "
+                  f"scalar")
+            failed = True
+        if not args.quick and row["combined_speedup"] < SPEEDUP_FLOOR:
+            print(f"FAIL: {row['workload']} speedup "
+                  f"{row['combined_speedup']}x < floor {SPEEDUP_FLOOR}x")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,39 +38,73 @@ class DataToolReport:
     #: addresses appearing in exactly one class.
     unique_control_flow: dict = field(default_factory=dict)
     unique_memory: dict = field(default_factory=dict)
+    #: Lockstep divergences observed by the batched execution mode
+    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`): the exact
+    #: points where an input's architectural behaviour depended on its data.
+    #: Empty when ``batch_lanes`` is off.
+    divergences: list = field(default_factory=list)
 
     @property
     def leakage_detected(self) -> bool:
         return self.control_flow.leaky or self.memory.leaky
 
 
-def _iteration_traces(workload: Workload):
+def _marker_windows(markers):
+    """Build (start_step, end_step, label) windows from iteration markers."""
+    open_step = None
+    label = 0
+    windows = []
+    for marker in markers:
+        if marker.mnemonic == "iter.begin":
+            open_step, label = marker.step, marker.label
+        elif marker.mnemonic == "iter.end" and open_step is not None:
+            windows.append((open_step, marker.step, label))
+            open_step = None
+    return windows
+
+
+def _result_traces(workload: Workload, result):
+    """Slice one run's architectural trace into per-iteration windows."""
+    if result.exit_code != 0:
+        raise RuntimeError(
+            f"workload {workload.name!r} exited {result.exit_code}"
+        )
+    yield from _slice_by_steps(result.arch_trace,
+                               _marker_windows(result.markers))
+
+
+def _iteration_traces(workload: Workload, batch_lanes=None,
+                      divergences: list | None = None):
     """Execute all runs, slicing architectural traces per iteration.
 
     Yields (label, pc_trace, mem_trace) per iteration, where traces are
-    tuples of addresses in program order.
+    tuples of addresses in program order.  With ``batch_lanes`` set the
+    inputs execute in lockstep chunks on the batch interpreter
+    (bit-identical traces, per the differential battery in
+    ``tests/test_batch_interpreter.py``); split events are appended to
+    ``divergences`` when a list is supplied.
     """
     program = workload.assemble()
-    for patches in workload.inputs:
-        patched = patch_program(program, patches)
-        interpreter = Interpreter(patched, record_arch_trace=True)
-        result = interpreter.run()
-        if result.exit_code != 0:
-            raise RuntimeError(
-                f"workload {workload.name!r} exited {result.exit_code}"
-            )
-        events = result.arch_trace
-        # Build step-index windows from the iteration markers.
-        open_step = None
-        label = 0
-        windows = []
-        for marker in result.markers:
-            if marker.mnemonic == "iter.begin":
-                open_step, label = marker.step, marker.label
-            elif marker.mnemonic == "iter.end" and open_step is not None:
-                windows.append((open_step, marker.step, label))
-                open_step = None
-        yield from _slice_by_steps(events, windows)
+    if batch_lanes is None:
+        for patches in workload.inputs:
+            patched = patch_program(program, patches)
+            interpreter = Interpreter(patched, record_arch_trace=True)
+            yield from _result_traces(workload, interpreter.run())
+        return
+    from repro.isa.batch_interpreter import BatchInterpreter
+    from repro.sampler.batch import resolve_batch_lanes
+
+    lanes = resolve_batch_lanes(batch_lanes, len(workload.inputs))
+    patched = [patch_program(program, patches)
+               for patches in workload.inputs]
+    for start in range(0, len(patched), lanes):
+        batch = BatchInterpreter(patched[start:start + lanes],
+                                 record_arch_trace=True)
+        outcome = batch.run()
+        if divergences is not None:
+            divergences.extend(outcome.divergences)
+        for result in outcome.lane_results:
+            yield from _result_traces(workload, result)
 
 
 def _slice_by_steps(events, windows):
@@ -99,15 +133,25 @@ def _slice_by_steps(events, windows):
         yield label, tuple(pcs), tuple(mems)
 
 
-def run_data_tool(workload: Workload) -> DataToolReport:
-    """Run the full DATA-style differential address-trace analysis."""
+def run_data_tool(workload: Workload, *,
+                  batch_lanes=None) -> DataToolReport:
+    """Run the full DATA-style differential address-trace analysis.
+
+    ``batch_lanes`` (``None`` = off, ``"auto"``, or an int width) executes
+    the inputs in lockstep on the batch interpreter instead of one at a
+    time — same verdicts from bit-identical traces, with the observed
+    :class:`~repro.isa.batch_interpreter.DivergenceEvent`\\ s surfaced on
+    the report.
+    """
     labels = []
     pc_hashes = []
     mem_hashes = []
     pc_values: dict = {}
     mem_values: dict = {}
+    divergences: list = []
     count = 0
-    for label, pcs, mems in _iteration_traces(workload):
+    for label, pcs, mems in _iteration_traces(workload, batch_lanes,
+                                              divergences):
         count += 1
         labels.append(label)
         pc_hashes.append(combine_digests([row_digest(pcs)]))
@@ -123,6 +167,7 @@ def run_data_tool(workload: Workload) -> DataToolReport:
     )
     report.unique_control_flow = _unique_by_class(pc_values)
     report.unique_memory = _unique_by_class(mem_values)
+    report.divergences = divergences
     return report
 
 

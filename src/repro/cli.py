@@ -118,6 +118,28 @@ def _add_checkpoint_argument(parser) -> None:
              f"(default: {DEFAULT_WARMUP_INSTS})")
 
 
+def _batch_lanes_argument(value: str):
+    from repro.sampler.batch import parse_batch_lanes
+
+    try:
+        return parse_batch_lanes(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_batch_argument(parser) -> None:
+    parser.add_argument(
+        "--batch-lanes", type=_batch_lanes_argument, default="auto",
+        metavar="{auto,off,N}",
+        help="lockstep batch width for the functional warm-up passes: run "
+             "all inputs' pre-ROI prefixes simultaneously as SIMD lanes of "
+             "one batch interpreter, splitting (and reporting) any lane "
+             "whose control flow or addresses diverge.  'off' captures "
+             "checkpoints one input at a time, bit-identical to the "
+             "unbatched pipeline; only effective when --warmup-insts "
+             "enables checkpointing (default: auto)")
+
+
 def _add_engine_argument(parser) -> None:
     parser.add_argument("--engine", choices=["python", "numpy"],
                         default="numpy",
@@ -223,6 +245,7 @@ def cmd_analyze(args) -> int:
         jobs=jobs,
         cache=cache,
         warmup_insts=getattr(args, "warmup_insts", None),
+        batch_lanes=getattr(args, "batch_lanes", None),
         engine=args.engine,
         measure_mi=getattr(args, "mi", False),
         profile=getattr(args, "profile", False),
@@ -278,6 +301,7 @@ def cmd_localize(args) -> int:
         jobs=jobs,
         cache=cache,
         warmup_insts=getattr(args, "warmup_insts", None),
+        batch_lanes=getattr(args, "batch_lanes", None),
         engine=args.engine,
         profile=getattr(args, "profile", False),
     )
@@ -350,6 +374,7 @@ def cmd_audit(args) -> int:
     result = run_audit(workloads, config=config, expectations=expectations,
                        jobs=jobs, cache=cache,
                        warmup_insts=getattr(args, "warmup_insts", None),
+                       batch_lanes=getattr(args, "batch_lanes", None),
                        engine=args.engine,
                        profile=getattr(args, "profile", False))
     print(result.render())
@@ -513,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_argument(analyze)
     _add_backend_arguments(analyze)
     _add_checkpoint_argument(analyze)
+    _add_batch_argument(analyze)
     _add_profile_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -545,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_argument(localize)
     _add_backend_arguments(localize)
     _add_checkpoint_argument(localize)
+    _add_batch_argument(localize)
     _add_profile_argument(localize)
     localize.set_defaults(func=cmd_localize)
 
@@ -589,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_argument(audit)
     _add_backend_arguments(audit)
     _add_checkpoint_argument(audit)
+    _add_batch_argument(audit)
     _add_profile_argument(audit)
     audit.set_defaults(func=cmd_audit)
 

@@ -1,6 +1,12 @@
 """RV64IM instruction-set substrate: model, assembler, encoder, interpreter."""
 
 from repro.isa.assembler import Assembler, AssemblerError, Program, assemble
+from repro.isa.batch_interpreter import (
+    BatchInterpreter,
+    BatchResult,
+    DivergenceEvent,
+    run_batch,
+)
 from repro.isa.disasm import format_instruction, format_program
 from repro.isa.encoding import DecodingError, EncodingError, decode, encode
 from repro.isa.instructions import (
@@ -25,7 +31,10 @@ __all__ = [
     "ArchEvent",
     "Assembler",
     "AssemblerError",
+    "BatchInterpreter",
+    "BatchResult",
     "DecodingError",
+    "DivergenceEvent",
     "EncodingError",
     "ExecutionError",
     "Format",
@@ -45,5 +54,6 @@ __all__ = [
     "format_program",
     "parse_register",
     "register_name",
+    "run_batch",
     "run_program",
 ]

@@ -1,0 +1,196 @@
+"""Vectorized RV64IM semantics over numpy lanes (SIMD-across-inputs).
+
+Element-for-element mirror of :mod:`repro.isa.semantics`: every entry in
+``BATCH_ALU_OPS`` / ``BATCH_BRANCH_CONDITIONS`` computes, for ``uint64``
+operand arrays of shape ``(n_lanes,)``, exactly what the scalar table
+computes per lane.  The scalar table stays authoritative — the differential
+fuzz battery in ``tests/test_batch_interpreter.py`` asserts bit-identity per
+mnemonic over edge operands (division overflow, shifts >= 64, sign
+boundaries) and over whole random programs.
+
+Conventions shared by every op:
+
+* operands and results are ``numpy.uint64``; wraparound arithmetic is the
+  native behaviour, matching the ``& MASK64`` discipline of the scalar code;
+* immediates must be pre-masked to unsigned 64-bit by the caller (numpy
+  refuses negative Python ints next to ``uint64`` operands);
+* signed interpretations go through two's-complement ``int64`` views, never
+  Python ints, so ``INT64_MIN`` cases behave like hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U64 = np.uint64
+_ZERO = _U64(0)
+_ONE = _U64(1)
+_M32 = _U64(0xFFFFFFFF)
+_SHIFT32 = _U64(32)
+_SHAMT64 = _U64(63)
+_SHAMT32 = _U64(31)
+
+
+def _signed(a: np.ndarray) -> np.ndarray:
+    """Two's-complement ``int64`` reinterpretation of ``uint64`` lanes."""
+    return np.ascontiguousarray(a, dtype=np.uint64).view(np.int64)
+
+
+def _signed32(a: np.ndarray) -> np.ndarray:
+    """Sign-extend the low 32 bits of each lane into ``int64``."""
+    low = np.ascontiguousarray(a & _M32, dtype=np.uint64)
+    return low.astype(np.uint32).view(np.int32).astype(np.int64)
+
+
+def _sext32(a: np.ndarray) -> np.ndarray:
+    """Sign-extend the low 32 bits to 64, as ``uint64`` (for *W ops)."""
+    return _signed32(a).astype(np.uint64)
+
+
+def _sra64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (_signed(a) >> (b & _SHAMT64).astype(np.int64)).astype(np.uint64)
+
+
+def _sraw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    shifted = _signed32(a) >> (b & _SHAMT32).astype(np.int64)
+    return shifted.astype(np.uint64)
+
+
+def _mulhu(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of the unsigned 128-bit product, via 32-bit halves."""
+    al, ah = a & _M32, a >> _SHIFT32
+    bl, bh = b & _M32, b >> _SHIFT32
+    low = al * bl
+    mid1 = ah * bl
+    mid2 = al * bh
+    carry = ((low >> _SHIFT32) + (mid1 & _M32) + (mid2 & _M32)) >> _SHIFT32
+    return ah * bh + (mid1 >> _SHIFT32) + (mid2 >> _SHIFT32) + carry
+
+
+def _mulh(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # signed x signed high = unsigned high minus b where a < 0 and minus a
+    # where b < 0 (the standard two's-complement correction); wraps in uint64.
+    high = _mulhu(a, b)
+    high = high - np.where(_signed(a) < 0, b, _ZERO)
+    return high - np.where(_signed(b) < 0, a, _ZERO)
+
+
+def _mulhsu(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return _mulhu(a, b) - np.where(_signed(a) < 0, b, _ZERO)
+
+
+def _abs_unsigned(a: np.ndarray, signed_a: np.ndarray,
+                  mask: np.uint64) -> np.ndarray:
+    """|signed_a| as an unsigned value within ``mask`` (handles INT_MIN)."""
+    return np.where(signed_a < 0, (_ZERO - a) & mask, a & mask)
+
+
+def _div_signed(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    mask = _U64((1 << bits) - 1)
+    x, y = a & mask, b & mask
+    sx = _signed(x) if bits == 64 else _signed32(x)
+    sy = _signed(y) if bits == 64 else _signed32(y)
+    ax = _abs_unsigned(x, sx, mask)
+    ay = _abs_unsigned(y, sy, mask)
+    quotient = ax // np.where(y == _ZERO, _ONE, ay)
+    # Truncating signed division: negate where operand signs differ.  The
+    # INT_MIN / -1 overflow case (|q| = 2^(bits-1)) negates back to the
+    # dividend, which is exactly the RISC-V-mandated result.
+    quotient = np.where((sx < 0) != (sy < 0), (_ZERO - quotient) & mask,
+                        quotient)
+    return np.where(y == _ZERO, mask, quotient)  # div by zero -> -1
+
+
+def _rem_signed(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    mask = _U64((1 << bits) - 1)
+    x, y = a & mask, b & mask
+    sx = _signed(x) if bits == 64 else _signed32(x)
+    sy = _signed(y) if bits == 64 else _signed32(y)
+    ax = _abs_unsigned(x, sx, mask)
+    ay = _abs_unsigned(y, sy, mask)
+    remainder = ax % np.where(y == _ZERO, _ONE, ay)
+    # The remainder takes the dividend's sign (truncating division).
+    remainder = np.where(sx < 0, (_ZERO - remainder) & mask, remainder)
+    return np.where(y == _ZERO, x, remainder)  # rem by zero -> dividend
+
+
+def _div_unsigned(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    mask = _U64((1 << bits) - 1)
+    x, y = a & mask, b & mask
+    quotient = x // np.where(y == _ZERO, _ONE, y)
+    return np.where(y == _ZERO, mask, quotient)
+
+
+def _rem_unsigned(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    mask = _U64((1 << bits) - 1)
+    x, y = a & mask, b & mask
+    return np.where(y == _ZERO, x, x % np.where(y == _ZERO, _ONE, y))
+
+
+#: rd_lanes = f(a_lanes, b_lanes); same contract as ``semantics.ALU_OPS``
+#: (callers pass pre-masked immediates / lui-auipc operands as ``b``).
+BATCH_ALU_OPS = {
+    "add": lambda a, b: a + b,
+    "addi": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "andi": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "ori": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xori": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & _SHAMT64),
+    "slli": lambda a, b: a << (b & _SHAMT64),
+    "srl": lambda a, b: a >> (b & _SHAMT64),
+    "srli": lambda a, b: a >> (b & _SHAMT64),
+    "sra": _sra64,
+    "srai": _sra64,
+    "slt": lambda a, b: (_signed(a) < _signed(b)).astype(np.uint64),
+    "slti": lambda a, b: (_signed(a) < _signed(b)).astype(np.uint64),
+    "sltu": lambda a, b: (a < b).astype(np.uint64),
+    "sltiu": lambda a, b: (a < b).astype(np.uint64),
+    "addw": lambda a, b: _sext32(a + b),
+    "addiw": lambda a, b: _sext32(a + b),
+    "subw": lambda a, b: _sext32(a - b),
+    "sllw": lambda a, b: _sext32((a & _M32) << (b & _SHAMT32)),
+    "slliw": lambda a, b: _sext32((a & _M32) << (b & _SHAMT32)),
+    "srlw": lambda a, b: _sext32((a & _M32) >> (b & _SHAMT32)),
+    "srliw": lambda a, b: _sext32((a & _M32) >> (b & _SHAMT32)),
+    "sraw": _sraw,
+    "sraiw": _sraw,
+    "lui": lambda a, b: a + b,
+    "auipc": lambda a, b: a + b,
+    "mul": lambda a, b: a * b,
+    "mulh": _mulh,
+    "mulhu": _mulhu,
+    "mulhsu": _mulhsu,
+    "mulw": lambda a, b: _sext32(a * b),
+    "div": lambda a, b: _div_signed(a, b, 64),
+    "divu": lambda a, b: _div_unsigned(a, b, 64),
+    "rem": lambda a, b: _rem_signed(a, b, 64),
+    "remu": lambda a, b: _rem_unsigned(a, b, 64),
+    "divw": lambda a, b: _sext32(_div_signed(a, b, 32)),
+    "divuw": lambda a, b: _sext32(_div_unsigned(a, b, 32)),
+    "remw": lambda a, b: _sext32(_rem_signed(a, b, 32)),
+    "remuw": lambda a, b: _sext32(_rem_unsigned(a, b, 32)),
+}
+
+#: taken_lanes = f(a_lanes, b_lanes) -> bool array.
+BATCH_BRANCH_CONDITIONS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+def batch_compute_alu(mnemonic: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-lane result of a computational instruction (``uint64`` lanes)."""
+    return BATCH_ALU_OPS[mnemonic](a, b)
+
+
+def batch_branch_taken(mnemonic: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-lane branch condition outcomes (boolean lanes)."""
+    return BATCH_BRANCH_CONDITIONS[mnemonic](a, b)

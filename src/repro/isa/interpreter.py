@@ -55,18 +55,36 @@ class InterpreterResult:
 
 
 class FlatMemory:
-    """Little-endian byte-addressable flat memory."""
+    """Little-endian byte-addressable flat memory.
+
+    Access semantics — explicit, because the batched lane memory
+    (:class:`repro.isa.batch_interpreter.BatchMemory`) must reproduce them
+    bit-for-bit and the cosim suite only covers them implicitly:
+
+    * **Unaligned accesses are allowed** at every size.  An access is plain
+      byte-wise little-endian assembly/scatter; crossing an alignment or
+      page boundary changes nothing (no split, no penalty, no exception).
+    * **Accesses never wrap.**  Any access extending past ``size`` raises
+      :class:`ExecutionError` rather than wrapping to offset 0.  Effective
+      addresses are computed modulo 2^64 by the interpreter, so a negative
+      base+offset arrives here as a huge address and is rejected by the
+      same bound.
+    * **All entry points are bounds-checked** — including ``read_bytes``,
+      which never silently truncates.
+    """
 
     def __init__(self, size: int = 1 << 22):
         self.size = size
         self.data = bytearray(size)
 
     def load(self, address: int, size: int) -> int:
+        """Load ``size`` bytes, little-endian; may be unaligned, never wraps."""
         if address < 0 or address + size > self.size:
             raise ExecutionError(f"load out of range: {address:#x}+{size}")
         return int.from_bytes(self.data[address:address + size], "little")
 
     def store(self, address: int, value: int, size: int) -> None:
+        """Store ``size`` bytes, little-endian; may be unaligned, never wraps."""
         if address < 0 or address + size > self.size:
             raise ExecutionError(f"store out of range: {address:#x}+{size}")
         self.data[address:address + size] = (value & ((1 << (8 * size)) - 1)) \
@@ -78,6 +96,8 @@ class FlatMemory:
         self.data[address:address + len(payload)] = payload
 
     def read_bytes(self, address: int, length: int) -> bytes:
+        if address < 0 or address + length > self.size:
+            raise ExecutionError(f"read out of range: {address:#x}+{length}")
         return bytes(self.data[address:address + length])
 
 

@@ -38,8 +38,13 @@ def _div_signed(a: int, b: int, bits: int) -> int:
         return to_unsigned(-1, bits)  # RISC-V: division by zero yields -1
     if sa == -(1 << (bits - 1)) and sb == -1:
         return to_unsigned(sa, bits)  # overflow case: result is dividend
-    # RISC-V division truncates toward zero (unlike Python's floor division).
-    return to_unsigned(int(sa / sb) if sb else 0, bits)
+    # RISC-V division truncates toward zero (unlike Python's floor
+    # division), and must stay exact: ``int(sa / sb)`` would round through
+    # float64 and corrupt quotients at or above 2**53.
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_unsigned(quotient, bits)
 
 
 def _rem_signed(a: int, b: int, bits: int) -> int:
@@ -48,7 +53,9 @@ def _rem_signed(a: int, b: int, bits: int) -> int:
         return to_unsigned(sa, bits)
     if sa == -(1 << (bits - 1)) and sb == -1:
         return 0
-    return to_unsigned(sa - int(sa / sb) * sb, bits)
+    # The remainder takes the dividend's sign (truncating division).
+    remainder = abs(sa) % abs(sb)
+    return to_unsigned(-remainder if sa < 0 else remainder, bits)
 
 
 def _div_unsigned(a: int, b: int, bits: int) -> int:

@@ -83,6 +83,25 @@ class ProxyKernel:
     def console_text(self) -> str:
         return self.console.decode("latin-1")
 
+    # -- lockstep batching support -------------------------------------------
+
+    def lockstep_signature(self, cpu: CpuView) -> tuple:
+        """The register tuple that must agree across batched lanes.
+
+        Two lanes may service an ``ecall`` in lockstep iff this tuple
+        matches: the kernel's *behaviour* (which syscall, which addresses,
+        whether execution continues) is a function of exactly these
+        registers.  Registers that are data rather than behaviour — the
+        exit code, the bytes a ``write`` reads — are deliberately excluded,
+        since per-lane kernels capture per-lane state.
+        """
+        syscall = cpu.read_reg(_REG_A7)
+        if syscall == SYS_WRITE:
+            return (syscall, cpu.read_reg(_REG_A1), cpu.read_reg(_REG_A2))
+        if syscall == SYS_BRK:
+            return (syscall, cpu.read_reg(_REG_A0))
+        return (syscall,)
+
     # -- checkpoint support --------------------------------------------------
 
     def checkpoint_state(self) -> tuple[bytes, int]:

@@ -171,6 +171,7 @@ def localize(workload: Workload, *, sampler=None, report=None,
         features=targets, keep_raw=True, log_commits=True,
         max_cycles_per_run=max_cycles_per_run, jobs=sampler.jobs,
         warmup_insts=getattr(sampler, "warmup_insts", None),
+        batch_lanes=getattr(sampler, "batch_lanes", None),
         profile=sampler.profile,
     )
     campaign = run_campaign(workload, sampler.config,

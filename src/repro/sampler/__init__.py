@@ -7,6 +7,13 @@ chi-squared / Cramér's V, and extract root-cause features for flagged units.
 """
 
 from repro.sampler.audit import AuditEntry, AuditResult, run_audit
+from repro.sampler.batch import (
+    DEFAULT_MAX_LANES,
+    attach_batch_checkpoints,
+    describe_batch_lanes,
+    parse_batch_lanes,
+    resolve_batch_lanes,
+)
 from repro.sampler.contingency import (
     ContingencyTable,
     build_contingency_table,
@@ -79,6 +86,7 @@ __all__ = [
     "AuditResult",
     "CampaignResult",
     "ConfigDiff",
+    "DEFAULT_MAX_LANES",
     "ContingencyTable",
     "LeakageReport",
     "MicroSampler",
@@ -94,7 +102,11 @@ __all__ = [
     "WorkloadError",
     "TraceMatrix",
     "adaptive_analyze",
+    "attach_batch_checkpoints",
     "batched_association",
+    "describe_batch_lanes",
+    "parse_batch_lanes",
+    "resolve_batch_lanes",
     "build_contingency_table",
     "chi_squared_from_counts",
     "encode_column",

@@ -89,17 +89,20 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
               sampler: MicroSampler | None = None,
               jobs: int | None = 1, cache=None,
               warmup_insts: int | None = None,
+              batch_lanes=None,
               engine: str = "numpy", profile: bool = False) -> AuditResult:
     """Analyze every workload; ``expectations[name]`` = True means "should
     leak" (a litmus), False means "must be clean" (a hardened primitive).
 
-    ``jobs``/``cache``/``warmup_insts``/``engine``/``profile`` configure the
-    simulation backend and the statistics engine when no explicit
-    ``sampler`` is supplied (see :func:`repro.sampler.run_campaign` and
+    ``jobs``/``cache``/``warmup_insts``/``batch_lanes``/``engine``/
+    ``profile`` configure the simulation backend and the statistics engine
+    when no explicit ``sampler`` is supplied (see
+    :func:`repro.sampler.run_campaign` and
     :class:`~repro.sampler.pipeline.MicroSampler`); with ``profile`` the
     suite-wide per-stage breakdown lands on ``AuditResult.profile``."""
     sampler = sampler or MicroSampler(config, jobs=jobs, cache=cache,
                                       warmup_insts=warmup_insts,
+                                      batch_lanes=batch_lanes,
                                       engine=engine, profile=profile)
     expectations = expectations or {}
     result = AuditResult(config_name=config.name)

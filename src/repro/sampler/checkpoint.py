@@ -49,7 +49,11 @@ from repro.kernel.proxy_kernel import ProxyKernel, SyscallError
 from repro.util.hashing import stable_hex_digest
 
 #: Bump when the checkpoint payload layout or key canonicalization changes.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version history: 1 = original layout; 2 = lockstep batch capture
+#: (``batch_lanes`` joined the key material, so batched and per-input
+#: captures — bit-identical by the differential test battery, but produced
+#: by different code paths — never share an entry).
+CHECKPOINT_FORMAT_VERSION = 2
 
 #: Default warm-up budget (instructions replayed cycle-accurately before the
 #: ROI).  Generous enough to cover every bundled workload's prologue, so the
@@ -104,8 +108,16 @@ class Checkpoint:
 
 
 def checkpoint_key(program: Program, memory_map: MemoryMap | None,
-                   warmup_insts: int) -> str:
-    """Content-addressed key for a (program, memory map, warm-up) triple."""
+                   warmup_insts: int,
+                   batch_lanes: int | None = None) -> str:
+    """Content-addressed key for a (program, memory map, warm-up) triple.
+
+    ``batch_lanes`` records which execution mode produced the entry
+    (``None`` = scalar per-input capture, ``N`` = lockstep batch capture at
+    that width).  Captures are bit-identical across modes — the batch
+    differential tests enforce that — but the producing code paths differ,
+    so they deliberately do not share cache entries.
+    """
     # Imported lazily: trace_cache imports exec_backend at module scope, and
     # exec_backend reaches back into this module from its worker path.
     from repro.sampler.trace_cache import program_fingerprint
@@ -116,6 +128,7 @@ def checkpoint_key(program: Program, memory_map: MemoryMap | None,
         program_fingerprint(program),
         dataclasses.asdict(memory_map) if memory_map else None,
         warmup_insts,
+        batch_lanes,
     )
     return stable_hex_digest(material)
 
@@ -172,6 +185,96 @@ def capture_checkpoint(program: Program, *,
         steps=interp.steps,
         pre_roi_steps=pre_roi_steps,
     )
+
+
+def capture_checkpoints_batch(programs: list[Program], *,
+                              memory_map: MemoryMap | None = None,
+                              warmup_insts: int = 0,
+                              max_steps: int = MAX_CAPTURE_STEPS) -> tuple:
+    """Capture all N lanes' checkpoints in one lockstep pass.
+
+    The batched equivalent of calling :func:`capture_checkpoint` once per
+    program: returns ``(checkpoints, divergences)`` where ``checkpoints[i]``
+    is bit-identical to the per-input capture for ``programs[i]`` (or None
+    when fast-forwarding is not applicable to that lane).  Lanes whose
+    prologue diverges from lane 0's — a data-dependent bootstrap, itself
+    worth surfacing — fall back to scalar capture individually and the
+    :class:`~repro.isa.batch_interpreter.DivergenceEvent`\\ s are returned.
+
+    ``programs`` must share one instruction stream (``patch_program``
+    copies of a single assembled program).
+    """
+    from repro.isa.batch_interpreter import BatchInterpreter
+
+    results: list[Checkpoint | None] = [None] * len(programs)
+    if not programs:
+        return results, []
+    mm = memory_map or MemoryMap()
+
+    def scalar(lane: int) -> Checkpoint | None:
+        return capture_checkpoint(programs[lane], memory_map=mm,
+                                  warmup_insts=warmup_insts,
+                                  max_steps=max_steps)
+
+    # Pass A: batched scout to the first roi.begin.
+    scout = BatchInterpreter(programs, memory_map=mm,
+                             kernels=[ProxyKernel(memory_map=mm)
+                                      for _ in programs])
+    try:
+        found = scout.run_to_marker("roi.begin", max_steps)
+    except (ExecutionError, SyscallError):
+        # A lockstep trap hits every batched lane identically; re-derive
+        # each lane's outcome through the scalar path (split lanes may
+        # still checkpoint fine).
+        return [scalar(lane) for lane in range(len(programs))], \
+            list(scout.divergences)
+    divergences = list(scout.divergences)
+    for lane in scout.scalar_lanes:
+        results[lane] = scalar(lane)
+    if not found:
+        return results, divergences  # batched lanes halted before roi.begin
+    pre_roi_steps = scout.steps
+    target = max(0, pre_roi_steps - warmup_insts)
+
+    # Pass B: batched re-execution to the checkpoint point with dirty-page
+    # tracking and per-lane kernel state capture.  The replay covers a
+    # prefix of the scout's lockstep execution over exactly the lanes that
+    # stayed batched, so it cannot diverge; the lane accessors below would
+    # remain correct even if it somehow did.
+    batched = [lane for lane in range(len(programs))
+               if lane not in scout.scalar_lanes]
+    kernels = [ProxyKernel(memory_map=mm) for _ in batched]
+    replay = BatchInterpreter([programs[lane] for lane in batched],
+                              memory_map=mm, kernels=kernels,
+                              track_dirty_pages=True)
+    try:
+        replay.run_until(target)
+    except (ExecutionError, SyscallError):  # pragma: no cover - scout ran it
+        for lane in batched:
+            results[lane] = scalar(lane)
+        return results, divergences
+    page_size = mm.page_size
+    for local, lane in enumerate(batched):
+        interp = replay.lane_interpreter(local)
+        kernel_state = (kernels[local].checkpoint_state()
+                        if interp is None else None)
+        if interp is not None:  # pragma: no cover - replay cannot diverge
+            results[lane] = scalar(lane)
+            continue
+        console, brk = kernel_state
+        results[lane] = Checkpoint(
+            pc=replay.lane_pc(local),
+            regs=replay.lane_regs(local),
+            pages=tuple(
+                (base, replay.lane_read_bytes(local, base, page_size))
+                for base in sorted(replay.lane_dirty_pages(local))
+            ),
+            console=console,
+            brk=brk,
+            steps=replay.lane_steps(local),
+            pre_roi_steps=pre_roi_steps,
+        )
+    return results, divergences
 
 
 def _checkpoint_to_payload(checkpoint: Checkpoint) -> tuple:
@@ -262,15 +365,20 @@ def load_or_capture(program: Program, *,
                     memory_map: MemoryMap | None = None,
                     warmup_insts: int = 0,
                     store: CheckpointStore | None = None,
+                    batch_lanes: int | None = None,
                     max_steps: int = MAX_CAPTURE_STEPS) -> Checkpoint | None:
     """Fetch a checkpoint from ``store`` or capture (and persist) one.
 
     A missing ``roi.begin`` is not cached as a negative entry: programs
     without markers re-run the (cheap, aborted) scout pass each time.
+    ``batch_lanes`` only keys the lookup (a worker falling back after the
+    batch prepass skipped a lane must address the same entry the prepass
+    would have written); the capture itself is always scalar here.
     """
     key = None
     if store is not None:
-        key = checkpoint_key(program, memory_map, warmup_insts)
+        key = checkpoint_key(program, memory_map, warmup_insts,
+                             batch_lanes=batch_lanes)
         cached = store.load(key)
         if cached is not None:
             return cached

@@ -70,6 +70,15 @@ class RunTask:
     #: Observational only — excluded from the trace-cache key, and cached
     #: replays simply carry no profile.
     profile: bool = False
+    #: Lane width of the lockstep batch prepass that produced (and keys)
+    #: this task's checkpoint; None = scalar capture.  Only affects how the
+    #: checkpoint is obtained — the traced simulation is bit-identical — so
+    #: it is excluded from the trace-cache key like ``checkpoint_dir``.
+    batch_lanes: int | None = None
+    #: Checkpoint attached by the batch prepass (``sampler/batch.py``); the
+    #: worker then skips its own capture.  Derived state, not configuration
+    #: — excluded from the trace-cache key.
+    checkpoint: object | None = None
 
 
 @dataclass
@@ -105,9 +114,9 @@ def execute_run(task: RunTask) -> RunOutput:
     tracer.timed = True
     tracer.begin_run(task.run_index)
 
-    checkpoint = None
+    checkpoint = task.checkpoint
     ff_seconds = 0.0
-    if task.warmup_insts is not None:
+    if checkpoint is None and task.warmup_insts is not None:
         from repro.sampler.checkpoint import CheckpointStore, load_or_capture
 
         started = time.perf_counter()
@@ -116,6 +125,7 @@ def execute_run(task: RunTask) -> RunOutput:
         checkpoint = load_or_capture(
             task.program, memory_map=task.memory_map,
             warmup_insts=task.warmup_insts, store=store,
+            batch_lanes=task.batch_lanes,
         )
         ff_seconds = time.perf_counter() - started
 

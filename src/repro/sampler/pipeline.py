@@ -77,6 +77,12 @@ class LeakageReport:
     #: Per-stage simulator time breakdown (``--profile``), merged over all
     #: simulated runs (:class:`repro.util.profiling.StageProfile`).
     profile: object | None = None
+    #: Lockstep divergences observed by the batch prepass
+    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`): points where
+    #: an input's *pre-ROI* control flow, memory footprint or syscall
+    #: behaviour depended on its data.  Empty when batching is off or the
+    #: prologue is input-independent.
+    divergences: list = field(default_factory=list)
 
     @property
     def leaky_units(self) -> list[str]:
@@ -124,6 +130,7 @@ class MicroSampler:
                  jobs: int | None = 1,
                  cache=None,
                  warmup_insts: int | None = None,
+                 batch_lanes=None,
                  engine: str = "numpy",
                  measure_mi: bool = False,
                  mi_permutations: int = 200,
@@ -155,6 +162,12 @@ class MicroSampler:
         #: ``warmup_iterations``, which drops *traced* iterations from the
         #: statistical analysis.
         self.warmup_insts = warmup_insts
+        #: Lockstep batch prepass for the functional warm-up (``None`` =
+        #: off, ``"auto"``, or an int lane width; see
+        #: :mod:`repro.sampler.batch`).  Only effective when
+        #: ``warmup_insts`` enables checkpointing; never changes what the
+        #: cycle-accurate core simulates.
+        self.batch_lanes = batch_lanes
         #: Also score every unit with MicroWalk-style mutual information
         #: (plus a label-permutation significance test) as a cross-check.
         self.measure_mi = measure_mi
@@ -172,7 +185,8 @@ class MicroSampler:
             workload, self.config, features=self.features,
             max_cycles_per_run=max_cycles_per_run,
             jobs=self.jobs, cache=self.cache,
-            warmup_insts=self.warmup_insts, profile=self.profile,
+            warmup_insts=self.warmup_insts,
+            batch_lanes=self.batch_lanes, profile=self.profile,
         )
         return self.analyze_campaign(campaign)
 
@@ -187,6 +201,7 @@ class MicroSampler:
             n_iterations=len(iterations),
             n_classes=len(set(labels)),
             engine=self.engine,
+            divergences=list(getattr(campaign, "divergences", None) or []),
         )
         stats_started = time.perf_counter()
         if self.engine == "numpy":

@@ -40,6 +40,14 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
                 row += f" {'-':>8} {'-':>8}"
         lines.append(row)
     lines.append("")
+    if report.divergences:
+        # Pre-ROI lockstep divergences are leak signals in their own right:
+        # the bootstrap executed differently depending on the input.
+        lines.append(f"DIVERGENT PROLOGUE ({len(report.divergences)} "
+                     "lockstep divergence(s) before roi.begin):")
+        for event in report.divergences:
+            lines.append(f"  {event.describe()}")
+        lines.append("")
     if report.leakage_detected:
         lines.append(f"LEAKAGE DETECTED in: {', '.join(report.leaky_units)}")
     else:
@@ -123,6 +131,19 @@ def report_to_dict(report: LeakageReport) -> dict:
         "n_classes": report.n_classes,
         "leakage_detected": report.leakage_detected,
         "leaky_units": report.leaky_units,
+        # Always present (empty when batching is off or lockstep held), so
+        # batched and scalar runs of a lockstep workload serialize
+        # identically — the campaign-differential tests compare these dicts.
+        "divergences": [
+            {
+                "pc": event.pc,
+                "step": event.step,
+                "kind": event.kind,
+                "mnemonic": event.mnemonic,
+                "lanes": list(event.lanes),
+            }
+            for event in report.divergences
+        ],
         "units": units,
     }
     if report.timings is not None:

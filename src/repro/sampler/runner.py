@@ -99,6 +99,11 @@ class CampaignResult:
     #: Instructions skipped via functional fast-forward, summed over runs
     #: (0 when checkpointing is disabled or nothing could be skipped).
     ff_steps_total: int = 0
+    #: Lockstep divergences observed by the batch prepass
+    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`).  A divergent
+    #: prologue is data-dependent execution — itself a leak signal — so
+    #: these are surfaced in reports rather than silently absorbed.
+    divergences: list = field(default_factory=list)
 
     @property
     def iterations(self):
@@ -143,6 +148,7 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                  jobs: int | None = 1, cache=None,
                  warmup_insts: int | None = None,
                  checkpoint_dir: str | None = None,
+                 batch_lanes=None,
                  profile: bool = False) -> CampaignResult:
     """Run ``workload`` over all its inputs, collecting iteration snapshots.
 
@@ -157,7 +163,13 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     enables fast-forward checkpointing (``None`` = full simulation; see
     :mod:`repro.sampler.checkpoint`); checkpoints persist under
     ``checkpoint_dir``, defaulting to a ``checkpoints/`` subdirectory of the
-    trace-cache root when a cache is in use.  ``profile`` attaches a
+    trace-cache root when a cache is in use.  ``batch_lanes`` selects the
+    lockstep batch prepass for the functional warm-up (``None`` = off,
+    ``"auto"``, or an int lane width; see :mod:`repro.sampler.batch`) — it
+    only changes how checkpoints are captured, never what is simulated, and
+    requires checkpointing to be enabled (``warmup_insts`` not None) to have
+    any effect.  Divergences the prepass observes are returned on
+    ``CampaignResult.divergences``.  ``profile`` attaches a
     per-stage wall-clock profiler to every simulated core and reports the
     merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
     simulation work, contribute nothing).
@@ -208,6 +220,20 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
             seen_keys.add(keys[index])
         to_run.append(index)
 
+    divergences: list = []
+    if warmup_insts is not None and batch_lanes is not None and to_run:
+        from repro.sampler.batch import (
+            attach_batch_checkpoints,
+            resolve_batch_lanes,
+        )
+
+        lanes = resolve_batch_lanes(batch_lanes, len(to_run))
+        if lanes > 1:
+            divergences = attach_batch_checkpoints(
+                tasks, to_run, lanes=lanes, warmup_insts=warmup_insts,
+                checkpoint_dir=checkpoint_dir,
+            )
+
     fresh = execute_tasks([tasks[index] for index in to_run], jobs=jobs)
     for index, output in zip(to_run, fresh):
         outputs[index] = output
@@ -238,4 +264,5 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         n_cached_runs=n_cached,
         profile=merged_profile,
         ff_steps_total=sum(output.ff_steps for output in outputs),
+        divergences=divergences,
     )

@@ -1,0 +1,563 @@
+"""Differential lockstep battery: the batch interpreter vs the golden model.
+
+The scalar :class:`~repro.isa.interpreter.Interpreter` is authoritative.
+Every test here pins the batched SIMD-across-inputs execution to it
+bit-for-bit: final register files, data memory, dirty pages, ArchEvent
+streams, markers and exit codes must all equal N independent scalar runs —
+whether a lane stayed batched to completion or was split off at a
+divergence.  The fuzz corpora (Cascade-style, from
+:mod:`repro.workloads.fuzz`) cover well over 200 random programs; the
+ground-truth section checks that known-leaky code diverges exactly at its
+textbook leak and that the constant-time suite never leaves lockstep.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.isa import (
+    BatchInterpreter,
+    ExecutionError,
+    Interpreter,
+    assemble,
+    run_batch,
+)
+from repro.isa.batch_interpreter import BatchMemory
+from repro.isa.batch_semantics import (
+    BATCH_ALU_OPS,
+    BATCH_BRANCH_CONDITIONS,
+    batch_branch_taken,
+    batch_compute_alu,
+)
+from repro.isa.semantics import MASK64, branch_taken, compute_alu
+from repro.kernel import ProxyKernel
+from repro.sampler import patch_program
+from repro.sampler.batch import (
+    DEFAULT_MAX_LANES,
+    describe_batch_lanes,
+    parse_batch_lanes,
+    resolve_batch_lanes,
+)
+from repro.workloads import fuzz
+from repro.workloads.bignum import make_mp_modexp_ct
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.memcmp import make_ct_memcmp_safe, make_early_exit_memcmp
+
+INT64_MIN = -(1 << 63)
+
+
+def _lane_variants(program, symbol, size, seed, n_lanes):
+    """N copies of ``program`` differing only in ``symbol``'s data bytes."""
+    rng = random.Random(seed)
+    return [patch_program(program, {symbol: rng.randbytes(size)})
+            for _ in range(n_lanes)]
+
+
+def assert_batch_matches_scalar(programs, *, use_kernels=False,
+                                track_dirty=False, max_steps=2_000_000):
+    """Run ``programs`` batched and scalar; assert bit-identical outcomes."""
+    kernels = [ProxyKernel() for _ in programs] if use_kernels else None
+    batch = BatchInterpreter(programs, record_arch_trace=True,
+                             kernels=kernels, track_dirty_pages=track_dirty)
+    outcome = batch.run(max_steps)
+    for lane, program in enumerate(programs):
+        kernel = ProxyKernel() if use_kernels else None
+        interp = Interpreter(
+            program, record_arch_trace=True,
+            syscall_handler=kernel.handle_ecall if kernel else None,
+            track_dirty_pages=track_dirty)
+        expect = interp.run(max_steps)
+        got = outcome.lane_results[lane]
+        assert got.steps == expect.steps, f"lane {lane} steps"
+        assert got.exit_code == expect.exit_code, f"lane {lane} exit"
+        assert got.markers == expect.markers, f"lane {lane} markers"
+        assert got.arch_trace == expect.arch_trace, f"lane {lane} trace"
+        assert batch.lane_regs(lane) == \
+            tuple(interp.read_reg(i) for i in range(32)), f"lane {lane} regs"
+        n_data = len(program.data)
+        if n_data:
+            assert batch.lane_read_bytes(lane, program.data_base, n_data) == \
+                interp.memory.read_bytes(program.data_base, n_data), \
+                f"lane {lane} data"
+        if track_dirty:
+            assert batch.lane_dirty_pages(lane) == \
+                interp.memory.dirty_pages, f"lane {lane} dirty pages"
+        if use_kernels:
+            assert kernels[lane].console_text == kernel.console_text
+            assert kernels[lane].exit_code == kernel.exit_code
+    return outcome
+
+
+# -- fuzz corpora: batch == N scalar runs, bit for bit -----------------------
+
+#: 25 seeds x 8 lanes = 200 random straight-line programs.
+N_STRAIGHTLINE_SEEDS = 25
+STRAIGHTLINE_LANES = 8
+
+
+class TestStraightlineFuzz:
+    @pytest.mark.parametrize("seed", range(N_STRAIGHTLINE_SEEDS))
+    def test_batch_matches_scalar(self, seed):
+        program = fuzz.generate_straightline(seed)
+        lanes = _lane_variants(program, "scratch", 64, seed * 7 + 1,
+                               STRAIGHTLINE_LANES)
+        outcome = assert_batch_matches_scalar(lanes, track_dirty=True)
+        # No control flow, register-independent addresses: pure lockstep.
+        assert outcome.divergences == []
+        assert outcome.n_lockstep_lanes == STRAIGHTLINE_LANES
+
+
+class TestBranchyFuzz:
+    """Bounded data-dependent branches: lanes may split; results must not."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_batch_matches_scalar_through_splits(self, seed):
+        program = fuzz.generate(seed)
+        lanes = _lane_variants(program, "scratch", 256, seed * 13 + 5, 6)
+        outcome = assert_batch_matches_scalar(lanes)
+        assert len(outcome.lane_results) == 6
+
+
+class TestMemoryTortureFuzz:
+    """Dense mixed-size, unaligned loads/stores over a 24-byte window."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_width_unaligned_traffic(self, seed):
+        program = fuzz.generate_torture(seed)
+        lanes = _lane_variants(program, "window", 32, seed + 99, 4)
+        outcome = assert_batch_matches_scalar(lanes, track_dirty=True)
+        assert outcome.divergences == []  # addresses are data-independent
+
+
+# -- ALU edge cases through whole programs -----------------------------------
+
+_RR_MNEMONICS = sorted(
+    m for m in BATCH_ALU_OPS
+    if m not in ("addi", "andi", "ori", "xori", "slti", "sltiu", "addiw",
+                 "slli", "srli", "srai", "slliw", "srliw", "sraiw",
+                 "lui", "auipc"))
+
+#: Per-lane (a, b) operand pairs covering division overflow, divide-by-zero,
+#: shift amounts >= 64 (register shifts mask to 6 bits) and the float64
+#: precision cliff at 2^53 that once corrupted the scalar div path.
+_EDGE_OPERANDS = [
+    (INT64_MIN, -1),
+    (INT64_MIN, 1),
+    (-7, 0),
+    ((1 << 53) + 3, 3),
+    (-(1 << 62) - 12345, -7),
+    (1, 64),
+    (-1, INT64_MIN),
+    (0x123456789ABCDEF0, 127),
+]
+
+
+def _edge_alu_program():
+    lines = [
+        ".data",
+        "ops: .zero 16",
+        f"res: .zero {8 * len(_RR_MNEMONICS) + 8}",
+        "mix: .zero 32",
+        ".text",
+        "main:",
+        "    la   s0, ops",
+        "    la   s1, res",
+        "    ld   t0, 0(s0)",
+        "    ld   t1, 8(s0)",
+    ]
+    for index, mnemonic in enumerate(_RR_MNEMONICS):
+        lines.append(f"    {mnemonic} t2, t0, t1")
+        lines.append(f"    sd   t2, {8 * index}(s1)")
+    lines += [
+        "    la   s2, mix",
+        "    sd   t0, 0(s2)",
+        "    sb   t1, 3(s2)",
+        "    lh   t2, 2(s2)",
+        "    sh   t2, 9(s2)",
+        "    sw   t1, 5(s2)",
+        "    ld   t3, 1(s2)",
+        "    lbu  t4, 6(s2)",
+        "    lw   t5, 3(s2)",
+        "    lhu  t6, 7(s2)",
+        "    lb   a1, 11(s2)",
+        "    li   a0, 0",
+        "    li   a7, 93",
+        "    ecall",
+    ]
+    return assemble("\n".join(lines), entry="main")
+
+
+class TestAluEdgeCases:
+    def test_edge_operands_through_every_rr_op(self):
+        program = _edge_alu_program()
+        lanes = [
+            patch_program(program, {"ops": (a & MASK64).to_bytes(8, "little")
+                                    + (b & MASK64).to_bytes(8, "little")})
+            for a, b in _EDGE_OPERANDS
+        ]
+        outcome = assert_batch_matches_scalar(lanes, track_dirty=True)
+        assert outcome.divergences == []
+
+
+# -- per-mnemonic semantics tables -------------------------------------------
+
+_EDGE64 = [0, 1, 2, 3, 31, 32, 63, 64, 65, 127,
+           (1 << 63) - 1, 1 << 63, MASK64, MASK64 - 1,
+           0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0x100000000,
+           (1 << 53) + 1, (1 << 62) + 12345]
+
+
+def _operand_pairs(mnemonic):
+    rng = random.Random(sum(map(ord, mnemonic)))
+    pairs = [(a, b) for a in _EDGE64 for b in _EDGE64]
+    pairs += [(rng.getrandbits(64), rng.getrandbits(64)) for _ in range(200)]
+    return pairs
+
+
+class TestSemanticsTables:
+    def test_tables_mirror_scalar_tables(self):
+        from repro.isa.semantics import ALU_OPS, BRANCH_CONDITIONS
+
+        assert set(BATCH_ALU_OPS) == set(ALU_OPS)
+        assert set(BATCH_BRANCH_CONDITIONS) == set(BRANCH_CONDITIONS)
+
+    @pytest.mark.parametrize("mnemonic", sorted(BATCH_ALU_OPS))
+    def test_alu_matches_scalar_per_lane(self, mnemonic):
+        pairs = _operand_pairs(mnemonic)
+        a = np.array([p[0] for p in pairs], dtype=np.uint64)
+        b = np.array([p[1] for p in pairs], dtype=np.uint64)
+        got = batch_compute_alu(mnemonic, a, b)
+        for index, (x, y) in enumerate(pairs):
+            expect = compute_alu(mnemonic, x, y) & MASK64
+            assert int(got[index]) == expect, \
+                f"{mnemonic}({x:#x}, {y:#x})"
+
+    @pytest.mark.parametrize("mnemonic", sorted(BATCH_BRANCH_CONDITIONS))
+    def test_branch_matches_scalar_per_lane(self, mnemonic):
+        pairs = _operand_pairs(mnemonic)
+        a = np.array([p[0] for p in pairs], dtype=np.uint64)
+        b = np.array([p[1] for p in pairs], dtype=np.uint64)
+        got = batch_branch_taken(mnemonic, a, b)
+        for index, (x, y) in enumerate(pairs):
+            assert bool(got[index]) == branch_taken(mnemonic, x, y), \
+                f"{mnemonic}({x:#x}, {y:#x})"
+
+    def test_signed_division_oracle(self):
+        """div/rem against exact big-int truncating division (no float path)."""
+        cases = [(INT64_MIN, -1), (INT64_MIN, 1), (INT64_MIN, 3),
+                 (5, 0), (-5, 0), (0, 0),
+                 ((1 << 53) + 3, 3), (-((1 << 53) + 3), 3),
+                 ((1 << 62) + 12345, -7), (-(1 << 62) - 12345, 7),
+                 ((1 << 63) - 1, -(1 << 31))]
+        for a, b in cases:
+            if b == 0:
+                quotient, remainder = -1, a
+            else:
+                quotient = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    quotient = -quotient
+                quotient = ((quotient & MASK64) ^ (1 << 63)) - (1 << 63)
+                remainder = a - quotient * b
+            ua, ub = a & MASK64, b & MASK64
+            assert compute_alu("div", ua, ub) & MASK64 == quotient & MASK64
+            assert compute_alu("rem", ua, ub) & MASK64 == remainder & MASK64
+            lanes_a = np.array([ua], dtype=np.uint64)
+            lanes_b = np.array([ub], dtype=np.uint64)
+            assert int(batch_compute_alu("div", lanes_a, lanes_b)[0]) == \
+                quotient & MASK64
+            assert int(batch_compute_alu("rem", lanes_a, lanes_b)[0]) == \
+                remainder & MASK64
+
+
+# -- divergence detection -----------------------------------------------------
+
+_BRANCH_DIVERGE = """
+.data
+key: .byte 0
+out: .zero 8
+.text
+main:
+    la   t0, key
+    lbu  t1, 0(t0)
+    andi t2, t1, 1
+    beqz t2, even
+    li   t3, 111
+    j    join
+even:
+    li   t3, 222
+join:
+    la   t4, out
+    sd   t3, 0(t4)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+_MEM_DIVERGE = """
+.data
+idx: .byte 0
+table: .zero 64
+.text
+main:
+    la   t0, idx
+    lbu  t1, 0(t0)
+    slli t1, t1, 3
+    la   t2, table
+    add  t2, t2, t1
+    ld   t3, 0(t2)
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+_JUMP_DIVERGE = """
+.data
+sel: .byte 0
+.text
+main:
+    la   t0, sel
+    lbu  t1, 0(t0)
+    slli t1, t1, 3
+    la   t2, fn0
+    add  t2, t2, t1
+    jalr ra, t2, 0
+    li   a7, 93
+    ecall
+fn0:
+    li   a0, 1
+    ret
+fn1:
+    li   a0, 2
+    ret
+"""
+
+_WRITE_DIVERGE = """
+.data
+len: .byte 5
+msg: .asciz "hello"
+.text
+main:
+    la   t0, len
+    lbu  a2, 0(t0)
+    li   a7, 64
+    li   a0, 1
+    la   a1, msg
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+_EXIT_DATA = """
+.data
+code: .byte 0
+.text
+main:
+    la   t0, code
+    lbu  a0, 0(t0)
+    li   a7, 93
+    ecall
+"""
+
+
+class TestDivergence:
+    def test_branch_divergence_splits_disagreeing_lanes(self):
+        program = assemble(_BRANCH_DIVERGE, entry="main")
+        lanes = [patch_program(program, {"key": bytes([k])})
+                 for k in (0, 1, 2, 3)]
+        outcome = assert_batch_matches_scalar(lanes, track_dirty=True)
+        assert len(outcome.divergences) == 1
+        event = outcome.divergences[0]
+        assert event.kind == "branch"
+        assert program.instruction_at(event.pc).mnemonic == "beq"
+        assert event.lanes == (1, 3)  # odd keys disagree with lane 0
+        assert event.step >= 1
+        assert "branch divergence" in event.describe()
+        assert outcome.n_lockstep_lanes == 2
+
+    def test_memory_address_divergence(self):
+        program = assemble(_MEM_DIVERGE, entry="main")
+        lanes = [patch_program(program, {"idx": bytes([i])})
+                 for i in (0, 0, 1)]
+        outcome = assert_batch_matches_scalar(lanes)
+        assert [e.kind for e in outcome.divergences] == ["mem"]
+        event = outcome.divergences[0]
+        assert event.mnemonic == "ld"
+        assert event.lanes == (2,)
+
+    def test_jump_target_divergence(self):
+        program = assemble(_JUMP_DIVERGE, entry="main")
+        assert program.symbols["fn1"] - program.symbols["fn0"] == 8
+        lanes = [patch_program(program, {"sel": bytes([s])})
+                 for s in (0, 1)]
+        outcome = assert_batch_matches_scalar(lanes)
+        assert [e.kind for e in outcome.divergences] == ["jump"]
+        assert outcome.divergences[0].mnemonic == "jalr"
+        assert [r.exit_code for r in outcome.lane_results] == [1, 2]
+
+    def test_syscall_signature_divergence(self):
+        program = assemble(_WRITE_DIVERGE, entry="main")
+        lanes = [patch_program(program, {"len": bytes([n])})
+                 for n in (5, 3, 5)]
+        outcome = assert_batch_matches_scalar(lanes, use_kernels=True)
+        events = [e for e in outcome.divergences if e.kind == "syscall"]
+        assert len(events) == 1
+        assert events[0].mnemonic == "ecall"
+        assert events[0].lanes == (1,)
+
+    def test_exit_code_is_data_not_control(self):
+        # A lane-varying a0 at exit is data; the lockstep signature only
+        # covers a7, so different exit codes must NOT split lanes.
+        program = assemble(_EXIT_DATA, entry="main")
+        lanes = [patch_program(program, {"code": bytes([c])})
+                 for c in (0, 5, 7)]
+        outcome = assert_batch_matches_scalar(lanes)
+        assert outcome.divergences == []
+        assert [r.exit_code for r in outcome.lane_results] == [0, 5, 7]
+
+
+# -- markers and run_to_marker ------------------------------------------------
+
+_MARKED = """
+.data
+key: .byte 0
+.text
+main:
+    roi.begin
+    la   t0, key
+    lbu  t1, 0(t0)
+    andi t2, t1, 1
+    iter.begin t2
+    xor  t3, t1, t2
+    iter.end
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+class TestMarkers:
+    def test_iteration_labels_are_per_lane(self):
+        program = assemble(_MARKED, entry="main")
+        lanes = [patch_program(program, {"key": bytes([k])})
+                 for k in (0, 1, 2, 3)]
+        outcome = assert_batch_matches_scalar(lanes)
+        assert outcome.divergences == []
+        labels = [[m.label for m in result.markers
+                   if m.mnemonic == "iter.begin"]
+                  for result in outcome.lane_results]
+        assert labels == [[0], [1], [0], [1]]
+
+    def test_run_to_marker_stops_at_the_marker(self):
+        program = assemble(_MARKED, entry="main")
+        batch = BatchInterpreter([program, program])
+        assert batch.run_to_marker("iter.begin") is True
+        inst = program.instruction_at(batch.pc)
+        assert inst.mnemonic == "iter.begin"  # not yet executed
+
+    def test_run_to_marker_returns_false_when_absent(self):
+        program = assemble(_EXIT_DATA, entry="main")
+        batch = BatchInterpreter([program, program])
+        assert batch.run_to_marker("roi.begin") is False
+        assert batch.halted
+
+
+# -- ground truth: the leaky and constant-time workloads ----------------------
+
+class TestGroundTruth:
+    def test_early_exit_memcmp_diverges_at_the_sub_bne_pair(self):
+        # Cross-checks the localization fixture (tests/test_localize.py):
+        # attribution ranks the sub/bne pair inside memcmp_ee; the lockstep
+        # detector must point at exactly that branch.
+        workload = make_early_exit_memcmp(n_pairs=6, length=6, seed=3,
+                                          n_runs=4)
+        program = workload.assemble()
+        lanes = [patch_program(program, patches)
+                 for patches in workload.inputs]
+        outcome = assert_batch_matches_scalar(lanes)
+        assert outcome.divergences
+        for event in outcome.divergences:
+            assert event.kind == "branch"
+            assert event.mnemonic == "bne"
+            assert event.pc >= program.symbols["memcmp_ee"]
+            assert program.instruction_at(event.pc - 4).mnemonic == "sub"
+
+    @pytest.mark.parametrize("factory", [
+        lambda: make_ct_memcmp_safe(n_pairs=6, length=6, seed=3, n_runs=4),
+        lambda: make_chacha20(n_keys=4, n_blocks=1, seed=6),
+        lambda: make_mp_modexp_ct(n_keys=3, seed=2),
+    ], ids=["ct-mem-cmp-safe", "chacha20", "mp-modexp-ct"])
+    def test_constant_time_workloads_stay_fully_lockstep(self, factory):
+        workload = factory()
+        program = workload.assemble()
+        lanes = [patch_program(program, patches)
+                 for patches in workload.inputs]
+        outcome = run_batch(lanes, max_steps=20_000_000)
+        assert outcome.divergences == [], workload.name
+        assert outcome.n_lockstep_lanes == len(lanes)
+        assert all(r.exit_code == 0 for r in outcome.lane_results)
+
+
+# -- BatchMemory and constructor contracts -----------------------------------
+
+class TestBatchMemory:
+    def test_unaligned_page_straddling_round_trip(self):
+        memory = BatchMemory(2, 8192, page_size=4096, track_dirty_pages=True)
+        values = np.array([0x1122334455667788, 0x99AABBCCDDEEFF00],
+                          dtype=np.uint64)
+        memory.store_lockstep(4093, values, 8)  # straddles the page boundary
+        assert (memory.load_lockstep(4093, 8) == values).all()
+        assert memory.read_bytes(0, 4093, 8) == \
+            (0x1122334455667788).to_bytes(8, "little")
+        assert memory.dirty_pages == {0, 4096}
+
+    def test_out_of_range_accesses_raise(self):
+        memory = BatchMemory(2, 4096)
+        with pytest.raises(ExecutionError):
+            memory.load_lockstep(4093, 8)
+        with pytest.raises(ExecutionError):
+            memory.store_lockstep(4095, np.zeros(2, dtype=np.uint64), 2)
+        with pytest.raises(ExecutionError):
+            memory.read_bytes(0, 4090, 8)
+        with pytest.raises(ExecutionError):
+            memory.write_bytes(1, 4096, b"x")
+        with pytest.raises(ExecutionError):
+            memory.write_bytes_all(-1, b"x")
+
+    def test_constructor_validation(self):
+        program = assemble(_EXIT_DATA, entry="main")
+        other = assemble(_MARKED, entry="main")
+        with pytest.raises(ValueError):
+            BatchInterpreter([])
+        with pytest.raises(ValueError):
+            BatchInterpreter([program, other])
+        with pytest.raises(ValueError):
+            BatchInterpreter([program, program], kernels=[ProxyKernel()])
+
+
+# -- lane-width selection -----------------------------------------------------
+
+class TestLaneSelection:
+    def test_parse(self):
+        assert parse_batch_lanes("off") is None
+        assert parse_batch_lanes("OFF") is None
+        assert parse_batch_lanes("auto") == "auto"
+        assert parse_batch_lanes(" 8 ") == 8
+        for bad in ("0", "-2", "many"):
+            with pytest.raises(ValueError):
+                parse_batch_lanes(bad)
+
+    def test_resolve(self):
+        assert resolve_batch_lanes(None, 10) == 1
+        assert resolve_batch_lanes("auto", 100) == DEFAULT_MAX_LANES
+        assert resolve_batch_lanes("auto", 5) == 5
+        assert resolve_batch_lanes("auto", 0) == 1
+        assert resolve_batch_lanes(8, 3) == 3
+        assert resolve_batch_lanes(4, 100) == 4
+
+    def test_describe(self):
+        assert describe_batch_lanes(None) == "off"
+        assert describe_batch_lanes("auto") == "auto"
+        assert describe_batch_lanes(8) == "8 lanes"

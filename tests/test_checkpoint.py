@@ -365,6 +365,139 @@ def test_trace_cache_key_covers_warmup_budget():
                                        profile=True)
 
 
+# ----------------------------------------------- lockstep batch capture
+
+
+_DIVERGENT_PROLOGUE = """
+.data
+key: .byte 0
+.text
+main:
+    la   t0, key
+    lbu  t1, 0(t0)
+    beqz t1, skip
+    addi t2, t1, 1
+skip:
+    roi.begin
+    li   t3, 1
+    iter.begin t3
+    addi t4, t3, 1
+    iter.end
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+@pytest.mark.parametrize("workload", ROI_WORKLOADS, ids=ROI_IDS)
+def test_batch_capture_matches_scalar_capture(workload):
+    """One lockstep pass captures exactly what N scalar captures would."""
+    from repro.sampler.checkpoint import capture_checkpoints_batch
+
+    program = workload.assemble()
+    inputs = (workload.inputs * 3)[:3]
+    programs = [patch_program(program, patches) for patches in inputs]
+    for warmup in (0, 16):
+        captured, divergences = capture_checkpoints_batch(
+            programs, warmup_insts=warmup)
+        assert divergences == []  # these prologues are input-independent
+        for prog, checkpoint in zip(programs, captured):
+            assert checkpoint == capture_checkpoint(prog,
+                                                    warmup_insts=warmup)
+
+
+def test_batch_capture_matches_scalar_with_distinct_inputs():
+    from repro.sampler.checkpoint import capture_checkpoints_batch
+
+    for workload in (make_sam_ct(n_keys=4),
+                     make_chacha20(n_keys=3, n_blocks=1),
+                     with_bootstrap(make_sam_ct(n_keys=4), insts=500)):
+        program = workload.assemble()
+        programs = [patch_program(program, patches)
+                    for patches in workload.inputs]
+        captured, divergences = capture_checkpoints_batch(programs,
+                                                          warmup_insts=0)
+        assert divergences == [], workload.name
+        for prog, checkpoint in zip(programs, captured):
+            assert checkpoint == capture_checkpoint(prog, warmup_insts=0)
+
+
+def test_batch_capture_survives_divergent_prologue():
+    """Split lanes fall back to scalar capture; checkpoints stay correct."""
+    from repro.isa import assemble
+    from repro.sampler.checkpoint import capture_checkpoints_batch
+
+    program = assemble(_DIVERGENT_PROLOGUE, entry="main")
+    programs = [patch_program(program, {"key": bytes([k])})
+                for k in (0, 1, 0, 1)]
+    captured, divergences = capture_checkpoints_batch(programs,
+                                                      warmup_insts=0)
+    assert [event.kind for event in divergences] == ["branch"]
+    assert divergences[0].lanes == (1, 3)
+    for prog, checkpoint in zip(programs, captured):
+        assert checkpoint == capture_checkpoint(prog, warmup_insts=0)
+
+
+def test_batch_capture_returns_none_without_roi_marker(sum_program):
+    from repro.sampler.checkpoint import capture_checkpoints_batch
+
+    captured, divergences = capture_checkpoints_batch(
+        [sum_program, sum_program], warmup_insts=0)
+    assert captured == (None, None) or list(captured) == [None, None]
+    assert divergences == []
+
+
+def test_checkpoint_key_covers_batch_lanes():
+    """Scalar and batched captures never share a store entry."""
+    workload = make_sam_ct(n_keys=1)
+    program = patch_program(workload.assemble(), workload.inputs[0])
+    scalar = checkpoint_key(program, None, 64)
+    assert scalar == checkpoint_key(program, None, 64, batch_lanes=None)
+    batched = checkpoint_key(program, None, 64, batch_lanes=8)
+    assert batched != scalar
+    assert batched != checkpoint_key(program, None, 64, batch_lanes=16)
+
+
+def test_attach_batch_checkpoints_reuses_the_store(tmp_path, monkeypatch):
+    from repro.sampler import attach_batch_checkpoints
+    from repro.sampler.exec_backend import RunTask
+
+    workload = with_bootstrap(make_sam_ct(n_keys=4), insts=500)
+    program = workload.assemble()
+    checkpoint_dir = str(tmp_path / "ckpt")
+
+    def build_tasks():
+        return [RunTask(run_index=index, workload_name=workload.name,
+                        program=patch_program(program, patches),
+                        config=SMALL_BOOM, warmup_insts=64,
+                        checkpoint_dir=checkpoint_dir)
+                for index, patches in enumerate(workload.inputs)]
+
+    tasks = build_tasks()
+    divergences = attach_batch_checkpoints(tasks, list(range(4)), lanes=4,
+                                           warmup_insts=64,
+                                           checkpoint_dir=checkpoint_dir)
+    assert divergences == []
+    assert all(task.batch_lanes == 4 and task.checkpoint is not None
+               for task in tasks)
+
+    # A second campaign over the same inputs must be served entirely from
+    # the store — no re-capture.
+    import repro.sampler.checkpoint as checkpoint_module
+
+    def refuse_capture(*args, **kwargs):
+        raise AssertionError("expected a checkpoint-store hit, got a capture")
+
+    monkeypatch.setattr(checkpoint_module, "capture_checkpoints_batch",
+                        refuse_capture)
+    fresh = build_tasks()
+    attach_batch_checkpoints(fresh, list(range(4)), lanes=4,
+                             warmup_insts=64, checkpoint_dir=checkpoint_dir)
+    assert [task.checkpoint for task in fresh] == \
+        [task.checkpoint for task in tasks]
+
+
 # ------------------------------------------------------ dirty tracking
 
 

@@ -257,3 +257,71 @@ def test_step_count_matches_instructions(sum_program):
     # setup (la=2, li, li) + 8 iterations of 7 + tail (mv, call, slli, ret,
     # la=2, sd, li, ecall)
     assert result.steps == 4 + 8 * 7 + 9
+
+
+class TestFlatMemorySemantics:
+    """The explicit access contract of FlatMemory (see its docstring):
+    unaligned accesses are plain byte-wise little-endian at every size,
+    page/alignment boundaries are invisible, and nothing ever wraps."""
+
+    def _memory(self, size=8192):
+        from repro.isa.interpreter import FlatMemory
+
+        return FlatMemory(size)
+
+    def test_unaligned_round_trip_at_every_size(self):
+        memory = self._memory()
+        for size in (1, 2, 4, 8):
+            for address in (1, 3, 7, 4093):  # 4093 straddles a page edge
+                value = (0x1122334455667788 >> (8 * (8 - size))) \
+                    & ((1 << (8 * size)) - 1)
+                memory.store(address, value, size)
+                assert memory.load(address, size) == value
+                assert memory.read_bytes(address, size) == \
+                    value.to_bytes(size, "little")
+
+    def test_page_straddling_store_is_byte_wise_little_endian(self):
+        memory = self._memory()
+        memory.store(4094, 0xAABBCCDD, 4)  # bytes at 4094..4097
+        assert memory.read_bytes(4094, 4) == bytes([0xDD, 0xCC, 0xBB, 0xAA])
+        assert memory.load(4095, 2) == 0xBBCC  # re-read across the edge
+
+    def test_accesses_never_wrap_past_the_end(self):
+        memory = self._memory(size=4096)
+        memory.store(4088, 0, 8)  # the last fully in-bounds doubleword
+        for method in (lambda: memory.load(4095, 2),
+                       lambda: memory.store(4089, 0, 8),
+                       lambda: memory.read_bytes(4090, 8),
+                       lambda: memory.write_bytes(4095, b"xy")):
+            with pytest.raises(ExecutionError, match="out of range"):
+                method()
+
+    def test_negative_wraparound_addresses_are_rejected(self):
+        # The interpreter computes effective addresses mod 2^64, so a
+        # negative base+offset arrives as a huge address; both forms must
+        # be rejected by the same bound rather than wrapping to offset 0.
+        memory = self._memory(size=4096)
+        huge = (-8) & 0xFFFFFFFFFFFFFFFF
+        with pytest.raises(ExecutionError, match="out of range"):
+            memory.load(huge, 8)
+        with pytest.raises(ExecutionError, match="out of range"):
+            memory.load(-8, 8)
+
+    def test_read_bytes_never_silently_truncates(self):
+        memory = self._memory(size=4096)
+        assert len(memory.read_bytes(4090, 6)) == 6
+        with pytest.raises(ExecutionError, match="out of range"):
+            memory.read_bytes(4090, 7)
+
+    def test_tracking_memory_marks_both_pages_of_a_straddle(self):
+        from repro.isa.interpreter import TrackingMemory
+
+        memory = TrackingMemory(8192, page_size=4096)
+        memory.store(4093, 0x0123456789ABCDEF, 8)
+        assert memory.dirty_pages == {0, 4096}
+        memory.dirty_pages.clear()
+        memory.write_bytes(4095, b"ab")
+        assert memory.dirty_pages == {0, 4096}
+        memory.dirty_pages.clear()
+        memory.store(16, 1, 1)
+        assert memory.dirty_pages == {0}

@@ -158,3 +158,119 @@ class TestRendering:
         text = render_histogram([5, 5, 5])
         assert "identical" in text
         assert "(no samples)" in render_histogram([])
+
+
+_DIVERGENT_PROLOGUE = """
+.data
+key: .byte 0
+.text
+main:
+    la   t0, key
+    lbu  t1, 0(t0)
+    beqz t1, skip
+    addi t2, t1, 1
+skip:
+    roi.begin
+    andi t3, t1, 1
+    iter.begin t3
+    nop
+    iter.end
+    roi.end
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+class TestBatchLockstepCampaign:
+    """``--batch-lanes auto`` must be report-identical to ``off``.
+
+    The prepass only changes how roi.begin checkpoints are captured — never
+    what the cycle-accurate core simulates — so reports and localization
+    dicts must match byte-for-byte, cold or warm cache, serial or parallel.
+    """
+
+    def _report_dict(self, workload, *, batch_lanes, jobs=1, cache=None):
+        from repro.sampler.report import report_to_dict
+        from tests.test_checkpoint import _scrub_timings
+
+        sampler = MicroSampler(SMALL_BOOM, warmup_insts=64,
+                               batch_lanes=batch_lanes, jobs=jobs,
+                               cache=cache)
+        return _scrub_timings(report_to_dict(sampler.analyze(workload)))
+
+    def test_auto_matches_off(self):
+        from repro.workloads.bootstrap import with_bootstrap
+        from repro.workloads.memcmp import make_early_exit_memcmp
+
+        for workload in (with_bootstrap(make_sam_ct(n_keys=4), insts=600),
+                         make_early_exit_memcmp(n_pairs=2, n_runs=2)):
+            off = self._report_dict(workload, batch_lanes=None)
+            auto = self._report_dict(workload, batch_lanes="auto")
+            assert auto == off, workload.name
+            assert auto["divergences"] == []  # prologues are lockstep
+
+    def test_auto_matches_off_parallel_and_cached(self, tmp_path):
+        from repro.sampler import TraceCache
+        from repro.workloads.bootstrap import with_bootstrap
+
+        workload = with_bootstrap(make_sam_ct(n_keys=4), insts=600)
+        dicts = {}
+        for mode, lanes in (("off", None), ("auto", "auto")):
+            cache = TraceCache(tmp_path / mode)
+            dicts[mode, "cold"] = self._report_dict(
+                workload, batch_lanes=lanes, jobs=4, cache=cache)
+            dicts[mode, "warm"] = self._report_dict(
+                workload, batch_lanes=lanes, jobs=4, cache=cache)
+        assert dicts["auto", "cold"] == dicts["off", "cold"]
+        assert dicts["auto", "warm"] == dicts["off", "cold"]
+        assert dicts["off", "warm"] == dicts["off", "cold"]
+        # The prepass persisted its captures under the cache root.
+        assert list((tmp_path / "auto").rglob("*.ckpt"))
+
+    def test_localization_identical_under_batch_prepass(self, tmp_path):
+        from repro.localize.annotate import localization_to_dict
+        from repro.workloads.memcmp import make_early_exit_memcmp
+        from tests.test_checkpoint import _scrub_timings
+
+        workload = make_early_exit_memcmp(n_pairs=2, n_runs=2)
+        dicts = {}
+        for mode, lanes in (("off", None), ("auto", "auto")):
+            sampler = MicroSampler(SMALL_BOOM, features=("ROB-PC",),
+                                   warmup_insts=64, batch_lanes=lanes)
+            dicts[mode] = _scrub_timings(
+                localization_to_dict(sampler.localize(workload)))
+        assert dicts["auto"] == dicts["off"]
+
+    def test_divergent_prologue_surfaces_in_report(self):
+        from repro.sampler.report import report_to_dict
+
+        workload = Workload(
+            name="divergent-prologue",
+            source=_DIVERGENT_PROLOGUE,
+            inputs=[{"key": bytes([k])} for k in (0, 1, 2, 3)],
+        )
+        sampler = MicroSampler(SMALL_BOOM, warmup_insts=64,
+                               batch_lanes="auto")
+        report = sampler.analyze(workload)
+        assert len(report.divergences) == 1
+        event = report.divergences[0]
+        assert event.kind == "branch"
+        assert event.lanes == (1, 2, 3)  # remapped to campaign run indices
+
+        rendered = render_report(report)
+        assert "DIVERGENT PROLOGUE" in rendered
+        assert event.describe() in rendered
+
+        payload = report_to_dict(report)
+        assert payload["divergences"] == [{
+            "pc": event.pc, "step": event.step, "kind": "branch",
+            "mnemonic": event.mnemonic, "lanes": [1, 2, 3],
+        }]
+
+        # Apart from the surfaced divergences, the analysis itself is
+        # unchanged versus the scalar path.
+        off = MicroSampler(SMALL_BOOM, warmup_insts=64).analyze(workload)
+        assert off.divergences == []
+        assert report.leakage_detected == off.leakage_detected
+        assert report.leaky_units == off.leaky_units

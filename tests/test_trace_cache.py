@@ -104,6 +104,22 @@ class TestKeying:
         assert task_key(_task(_workload())) != task_key(
             _task(_workload(), log_commits=True))
 
+    def test_batch_prepass_fields_do_not_change_key(self):
+        # The lockstep prepass only changes how the roi.begin checkpoint is
+        # captured, never the simulated trace, so --batch-lanes auto and
+        # off (and an attached checkpoint) must share trace-cache entries.
+        from repro.sampler import patch_program
+        from repro.sampler.checkpoint import capture_checkpoint
+
+        workload = _workload()
+        base = _task(workload, warmup_insts=64)
+        checkpoint = capture_checkpoint(
+            patch_program(workload.assemble(), workload.inputs[0]),
+            warmup_insts=64)
+        assert task_key(base) == task_key(
+            _task(workload, warmup_insts=64, batch_lanes=8,
+                  checkpoint=checkpoint))
+
 
 class TestReplay:
     def test_hit_is_bit_identical_to_cold_run(self, cache):
