@@ -12,16 +12,33 @@ available to this process: on a single-core runner the parallel backend
 degenerates to serialized workers plus pool overhead, which is a property
 of the machine, not the backend.  Determinism and the cache speedup are
 asserted unconditionally.
+
+Run as a script (``--quick`` for the CI smoke variant: smaller workload,
+no speedup floors) or through pytest, where the floors are enforced.
+Results land in ``benchmarks/results/parallel_scaling.{txt,json}`` with
+the commit-stamped provenance block from ``_harness``.
 """
 
+from __future__ import annotations
+
+import argparse
 import os
+import tempfile
 import time
+
+import pytest
 
 from repro.sampler import TraceCache, run_campaign
 from repro.uarch import MEGA_BOOM
 from repro.workloads.memcmp import make_ct_memcmp
 
 from _harness import emit
+
+#: Required cache-replay speedup over uncached serial execution.
+CACHE_SPEEDUP_FLOOR = 5.0
+
+#: Required jobs=4 speedup, enforced only with >= 4 CPUs available.
+PARALLEL_SPEEDUP_FLOOR = 2.0
 
 
 def _available_cpus() -> int:
@@ -39,52 +56,133 @@ def _signature(campaign):
     ]
 
 
-def _timed(**kwargs):
-    workload = make_ct_memcmp(n_pairs=8, seed=2, n_runs=8)
-    started = time.perf_counter()
-    campaign = run_campaign(workload, MEGA_BOOM, **kwargs)
-    return time.perf_counter() - started, campaign
+def measure(cache_dir, *, n_pairs: int = 8, n_runs: int = 8) -> dict:
+    """Time every backend on one workload; verify bit-identity throughout."""
+    workload = make_ct_memcmp(n_pairs=n_pairs, seed=2, n_runs=n_runs)
 
+    def _timed(**kwargs):
+        started = time.perf_counter()
+        campaign = run_campaign(workload, MEGA_BOOM, **kwargs)
+        return time.perf_counter() - started, campaign
 
-def test_parallel_scaling(tmp_path):
-    cpus = _available_cpus()
     serial_seconds, serial = _timed(jobs=1)
-
-    rows = [("serial (jobs=1)", serial_seconds, 1.0)]
+    rows = [{"backend": "serial (jobs=1)", "seconds": serial_seconds,
+             "speedup": 1.0}]
+    identical = True
     parallel_seconds = {}
     for jobs in (2, 4):
         seconds, campaign = _timed(jobs=jobs)
-        assert _signature(campaign) == _signature(serial)
+        identical = identical and _signature(campaign) == _signature(serial)
         parallel_seconds[jobs] = seconds
-        rows.append((f"parallel (jobs={jobs})", seconds,
-                     serial_seconds / seconds))
+        rows.append({"backend": f"parallel (jobs={jobs})",
+                     "seconds": seconds,
+                     "speedup": serial_seconds / seconds})
 
-    cache = TraceCache(tmp_path / "bench-cache")
+    cache = TraceCache(cache_dir)
     cold_seconds, cold = _timed(jobs=1, cache=cache)
-    assert _signature(cold) == _signature(serial)
+    identical = identical and _signature(cold) == _signature(serial)
     warm_seconds, warm = _timed(jobs=1, cache=cache)
-    assert _signature(warm) == _signature(serial)
-    assert warm.n_cached_runs == len(warm.runs)
-    rows.append(("cache cold (stores)", cold_seconds,
-                 serial_seconds / cold_seconds))
-    rows.append(("cache warm (replay)", warm_seconds,
-                 serial_seconds / warm_seconds))
+    identical = identical and _signature(warm) == _signature(serial)
+    rows.append({"backend": "cache cold (stores)", "seconds": cold_seconds,
+                 "speedup": serial_seconds / cold_seconds})
+    rows.append({"backend": "cache warm (replay)", "seconds": warm_seconds,
+                 "speedup": serial_seconds / warm_seconds})
 
+    return {
+        "n_pairs": n_pairs,
+        "n_runs": n_runs,
+        "cpus_available": _available_cpus(),
+        "rows": [{**row, "seconds": round(row["seconds"], 3),
+                  "speedup": round(row["speedup"], 2)} for row in rows],
+        "serial_seconds": serial_seconds,
+        "warm_seconds": warm_seconds,
+        "parallel_seconds": parallel_seconds,
+        "all_cached_on_replay": warm.n_cached_runs == len(warm.runs),
+        "bit_identical": identical,
+    }
+
+
+def _render(result: dict) -> str:
     lines = [
         "Campaign execution backends — Fig. 10 CT-MEM-CMP workload "
-        f"(8 inputs, {_available_cpus()} CPU(s) available)",
+        f"({result['n_runs']} inputs, "
+        f"{result['cpus_available']} CPU(s) available)",
         "",
         f"{'backend':<22} {'seconds':>9} {'speedup':>9}",
         "-" * 42,
     ]
-    for name, seconds, speedup in rows:
-        lines.append(f"{name:<22} {seconds:>9.2f} {speedup:>8.1f}x")
+    for row in result["rows"]:
+        lines.append(f"{row['backend']:<22} {row['seconds']:>9.2f} "
+                     f"{row['speedup']:>8.1f}x")
     lines.append("")
-    lines.append("all backends bit-identical to the serial trace matrix: yes")
-    emit("parallel_scaling", "\n".join(lines))
+    lines.append("all backends bit-identical to the serial trace matrix: "
+                 + ("yes" if result["bit_identical"] else "NO"))
+    return "\n".join(lines)
 
+
+def run_benchmark(cache_dir, *, n_pairs: int = 8, n_runs: int = 8) -> dict:
+    result = measure(cache_dir, n_pairs=n_pairs, n_runs=n_runs)
+    emit("parallel_scaling", _render(result), {
+        "workload": "ct-mem-cmp",
+        "n_pairs": result["n_pairs"],
+        "n_runs": result["n_runs"],
+        "cpus_available": result["cpus_available"],
+        "cache_speedup_floor": CACHE_SPEEDUP_FLOOR,
+        "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        "rows": result["rows"],
+        "bit_identical": result["bit_identical"],
+        "all_cached_on_replay": result["all_cached_on_replay"],
+    })
+    return result
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    return run_benchmark(tmp_path_factory.mktemp("bench-cache"))
+
+
+def test_backends_bit_identical(result):
+    assert result["bit_identical"]
+    assert result["all_cached_on_replay"]
+
+
+def test_parallel_scaling_floors(result):
     # The cache replay must eliminate simulation outright.
-    assert warm_seconds < serial_seconds / 5
+    assert result["warm_seconds"] \
+        < result["serial_seconds"] / CACHE_SPEEDUP_FLOOR
     # Parallel speedup needs parallel hardware to show.
-    if cpus >= 4:
-        assert serial_seconds / parallel_seconds[4] >= 2.0
+    if result["cpus_available"] >= 4:
+        speedup = result["serial_seconds"] / result["parallel_seconds"][4]
+        assert speedup >= PARALLEL_SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke variant: smaller workload, "
+                             "no speedup floors")
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        if args.quick:
+            result = run_benchmark(cache_dir, n_pairs=4, n_runs=4)
+        else:
+            result = run_benchmark(cache_dir)
+    failed = not result["bit_identical"]
+    if failed:
+        print("FAIL: a backend diverged from the serial trace matrix")
+    if not args.quick:
+        if result["warm_seconds"] \
+                >= result["serial_seconds"] / CACHE_SPEEDUP_FLOOR:
+            print("FAIL: cache replay below the speedup floor")
+            failed = True
+        if result["cpus_available"] >= 4 \
+                and (result["serial_seconds"]
+                     / result["parallel_seconds"][4]
+                     < PARALLEL_SPEEDUP_FLOOR):
+            print("FAIL: jobs=4 below the parallel speedup floor")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

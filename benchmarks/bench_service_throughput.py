@@ -1,0 +1,181 @@
+"""Campaign-service throughput: jobs/sec, 1 vs 8 clients, cold vs warm cache.
+
+The service's pitch is that a fleet of tenants sharing one worker pool
+and one trace cache beats everyone running their own one-shot CLI.  This
+benchmark quantifies that: batches of analyze jobs (distinct seeds, so
+every job is real work) are pushed through a live :class:`ServiceServer`
+by one sequential client and by eight concurrent clients, against a cold
+cache (every input simulates) and again warm (every input replays).
+
+Asserts that the warm batch beats its cold counterpart for both client
+counts — if cache-served jobs are not faster than simulated ones, the
+dedup/replay plumbing is broken — and that every job completes.  Run as a
+script (``--quick`` for the CI smoke variant: fewer jobs and workers) or
+through pytest.  Results land in
+``benchmarks/results/service_throughput.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import tempfile
+import time
+
+import pytest
+
+from repro.sampler.trace_cache import TraceCache
+from repro.service import ServiceClient, ServiceServer, submit_and_wait
+
+from _harness import emit
+
+N_JOBS = 8
+N_CLIENTS = 8
+
+
+def _specs(n_jobs: int, seed_base: int) -> list[dict]:
+    return [
+        {"kind": "analyze", "workload": "sam-ct", "config": "small",
+         "inputs": 2, "seed": seed_base + index, "tenant": f"bench-{index}"}
+        for index in range(n_jobs)
+    ]
+
+
+async def _serial_batch(server, specs):
+    client = ServiceClient(server.host, server.port)
+    finals = []
+    for spec in specs:
+        finals.append(await submit_and_wait(client, spec, timeout=600))
+    return finals
+
+
+async def _concurrent_batch(server, specs, n_clients: int):
+    clients = [ServiceClient(server.host, server.port)
+               for _ in range(n_clients)]
+    return await asyncio.gather(*[
+        submit_and_wait(clients[index % n_clients], spec, timeout=600)
+        for index, spec in enumerate(specs)
+    ])
+
+
+async def _measure_async(cache_dir, *, n_jobs: int, n_clients: int,
+                         workers: int) -> dict:
+    rows = []
+    async with ServiceServer(port=0, workers=workers,
+                             cache=TraceCache(cache_dir),
+                             max_active=n_clients) as server:
+        for label, runner, specs in (
+            ("serial cold", _serial_batch, _specs(n_jobs, 1000)),
+            ("serial warm", _serial_batch, _specs(n_jobs, 1000)),
+            ("concurrent cold", None, _specs(n_jobs, 2000)),
+            ("concurrent warm", None, _specs(n_jobs, 2000)),
+        ):
+            started = time.perf_counter()
+            if runner is not None:
+                finals = await runner(server, specs)
+            else:
+                finals = await _concurrent_batch(server, specs, n_clients)
+            seconds = time.perf_counter() - started
+            simulated = sum(final["stats"]["shards_simulated"]
+                            for final in finals)
+            rows.append({
+                "batch": label,
+                "clients": 1 if "serial" in label else n_clients,
+                "jobs": len(finals),
+                "seconds": round(seconds, 3),
+                "jobs_per_second": round(len(finals) / seconds, 2),
+                "inputs_simulated": simulated,
+                "all_done": all(final["state"] == "done"
+                                for final in finals),
+            })
+        pool_stats = server.manager.stats()["pool"]
+    return {"n_jobs": n_jobs, "n_clients": n_clients, "workers": workers,
+            "rows": rows, "pool": pool_stats}
+
+
+def measure(*, n_jobs: int = N_JOBS, n_clients: int = N_CLIENTS,
+            workers: int = 4) -> dict:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        return asyncio.run(_measure_async(
+            cache_dir, n_jobs=n_jobs, n_clients=n_clients, workers=workers))
+
+
+def _render(result: dict) -> str:
+    lines = [
+        f"Campaign-service throughput — {result['n_jobs']} analyze jobs "
+        f"per batch, {result['workers']} pool workers",
+        "",
+        f"{'batch':<18} {'clients':>7} {'seconds':>9} {'jobs/s':>8} "
+        f"{'simulated':>10}",
+        "-" * 56,
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['batch']:<18} {row['clients']:>7} {row['seconds']:>9.2f} "
+            f"{row['jobs_per_second']:>8.2f} {row['inputs_simulated']:>10}")
+    lines.append("")
+    lines.append("warm batches replay from the shared trace cache; their "
+                 "simulated-input count must be 0")
+    return "\n".join(lines)
+
+
+def run_benchmark(**kwargs) -> dict:
+    result = measure(**kwargs)
+    emit("service_throughput", _render(result), result)
+    return result
+
+
+def _by_batch(result: dict) -> dict:
+    return {row["batch"]: row for row in result["rows"]}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_benchmark()
+
+
+@pytest.mark.slow
+def test_all_jobs_complete(result):
+    assert all(row["all_done"] for row in result["rows"])
+    assert result["pool"]["workers_replaced"] == 0
+
+
+@pytest.mark.slow
+def test_warm_cache_beats_cold(result):
+    rows = _by_batch(result)
+    for mode in ("serial", "concurrent"):
+        cold, warm = rows[f"{mode} cold"], rows[f"{mode} warm"]
+        assert warm["inputs_simulated"] == 0
+        assert cold["inputs_simulated"] > 0
+        assert warm["jobs_per_second"] > cold["jobs_per_second"], (
+            f"{mode}: warm {warm['jobs_per_second']} jobs/s not above "
+            f"cold {cold['jobs_per_second']} jobs/s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke variant: fewer jobs and workers")
+    args = parser.parse_args(argv)
+    if args.quick:
+        result = run_benchmark(n_jobs=4, n_clients=4, workers=2)
+    else:
+        result = run_benchmark()
+    rows = _by_batch(result)
+    failed = not all(row["all_done"] for row in result["rows"])
+    if failed:
+        print("FAIL: not every job completed")
+    for mode in ("serial", "concurrent"):
+        cold, warm = rows[f"{mode} cold"], rows[f"{mode} warm"]
+        if warm["inputs_simulated"] != 0:
+            print(f"FAIL: {mode} warm batch simulated "
+                  f"{warm['inputs_simulated']} inputs")
+            failed = True
+        if warm["jobs_per_second"] <= cold["jobs_per_second"]:
+            print(f"FAIL: {mode} warm throughput not above cold")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

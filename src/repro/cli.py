@@ -181,39 +181,58 @@ def _resolve_config(args):
     return config.with_(**overrides) if overrides else config
 
 
-def _build_workload(name, args):
+def known_workloads() -> tuple:
+    """Every name :func:`build_workload` accepts."""
+    return tuple(WORKLOADS) + tuple(primitive_names())
+
+
+def build_workload(name, *, inputs: int = 8, seed: int = 3):
+    """Instantiate a built-in workload by name.
+
+    This is the single name→workload mapping shared by the CLI verbs and
+    the campaign service; identical (name, inputs, seed) triples must
+    produce identical workloads or cache keys (and therefore service
+    dedup and bit-identity with the one-shot CLI) silently break.
+    """
     if name == "ct-mem-cmp":
-        return make_ct_memcmp(n_pairs=max(4 * args.inputs, 16),
-                              seed=args.seed, n_runs=2)
+        return make_ct_memcmp(n_pairs=max(4 * inputs, 16),
+                              seed=seed, n_runs=2)
     if name == "ee-mem-cmp":
-        return make_early_exit_memcmp(n_pairs=max(4 * args.inputs, 16),
-                                      seed=args.seed, n_runs=2)
+        return make_early_exit_memcmp(n_pairs=max(4 * inputs, 16),
+                                      seed=seed, n_runs=2)
     if name == "ct-mem-cmp-safe":
-        return make_ct_memcmp_safe(n_pairs=max(4 * args.inputs, 16),
-                                   seed=args.seed, n_runs=2)
+        return make_ct_memcmp_safe(n_pairs=max(4 * inputs, 16),
+                                   seed=seed, n_runs=2)
     if name == "sbox-lookup":
         # The secret-dependent address takes 64 distinct values, so the
         # contingency table needs more samples per category for power.
-        return make_sbox_lookup(n_sets=16, n_runs=max(args.inputs, 8),
-                                seed=args.seed)
+        return make_sbox_lookup(n_sets=16, n_runs=max(inputs, 8),
+                                seed=seed)
     if name == "sbox-ct":
-        return make_sbox_ct(n_sets=16, n_runs=max(args.inputs // 2, 2),
-                            seed=args.seed)
+        return make_sbox_ct(n_sets=16, n_runs=max(inputs // 2, 2),
+                            seed=seed)
     if name == "chacha20":
-        return make_chacha20(n_keys=args.inputs, n_blocks=2, seed=args.seed)
+        return make_chacha20(n_keys=inputs, n_blocks=2, seed=seed)
     if name == "spectre-v1":
-        return make_spectre_v1(n_iters=16, n_runs=max(args.inputs // 2, 2),
-                               seed=args.seed)
+        return make_spectre_v1(n_iters=16, n_runs=max(inputs // 2, 2),
+                               seed=seed)
     if name in WORKLOADS:
         factory, _ = WORKLOADS[name]
-        return factory(n_keys=args.inputs, seed=args.seed)
+        return factory(n_keys=inputs, seed=seed)
     if name in primitive_names():
         return make_primitive_workload(name, n_sets=16,
-                                       n_runs=max(args.inputs // 4, 1),
-                                       seed=args.seed)
-    raise SystemExit(
-        f"unknown workload {name!r}; see 'microsampler list-workloads'"
-    )
+                                       n_runs=max(inputs // 4, 1),
+                                       seed=seed)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _build_workload(name, args):
+    try:
+        return build_workload(name, inputs=args.inputs, seed=args.seed)
+    except ValueError:
+        raise SystemExit(
+            f"unknown workload {name!r}; see 'microsampler list-workloads'"
+        )
 
 
 def cmd_list_workloads(_args) -> int:
@@ -379,6 +398,88 @@ def cmd_audit(args) -> int:
                        profile=getattr(args, "profile", False))
     print(result.render())
     return 0 if result.passed else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign service (see ``repro.service``)."""
+    import asyncio
+
+    from repro.service.server import ServiceServer
+
+    async def _serve():
+        server = ServiceServer(host=args.host, port=args.port,
+                               workers=args.workers,
+                               cache_dir=args.cache_dir,
+                               max_active=args.max_active,
+                               shard_size=args.shard_size)
+        await server.start()
+        # Scripts (CI, tests) wait for this line before submitting.
+        print(f"microsampler service listening on "
+              f"http://{server.host}:{server.port} "
+              f"({server.pool.n_workers} workers)",
+              file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running campaign service and await its result."""
+    import asyncio
+    import json
+
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        submit_and_wait,
+    )
+
+    spec = {"kind": args.kind, "config": args.config, "inputs": args.inputs,
+            "seed": args.seed, "engine": args.engine,
+            "priority": args.priority, "tenant": args.tenant}
+    if args.fast_bypass:
+        spec["fast_bypass"] = True
+    if args.variable_div:
+        spec["variable_div"] = True
+    if args.kind == "audit":
+        spec["workloads"] = args.workloads
+    else:
+        if len(args.workloads) != 1:
+            raise SystemExit(f"'submit {args.kind}' takes exactly one "
+                             f"workload, got {len(args.workloads)}")
+        spec["workload"] = args.workloads[0]
+    if args.permutations is not None:
+        spec["permutations"] = args.permutations
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        final = asyncio.run(
+            submit_and_wait(client, spec, timeout=args.timeout))
+    except (ServiceError, TimeoutError) as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    result = final.get("result") or {}
+    print(json.dumps(final if args.verbose else result, indent=2))
+    if final["state"] != "done":
+        print(f"job {final['id']} ended {final['state']}", file=sys.stderr)
+        return 2
+    # Exit codes mirror the one-shot verbs.
+    if args.kind == "analyze":
+        return 1 if result.get("leakage_detected") else 0
+    if args.kind == "localize":
+        return 1 if result.get("leakage_localized") else 0
+    return 0 if result.get("passed") else 1
 
 
 def _format_bytes(count: int) -> str:
@@ -644,6 +745,55 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--all", action="store_true",
                        help="prune every entry, not just stale ones")
     cache.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (async job API over a "
+                      "persistent worker pool)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = pick a free port)")
+    serve.add_argument("--workers", type=_jobs_argument, default=0,
+                       help="persistent simulation workers "
+                            "(0 = one per CPU)")
+    serve.add_argument("--max-active", type=int, default=2,
+                       help="jobs executing concurrently; the rest wait "
+                            "on the priority queue")
+    serve.add_argument("--shard-size", type=int, default=None,
+                       help="inputs per worker shard (default: sized from "
+                            "the pool width)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="trace cache directory shared by all jobs "
+                            "(default: $MICROSAMPLER_CACHE_DIR or "
+                            "~/.cache/microsampler)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running campaign service")
+    submit.add_argument("kind", choices=["analyze", "localize", "audit"])
+    submit.add_argument("workloads", nargs="*",
+                        help="one workload (analyze/localize) or an audit "
+                             "suite (default: the full suite)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8765)
+    submit.add_argument("--config", choices=["mega", "small"],
+                        default="mega")
+    submit.add_argument("--fast-bypass", action="store_true")
+    submit.add_argument("--variable-div", action="store_true")
+    submit.add_argument("--inputs", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=3)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first; FIFO within a level")
+    submit.add_argument("--tenant", default="",
+                        help="client label recorded on the job")
+    submit.add_argument("--permutations", type=int, default=None,
+                        help="attribution permutations (localize only)")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for the job to finish")
+    submit.add_argument("--verbose", action="store_true",
+                        help="print the full job record (state, stats, "
+                             "events) instead of just the result")
+    _add_engine_argument(submit)
+    submit.set_defaults(func=cmd_submit)
 
     reanalyze = sub.add_parser(
         "reanalyze", help="statistical analysis over an archived trace log")

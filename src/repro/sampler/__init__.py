@@ -6,7 +6,12 @@ contingency tables against secret classes, measure association with
 chi-squared / Cramér's V, and extract root-cause features for flagged units.
 """
 
-from repro.sampler.audit import AuditEntry, AuditResult, run_audit
+from repro.sampler.audit import (
+    AuditEntry,
+    AuditResult,
+    audit_to_dict,
+    run_audit,
+)
 from repro.sampler.batch import (
     DEFAULT_MAX_LANES,
     attach_batch_checkpoints,
@@ -84,6 +89,7 @@ __all__ = [
     "AssociationResult",
     "AuditEntry",
     "AuditResult",
+    "audit_to_dict",
     "CampaignResult",
     "ConfigDiff",
     "DEFAULT_MAX_LANES",

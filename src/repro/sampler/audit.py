@@ -84,6 +84,33 @@ class AuditResult:
         return "\n".join(lines)
 
 
+def audit_to_dict(result: AuditResult) -> dict:
+    """JSON-serializable audit verdict table.
+
+    Per-entry ``seconds`` is wall clock and varies run to run; strip it
+    (see :func:`repro.service.strip_volatile`) before comparing audits
+    for bit-identity.
+    """
+    return {
+        "config": result.config_name,
+        "passed": result.passed,
+        "n_unexpected": len(result.unexpected),
+        "entries": [
+            {
+                "name": entry.name,
+                "leakage_detected": entry.leakage_detected,
+                "leaky_units": list(entry.leaky_units),
+                "max_v": entry.max_v,
+                "n_iterations": entry.n_iterations,
+                "seconds": entry.seconds,
+                "expected": entry.expected,
+                "as_expected": entry.as_expected,
+            }
+            for entry in result.entries
+        ],
+    }
+
+
 def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
               expectations: dict | None = None,
               sampler: MicroSampler | None = None,

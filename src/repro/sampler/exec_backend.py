@@ -26,8 +26,13 @@ well-formed workloads the per-run latch is indistinguishable.
 
 from __future__ import annotations
 
+import collections
+import concurrent.futures
 import multiprocessing
+import multiprocessing.connection
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -200,21 +205,359 @@ def _pool_context():
     )
 
 
-def execute_tasks(tasks: list[RunTask], jobs: int | None = 1) -> list[RunOutput]:
+def execute_tasks(tasks: list[RunTask], jobs: int | None = 1,
+                  pool: "WorkerPool | None" = None) -> list[RunOutput]:
     """Execute ``tasks``, returning outputs in **task order**.
 
-    ``jobs <= 1`` (or a single task) runs in-process.  Otherwise a process
-    pool simulates tasks concurrently; ``Executor.map`` yields results in
-    submission order, so completion order never influences the merge, and a
-    worker's ``WorkloadError`` propagates to the caller unchanged.
+    With a ``pool`` (a long-lived :class:`WorkerPool`, e.g. the campaign
+    service's), every task is dispatched as its own shard and the outputs
+    are gathered in submission order.  Otherwise ``jobs <= 1`` (or a single
+    task) runs in-process, and ``jobs > 1`` spins up a per-call process
+    pool; ``Executor.map`` yields results in submission order, so completion
+    order never influences the merge, and a worker's ``WorkloadError``
+    propagates to the caller unchanged.
     """
+    if pool is not None and len(tasks) > 0:
+        futures = [pool.submit([task]) for task in tasks]
+        outputs: list[RunOutput] = []
+        for future in futures:
+            outputs.extend(future.result())
+        return outputs
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [execute_run(task) for task in tasks]
     workers = min(jobs, len(tasks))
     with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=_pool_context()) as pool:
-        return list(pool.map(execute_run, tasks))
+                             mp_context=_pool_context()) as pool_:
+        return list(pool_.map(execute_run, tasks))
+
+
+# -- persistent worker pool (campaign service) -------------------------------
+#
+# ``ProcessPoolExecutor`` is rebuilt per campaign and dies with its first
+# crashed worker (a SIGKILL poisons the whole executor).  The long-running
+# campaign service needs the opposite: workers that outlive any one job,
+# detect and replace crashed members, and re-dispatch the shard the victim
+# held.  ``WorkerPool`` provides that on plain ``multiprocessing`` pipes —
+# one duplex pipe per worker, a dispatcher thread multiplexing them with
+# ``connection.wait``.  A worker death closes its pipe, so the EOF doubles
+# as the health check: no polling interval, detection is immediate.
+
+
+#: Environment variable naming a *fault-injection token file*.  When set,
+#: every pool worker tries to atomically consume (unlink) the file before
+#: executing a task; the single worker that wins the unlink SIGKILLs itself
+#: mid-shard.  This exists purely so tests can exercise the crash-recovery
+#: path deterministically — exactly one kill per token file, injected at a
+#: real shard boundary inside a real worker process.
+FAULT_TOKEN_ENV = "MICROSAMPLER_FAULT_TOKEN"
+
+
+def maybe_inject_worker_fault() -> None:
+    """Consume the fault token, if any, and die abruptly (test hook)."""
+    path = os.environ.get(FAULT_TOKEN_ENV)
+    if not path:
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        return  # token already consumed (or never created): no fault
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard's workers kept dying; the shard exceeded its re-dispatch
+    budget and cannot complete."""
+
+
+class ShardExecutionError(RuntimeError):
+    """A worker reported a Python-level failure while executing a shard
+    (e.g. a :class:`~repro.sampler.runner.WorkloadError`).  Deterministic —
+    never retried."""
+
+
+def _pool_worker(conn) -> None:
+    """Worker main loop: receive ``(shard_id, tasks)``, send results back.
+
+    Runs until the parent sends ``None`` or closes the pipe.  Failures are
+    reported as data, not raised — the worker survives bad shards; only an
+    OS-level death (crash, SIGKILL) takes it down, which the parent notices
+    as EOF on this pipe.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        shard_id, tasks = item
+        try:
+            outputs = []
+            for task in tasks:
+                maybe_inject_worker_fault()
+                outputs.append(execute_run(task))
+            reply = (shard_id, True, outputs)
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            reply = (shard_id, False, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Shard:
+    """One dispatch unit: a task list plus its result future."""
+
+    __slots__ = ("shard_id", "tasks", "future", "dispatches")
+
+    def __init__(self, shard_id: int, tasks: list[RunTask]):
+        self.shard_id = shard_id
+        self.tasks = tasks
+        self.future: concurrent.futures.Future = concurrent.futures.Future()
+        self.dispatches = 0
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "shard")
+
+    def __init__(self, worker_id: int, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.shard: _Shard | None = None
+
+
+class WorkerPool:
+    """Long-lived simulation worker pool with crash recovery.
+
+    ``submit(tasks)`` enqueues one *shard* (a list of :class:`RunTask`) and
+    returns a :class:`concurrent.futures.Future` resolving to the shard's
+    ``list[RunOutput]`` in task order.  Shards are assigned to idle workers
+    by a dispatcher thread; a worker that dies mid-shard (crash, OOM kill,
+    :data:`FAULT_TOKEN_ENV` injection) is detected immediately via pipe
+    EOF, replaced with a fresh process, and its shard re-dispatched — up to
+    ``max_redispatch`` times, after which the shard's future fails with
+    :class:`WorkerCrashError`.  Python-level worker errors (a misbehaving
+    workload) are deterministic and fail the future with
+    :class:`ShardExecutionError` without retrying.
+
+    Thread-safe: futures may be awaited from any thread (or wrapped with
+    ``asyncio.wrap_future``).  Simulation results are bit-identical to
+    in-process execution — workers run the exact same
+    :func:`execute_run` — so pool output feeds the same deterministic
+    merge as every other backend.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 max_redispatch: int = 2, ctx=None):
+        self._ctx = ctx or _pool_context()
+        self.n_workers = max(1, resolve_jobs(workers))
+        self.max_redispatch = max_redispatch
+        self._lock = threading.Lock()
+        self._pending: collections.deque[_Shard] = collections.deque()
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._next_worker_id = 0
+        self._next_shard_id = 0
+        self._closed = False
+        self._stats = {
+            "workers": self.n_workers,
+            "workers_spawned": 0,
+            "workers_replaced": 0,
+            "shards_dispatched": 0,
+            "shards_redispatched": 0,
+            "shards_completed": 0,
+            "shards_failed": 0,
+            "tasks_completed": 0,
+        }
+        self._wake_r, self._wake_w = os.pipe()
+        with self._lock:
+            for _ in range(self.n_workers):
+                self._spawn_locked()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, daemon=True,
+            name="microsampler-worker-pool")
+        self._thread.start()
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, tasks: list[RunTask]) -> concurrent.futures.Future:
+        """Enqueue one shard; the future resolves to its ``RunOutput`` list."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            shard = _Shard(self._next_shard_id, list(tasks))
+            self._next_shard_id += 1
+            self._pending.append(shard)
+        self._wake()
+        return shard.future
+
+    def stats(self) -> dict:
+        """Snapshot of pool counters (workers replaced, shards moved...)."""
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["busy_workers"] = sum(
+                1 for handle in self._handles.values()
+                if handle.shard is not None)
+            snapshot["pending_shards"] = len(self._pending)
+        return snapshot
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher and terminate every worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+            pending = list(self._pending)
+            self._pending.clear()
+        self._wake()
+        self._thread.join(timeout)
+        for shard in pending:
+            if not shard.future.done():
+                shard.future.set_exception(
+                    RuntimeError("worker pool closed"))
+        for handle in handles:
+            if (handle.shard is not None
+                    and not handle.shard.future.done()):
+                handle.shard.future.set_exception(
+                    RuntimeError("worker pool closed"))
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            handle.process.join(timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatcher internals ----------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _spawn_locked(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker, args=(child_conn,), daemon=True,
+            name=f"microsampler-worker-{self._next_worker_id}")
+        process.start()
+        child_conn.close()  # parent EOF-detects the child's death
+        handle = _WorkerHandle(self._next_worker_id, process, parent_conn)
+        self._handles[handle.worker_id] = handle
+        self._next_worker_id += 1
+        self._stats["workers_spawned"] += 1
+        return handle
+
+    def _assign_locked(self) -> None:
+        for handle in self._handles.values():
+            if not self._pending:
+                return
+            if handle.shard is None:
+                shard = self._pending.popleft()
+                shard.dispatches += 1
+                handle.shard = shard
+                if shard.dispatches == 1:
+                    self._stats["shards_dispatched"] += 1
+                try:
+                    handle.conn.send((shard.shard_id, shard.tasks))
+                except (BrokenPipeError, OSError):
+                    # Worker already dead: the EOF path below re-dispatches.
+                    self._pending.appendleft(shard)
+                    shard.dispatches -= 1
+                    handle.shard = None
+
+    def _on_result(self, handle: _WorkerHandle, reply) -> None:
+        shard_id, ok, payload = reply
+        shard = handle.shard
+        handle.shard = None
+        if shard is None or shard.shard_id != shard_id:
+            return  # stale reply from a shard already failed elsewhere
+        if ok:
+            self._stats["shards_completed"] += 1
+            self._stats["tasks_completed"] += len(shard.tasks)
+            if not shard.future.done():
+                shard.future.set_result(payload)
+        else:
+            self._stats["shards_failed"] += 1
+            if not shard.future.done():
+                shard.future.set_exception(ShardExecutionError(payload))
+
+    def _on_death_locked(self, handle: _WorkerHandle) -> None:
+        """Replace a dead worker and requeue (or fail) its shard."""
+        self._handles.pop(handle.worker_id, None)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(0.1)
+        shard = handle.shard
+        handle.shard = None
+        self._stats["workers_replaced"] += 1
+        if not self._closed:
+            self._spawn_locked()
+        if shard is None:
+            return
+        if shard.dispatches > self.max_redispatch:
+            self._stats["shards_failed"] += 1
+            if not shard.future.done():
+                shard.future.set_exception(WorkerCrashError(
+                    f"shard {shard.shard_id} crashed its worker "
+                    f"{shard.dispatches} time(s); giving up"))
+            return
+        self._stats["shards_redispatched"] += 1
+        self._pending.appendleft(shard)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                self._assign_locked()
+                conn_map = {handle.conn: handle
+                            for handle in self._handles.values()}
+            ready = multiprocessing.connection.wait(
+                list(conn_map) + [self._wake_r], timeout=1.0)
+            for obj in ready:
+                if obj is self._wake_r:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                    continue
+                handle = conn_map.get(obj)
+                if handle is None:
+                    continue
+                try:
+                    reply = handle.conn.recv()
+                except (EOFError, OSError):
+                    with self._lock:
+                        if self._closed:
+                            return
+                        self._on_death_locked(handle)
+                    continue
+                with self._lock:
+                    self._on_result(handle, reply)
 
 
 def merge_outputs(outputs: list[RunOutput],

@@ -140,39 +140,71 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
     ]
 
 
-def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
-                 features=None, keep_raw=(), log_commits: bool = False,
-                 memory_map: MemoryMap | None = None,
-                 max_cycles_per_run: int = 5_000_000,
-                 expect_exit_code: int = 0,
-                 jobs: int | None = 1, cache=None,
-                 warmup_insts: int | None = None,
-                 checkpoint_dir: str | None = None,
-                 batch_lanes=None,
-                 profile: bool = False) -> CampaignResult:
-    """Run ``workload`` over all its inputs, collecting iteration snapshots.
+@dataclass
+class CampaignPlan:
+    """A campaign prepared for execution but not yet simulated.
 
-    ``jobs`` sets how many inputs simulate concurrently (``0``/``None`` =
-    one per available CPU); the merged result is bit-identical to ``jobs=1``.
-    ``cache`` is an optional :class:`~repro.sampler.trace_cache.TraceCache`
-    (or ``True`` for the default directory): inputs simulated before — by
-    any backend — are replayed from it, and identical inputs inside one
-    campaign are simulated only once.  ``log_commits`` records each
-    iteration's architectural ``(cycle, pc, mnemonic)`` commit stream for
-    the localization phase (:mod:`repro.localize`).  ``warmup_insts``
-    enables fast-forward checkpointing (``None`` = full simulation; see
-    :mod:`repro.sampler.checkpoint`); checkpoints persist under
-    ``checkpoint_dir``, defaulting to a ``checkpoints/`` subdirectory of the
-    trace-cache root when a cache is in use.  ``batch_lanes`` selects the
-    lockstep batch prepass for the functional warm-up (``None`` = off,
-    ``"auto"``, or an int lane width; see :mod:`repro.sampler.batch`) — it
-    only changes how checkpoints are captured, never what is simulated, and
-    requires checkpointing to be enabled (``warmup_insts`` not None) to have
-    any effect.  Divergences the prepass observes are returned on
-    ``CampaignResult.divergences``.  ``profile`` attaches a
-    per-stage wall-clock profiler to every simulated core and reports the
-    merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
-    simulation work, contribute nothing).
+    :func:`prepare_campaign` assembles the program, builds one
+    :class:`RunTask` per input, consults the trace cache (hits are replayed
+    immediately and **never occupy a simulation slot**), folds in-campaign
+    duplicates, and runs the lockstep batch prepass.  What remains —
+    ``to_run`` — is the shard-able simulation work: any scheduler (the
+    in-process backends via :func:`run_campaign`, or the campaign service's
+    persistent worker pool) may execute those tasks in any order and on any
+    machine, fill the outputs in with :meth:`fill`, and obtain a campaign
+    bit-identical to a serial run from :func:`finalize_campaign` — the
+    deterministic input-order merge is what makes placement free.
+    """
+
+    workload: Workload
+    config: CoreConfig
+    tasks: list[RunTask]
+    cache: object | None
+    #: Per-task content-addressed cache keys (None when cache is off).
+    keys: list[str] | None
+    #: Per-task outputs; cache hits pre-filled, the rest ``None`` until
+    #: :meth:`fill`.
+    outputs: list[RunOutput | None]
+    #: task index -> cache key of an identical earlier task in this campaign.
+    duplicate_of: dict[int, str]
+    #: Task indices that actually need simulating, in input order.
+    to_run: list[int]
+    n_cached: int
+    divergences: list
+    features: object
+    keep_raw: object
+    log_commits: bool
+    profile: bool
+    started: float
+
+    def fill(self, index: int, output: RunOutput) -> None:
+        """Record one simulated output (and persist it to the cache)."""
+        self.outputs[index] = output
+        if self.cache is not None and self.keys is not None:
+            self.cache.store(self.keys[index], output)
+
+    @property
+    def pending_tasks(self) -> list[RunTask]:
+        return [self.tasks[index] for index in self.to_run]
+
+
+def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
+                     features=None, keep_raw=(), log_commits: bool = False,
+                     memory_map: MemoryMap | None = None,
+                     max_cycles_per_run: int = 5_000_000,
+                     expect_exit_code: int = 0,
+                     cache=None,
+                     warmup_insts: int | None = None,
+                     checkpoint_dir: str | None = None,
+                     batch_lanes=None,
+                     profile: bool = False) -> CampaignPlan:
+    """Plan a campaign: build tasks, replay cache hits, batch-prepass.
+
+    This is everything :func:`run_campaign` does before simulation.  The
+    returned plan's ``to_run`` tasks must each be passed through
+    :func:`~repro.sampler.exec_backend.execute_run` (anywhere — in-process,
+    process pool, persistent service worker) and recorded with
+    ``plan.fill(index, output)``; then :func:`finalize_campaign` merges.
     """
     if not workload.inputs:
         raise WorkloadError(f"workload {workload.name!r} has no inputs")
@@ -234,35 +266,108 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                 checkpoint_dir=checkpoint_dir,
             )
 
-    fresh = execute_tasks([tasks[index] for index in to_run], jobs=jobs)
-    for index, output in zip(to_run, fresh):
-        outputs[index] = output
-        if cache is not None:
-            cache.store(keys[index], output)
-    for index, key in duplicate_of.items():
-        # Replay the stored twin; fall back to simulating if the store failed.
-        outputs[index] = cache.load(key) or execute_run(tasks[index])
+    return CampaignPlan(
+        workload=workload, config=config, tasks=tasks, cache=cache,
+        keys=keys, outputs=outputs, duplicate_of=duplicate_of,
+        to_run=to_run, n_cached=n_cached, divergences=divergences,
+        features=features, keep_raw=keep_raw, log_commits=log_commits,
+        profile=profile, started=started,
+    )
 
-    tracer = MicroarchTracer(features=features, keep_raw=keep_raw,
-                             log_commits=log_commits)
+
+def finalize_campaign(plan: CampaignPlan) -> CampaignResult:
+    """Merge a fully executed plan into a :class:`CampaignResult`.
+
+    Every ``to_run`` index must have been :meth:`~CampaignPlan.fill`-ed.
+    Duplicates are replayed from the cache (falling back to simulating if
+    the store failed), then all outputs merge **in input order** — the
+    deterministic merge from the parallel backend, so the result is
+    bit-identical no matter where or in what order shards executed.
+    """
+    for index, key in plan.duplicate_of.items():
+        # Replay the stored twin; fall back to simulating if the store failed.
+        plan.outputs[index] = plan.cache.load(key) or execute_run(
+            plan.tasks[index])
+    missing = [index for index, output in enumerate(plan.outputs)
+               if output is None]
+    if missing:
+        raise WorkloadError(
+            f"campaign {plan.workload.name!r} finalized with "
+            f"{len(missing)} unexecuted input(s): {missing[:5]}")
+
+    tracer = MicroarchTracer(features=plan.features, keep_raw=plan.keep_raw,
+                             log_commits=plan.log_commits)
     tracer.timed = True
-    runs = merge_outputs(outputs, tracer)
-    elapsed = time.perf_counter() - started
+    runs = merge_outputs(plan.outputs, tracer)
+    elapsed = time.perf_counter() - plan.started
     parse_seconds = tracer.sample_seconds
     merged_profile = None
-    if profile:
+    if plan.profile:
         from repro.util.profiling import merge_profiles
 
-        merged_profile = merge_profiles(output.profile for output in outputs)
+        merged_profile = merge_profiles(output.profile
+                                        for output in plan.outputs)
     return CampaignResult(
-        workload=workload,
-        config=config,
+        workload=plan.workload,
+        config=plan.config,
         tracer=tracer,
         runs=runs,
         simulate_seconds=max(elapsed - parse_seconds, 0.0),
         parse_seconds=parse_seconds,
-        n_cached_runs=n_cached,
+        n_cached_runs=plan.n_cached,
         profile=merged_profile,
-        ff_steps_total=sum(output.ff_steps for output in outputs),
-        divergences=divergences,
+        ff_steps_total=sum(output.ff_steps for output in plan.outputs),
+        divergences=plan.divergences,
     )
+
+
+def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
+                 features=None, keep_raw=(), log_commits: bool = False,
+                 memory_map: MemoryMap | None = None,
+                 max_cycles_per_run: int = 5_000_000,
+                 expect_exit_code: int = 0,
+                 jobs: int | None = 1, cache=None,
+                 warmup_insts: int | None = None,
+                 checkpoint_dir: str | None = None,
+                 batch_lanes=None,
+                 pool=None,
+                 profile: bool = False) -> CampaignResult:
+    """Run ``workload`` over all its inputs, collecting iteration snapshots.
+
+    ``jobs`` sets how many inputs simulate concurrently (``0``/``None`` =
+    one per available CPU); the merged result is bit-identical to ``jobs=1``.
+    ``pool`` routes simulation through a long-lived
+    :class:`~repro.sampler.exec_backend.WorkerPool` instead (the campaign
+    service's backend; overrides ``jobs``).
+    ``cache`` is an optional :class:`~repro.sampler.trace_cache.TraceCache`
+    (or ``True`` for the default directory): inputs simulated before — by
+    any backend — are replayed from it, and identical inputs inside one
+    campaign are simulated only once.  ``log_commits`` records each
+    iteration's architectural ``(cycle, pc, mnemonic)`` commit stream for
+    the localization phase (:mod:`repro.localize`).  ``warmup_insts``
+    enables fast-forward checkpointing (``None`` = full simulation; see
+    :mod:`repro.sampler.checkpoint`); checkpoints persist under
+    ``checkpoint_dir``, defaulting to a ``checkpoints/`` subdirectory of the
+    trace-cache root when a cache is in use.  ``batch_lanes`` selects the
+    lockstep batch prepass for the functional warm-up (``None`` = off,
+    ``"auto"``, or an int lane width; see :mod:`repro.sampler.batch`) — it
+    only changes how checkpoints are captured, never what is simulated, and
+    requires checkpointing to be enabled (``warmup_insts`` not None) to have
+    any effect.  Divergences the prepass observes are returned on
+    ``CampaignResult.divergences``.  ``profile`` attaches a
+    per-stage wall-clock profiler to every simulated core and reports the
+    merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
+    simulation work, contribute nothing).
+    """
+    plan = prepare_campaign(
+        workload, config, features=features, keep_raw=keep_raw,
+        log_commits=log_commits, memory_map=memory_map,
+        max_cycles_per_run=max_cycles_per_run,
+        expect_exit_code=expect_exit_code, cache=cache,
+        warmup_insts=warmup_insts, checkpoint_dir=checkpoint_dir,
+        batch_lanes=batch_lanes, profile=profile,
+    )
+    fresh = execute_tasks(plan.pending_tasks, jobs=jobs, pool=pool)
+    for index, output in zip(plan.to_run, fresh):
+        plan.fill(index, output)
+    return finalize_campaign(plan)

@@ -1,0 +1,182 @@
+"""Asyncio client for the campaign service.
+
+Used by the test suite (many concurrent clients against one server) and
+by ``microsampler submit``.  Matches the server's transport: one
+connection per request, JSON bodies, chunked NDJSON for event streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload):
+        detail = payload.get("error") if isinstance(payload, dict) \
+            else payload
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Thin async HTTP client bound to one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    async def request(self, method: str, path: str,
+                      payload: dict | None = None):
+        """One request → (status, decoded JSON body)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode()
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode() + body)
+            await writer.drain()
+            status, headers = await asyncio.wait_for(
+                self._read_head(reader), timeout=self.timeout)
+            raw = await asyncio.wait_for(
+                self._read_body(reader, headers), timeout=self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+        decoded = json.loads(raw) if raw else None
+        return status, decoded
+
+    async def call(self, method: str, path: str,
+                   payload: dict | None = None, *, expect=(200, 202)):
+        status, decoded = await self.request(method, path, payload)
+        if status not in expect:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    @staticmethod
+    async def _read_head(reader: asyncio.StreamReader):
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ")[1])
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    @staticmethod
+    async def _read_body(reader: asyncio.StreamReader,
+                         headers: dict) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            while True:
+                size = int((await reader.readuntil(b"\r\n"))[:-2], 16)
+                if size == 0:
+                    await reader.readuntil(b"\r\n")
+                    return b"".join(chunks)
+                chunks.append(await reader.readexactly(size))
+                await reader.readexactly(2)  # trailing CRLF
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            return await reader.readexactly(length)
+        return await reader.read()
+
+    # -- API ----------------------------------------------------------------
+
+    async def health(self) -> dict:
+        return await self.call("GET", "/health")
+
+    async def stats(self) -> dict:
+        return await self.call("GET", "/stats")
+
+    async def workloads(self) -> dict:
+        return await self.call("GET", "/workloads")
+
+    async def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns the queued job summary (202)."""
+        return await self.call("POST", "/jobs", spec)
+
+    async def job(self, job_id: str) -> dict:
+        return await self.call("GET", f"/jobs/{job_id}")
+
+    async def jobs(self) -> list:
+        return (await self.call("GET", "/jobs"))["jobs"]
+
+    async def cancel(self, job_id: str) -> dict:
+        return await self.call("POST", f"/jobs/{job_id}/cancel")
+
+    async def events(self, job_id: str, start: int = 0):
+        """Yield job events from the chunked stream until terminal."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                f"GET /jobs/{job_id}/events?start={start} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Connection: close\r\n\r\n".encode())
+            await writer.drain()
+            status, headers = await self._read_head(reader)
+            if status != 200:
+                raw = await self._read_body(reader, headers)
+                raise ServiceError(status,
+                                   json.loads(raw) if raw else None)
+            buffer = b""
+            while True:
+                size = int((await reader.readuntil(b"\r\n"))[:-2], 16)
+                if size == 0:
+                    break
+                buffer += await reader.readexactly(size)
+                await reader.readexactly(2)
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def wait(self, job_id: str, *, poll: float = 0.05,
+                   timeout: float | None = None) -> dict:
+        """Poll until the job is terminal; returns the final job dict."""
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            job = await self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and loop.time() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            await asyncio.sleep(poll)
+
+
+async def submit_and_wait(client: ServiceClient, spec: dict, *,
+                          poll: float = 0.05,
+                          timeout: float | None = None) -> dict:
+    """Submit a spec and block until the job is terminal.
+
+    Raises :class:`ServiceError` if the job *failed*; returns the final
+    job dict (including ``result``) for done/cancelled jobs.
+    """
+    job = await client.submit(spec)
+    final = await client.wait(job["id"], poll=poll, timeout=timeout)
+    if final["state"] == "failed":
+        raise ServiceError(500, {"error": final.get("error"),
+                                 "id": final["id"]})
+    return final

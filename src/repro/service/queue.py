@@ -1,0 +1,72 @@
+"""Priority job queue for the campaign service.
+
+A single-consumer asyncio queue ordered by ``(priority desc, arrival
+asc)``: a tenant's urgent re-audit of a patched primitive overtakes a
+bulk background sweep, while equal-priority jobs stay strictly FIFO so no
+tenant can starve another by resubmitting.  Cancellation of queued jobs
+is lazy — the entry is tombstoned in place and skipped at pop time —
+which keeps both ``push`` and ``cancel`` O(log n) worst case.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+
+
+class PriorityJobQueue:
+    """Unbounded priority queue; higher ``priority`` pops first.
+
+    ``push`` is synchronous (the queue is unbounded); ``pop`` awaits until
+    an entry is available or the queue is closed, in which case it returns
+    ``None``.  Designed for one consumer (the scheduler task) and many
+    producers on the same event loop.
+    """
+
+    def __init__(self):
+        self._heap: list[list] = []  # [-priority, seq, job_id, job-or-None]
+        self._entries: dict[str, list] = {}
+        self._seq = itertools.count()
+        self._event = asyncio.Event()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, job) -> None:
+        """Enqueue ``job`` (must expose ``id`` and ``priority``)."""
+        if self._closed:
+            raise RuntimeError("job queue is closed")
+        entry = [-int(job.priority), next(self._seq), job.id, job]
+        self._entries[job.id] = entry
+        heapq.heappush(self._heap, entry)
+        self._event.set()
+
+    def remove(self, job_id: str) -> bool:
+        """Tombstone a queued job; True if it was still queued."""
+        entry = self._entries.pop(job_id, None)
+        if entry is None:
+            return False
+        entry[3] = None
+        return True
+
+    async def pop(self):
+        """Next job by priority, or ``None`` once closed and drained."""
+        while True:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                job = entry[3]
+                if job is None:
+                    continue  # tombstoned by remove()
+                del self._entries[job.id]
+                return job
+            if self._closed:
+                return None
+            self._event.clear()
+            await self._event.wait()
+
+    def close(self) -> None:
+        """Stop accepting jobs and wake the consumer to drain and exit."""
+        self._closed = True
+        self._event.set()

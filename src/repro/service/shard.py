@@ -1,0 +1,80 @@
+"""Cache-aware shard placement for prepared campaigns.
+
+A campaign's inputs fall into three buckets once
+:func:`~repro.sampler.runner.prepare_campaign` has consulted the
+content-addressed trace cache:
+
+* **cached** — an identical (program, input, config) triple was simulated
+  before, by any backend, any tenant.  The stored payload replays on the
+  event loop; it must *never* occupy a simulation slot.
+* **duplicates** — identical to an earlier input of the same campaign;
+  replayed from that input's freshly stored entry at merge time.
+* **fresh** — needs real simulation.  These are grouped into shards and
+  dispatched to the persistent worker pool.
+
+The shard is also the unit of fault recovery: when a worker dies
+mid-shard the pool re-dispatches that shard, so smaller shards bound the
+re-simulated work, while larger shards amortize task pickling.  The
+default splits fresh work into at most ``2 × workers`` shards (keeping
+every worker busy with some slack for uneven run times) and never exceeds
+``max_shard_tasks``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Upper bound on tasks per shard regardless of pool width: bounds the
+#: work lost to one crashed worker and the latency of one progress event.
+DEFAULT_MAX_SHARD_TASKS = 8
+
+
+def shard_size_for(n_pending: int, workers: int, *,
+                   max_shard_tasks: int = DEFAULT_MAX_SHARD_TASKS) -> int:
+    """Tasks per shard for ``n_pending`` fresh inputs on ``workers`` slots."""
+    if n_pending <= 0:
+        return 1
+    balanced = math.ceil(n_pending / max(1, workers * 2))
+    return max(1, min(balanced, max_shard_tasks))
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Where every input of one campaign executes."""
+
+    #: Inputs replayed from the trace cache during planning (no slot).
+    cached: tuple[int, ...]
+    #: Inputs identical to an earlier input of this campaign (no slot).
+    duplicates: tuple[int, ...]
+    #: Fresh inputs grouped into pool shards, input order preserved.
+    shards: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_inputs(self) -> int:
+        return (len(self.cached) + len(self.duplicates)
+                + sum(len(shard) for shard in self.shards))
+
+
+def place_shards(plan, *, workers: int = 1,
+                 shard_size: int | None = None) -> ShardPlacement:
+    """Compute the :class:`ShardPlacement` for a prepared campaign.
+
+    ``plan`` is a :class:`~repro.sampler.runner.CampaignPlan`.  Cache hits
+    and in-campaign duplicates are taken from the plan; the remaining
+    ``to_run`` indices are grouped into shards of ``shard_size`` (default:
+    :func:`shard_size_for` of the pool width), preserving input order so a
+    shard's outputs slot straight back into the deterministic merge.
+    """
+    cached = tuple(
+        index for index, output in enumerate(plan.outputs)
+        if output is not None
+    )
+    duplicates = tuple(sorted(plan.duplicate_of))
+    size = shard_size or shard_size_for(len(plan.to_run), workers)
+    shards = tuple(
+        tuple(plan.to_run[start:start + size])
+        for start in range(0, len(plan.to_run), size)
+    )
+    return ShardPlacement(cached=cached, duplicates=duplicates,
+                          shards=shards)

@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import pytest
 
 from repro.isa import assemble
 from repro.uarch import MEGA_BOOM, SMALL_BOOM
+
+try:  # CI installs the dev extras; the bare container may not have it.
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+#: Hang ceilings (seconds) for the SIGALRM fallback guard below.  With
+#: pytest-timeout installed these are ignored — CI passes ``--timeout``
+#: explicitly (see .github/workflows/ci.yml).
+DEFAULT_TEST_TIMEOUT = 120
+SLOW_TEST_TIMEOUT = 600
 
 
 def pytest_collection_modifyitems(config, items):
@@ -18,6 +34,38 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "slow" not in item.keywords:
             item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard(request):
+    """Per-test hang ceiling when pytest-timeout is unavailable.
+
+    The service tests drive real subprocess pools and asyncio servers; a
+    deadlock there would otherwise wedge the whole suite.  When the
+    pytest-timeout plugin is installed it owns the job (CI); this fallback
+    arms ``SIGALRM`` instead, honouring ``@pytest.mark.timeout(N)`` and
+    defaulting by slow/fast tier.
+    """
+    if _HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    limit = (SLOW_TEST_TIMEOUT if "slow" in request.keywords
+             else DEFAULT_TEST_TIMEOUT)
+    marker = request.node.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        limit = marker.args[0]
+
+    def _on_alarm(_signum, _frame):
+        pytest.fail(f"test exceeded the {limit}s hang guard", pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

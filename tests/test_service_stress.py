@@ -1,0 +1,145 @@
+"""Concurrent-client stress and fault injection for the campaign service.
+
+Eight async clients hammer one service with overlapping audit campaigns;
+every job must complete with a verdict bit-identical to a serial one-shot
+``run_audit``, and the overlap must be absorbed by the dedup tiers (trace
+cache + in-flight registry) rather than re-simulated.  A second scenario
+SIGKILLs a worker mid-stress and requires the same guarantees to hold.
+
+Marked ``slow``: real worker processes, dozens of real campaigns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+import pytest
+
+from repro.sampler.exec_backend import FAULT_TOKEN_ENV
+from repro.service import ServiceClient, ServiceServer, submit_and_wait
+
+from tests.test_service import oneshot_analyze, oneshot_audit, strip_volatile
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="the service worker pool relies on fork"),
+]
+
+N_CLIENTS = 8
+AUDIT_NAMES = ["sam-ct", "sam-leaky"]
+AUDIT_SPEC = {"kind": "audit", "workloads": AUDIT_NAMES,
+              "config": "small", "inputs": 2}
+#: inputs per audit job: 2 workloads x 2 inputs.
+INPUTS_PER_JOB = 4
+
+
+def run_stress(scenario, **server_kwargs):
+    server_kwargs.setdefault("workers", 4)
+    server_kwargs.setdefault("max_active", N_CLIENTS)
+
+    async def _main():
+        async with ServiceServer(port=0, **server_kwargs) as server:
+            return await scenario(server)
+
+    return asyncio.run(_main())
+
+
+async def _client_session(server, spec):
+    """One stress client: its own connection(s), submit + poll to done."""
+    client = ServiceClient(server.host, server.port)
+    return await submit_and_wait(client, spec, timeout=600)
+
+
+def test_eight_concurrent_audits_bit_identical_with_dedup():
+    async def scenario(server):
+        finals = await asyncio.gather(*[
+            _client_session(server, dict(AUDIT_SPEC, tenant=f"t{index}"))
+            for index in range(N_CLIENTS)
+        ])
+        stats = server.manager.stats()
+        return finals, stats
+
+    finals, stats = run_stress(scenario)
+    assert [final["state"] for final in finals] == ["done"] * N_CLIENTS
+
+    # Bit-identical to each other and to the serial one-shot audit.
+    expected = strip_volatile(oneshot_audit(AUDIT_NAMES))
+    for final in finals:
+        assert strip_volatile(final["result"]) == expected
+
+    # The overlap was absorbed by dedup, not brute force: each distinct
+    # input simulated exactly once, every other request cache-served.
+    simulated = sum(final["stats"]["shards_simulated"] for final in finals)
+    served = sum(final["stats"]["shards_cached"]
+                 + final["stats"]["shards_deduped"] for final in finals)
+    assert simulated == INPUTS_PER_JOB
+    assert served == (N_CLIENTS - 1) * INPUTS_PER_JOB
+    assert served > 0  # the dedup counter the issue asks for
+    assert stats["jobs"]["done"] == N_CLIENTS
+    assert stats["pool"]["workers_replaced"] == 0
+    assert stats["inflight_keys"] == 0  # registry fully drained
+
+
+def test_stress_survives_worker_death(tmp_path, monkeypatch):
+    token = tmp_path / "fault-token"
+    token.write_text("boom")
+    monkeypatch.setenv(FAULT_TOKEN_ENV, str(token))
+
+    async def scenario(server):
+        finals = await asyncio.gather(*[
+            _client_session(server, dict(AUDIT_SPEC, tenant=f"t{index}"))
+            for index in range(N_CLIENTS)
+        ])
+        stats = server.manager.stats()
+        return finals, stats
+
+    finals, stats = run_stress(scenario)
+    assert [final["state"] for final in finals] == ["done"] * N_CLIENTS
+    assert not token.exists(), "a worker should have consumed the token"
+    assert stats["pool"]["workers_replaced"] == 1
+    assert stats["pool"]["shards_redispatched"] >= 1
+    assert stats["pool"]["workers"] == 4  # back to full strength
+
+    expected = strip_volatile(oneshot_audit(AUDIT_NAMES))
+    for final in finals:
+        assert strip_volatile(final["result"]) == expected
+
+
+def test_mixed_kind_stress_with_priorities():
+    specs = [
+        {"kind": "analyze", "workload": "sam-ct", "config": "small",
+         "inputs": 2, "priority": index % 3}
+        for index in range(4)
+    ] + [
+        {"kind": "analyze", "workload": "sam-leaky", "config": "small",
+         "inputs": 2, "priority": 5},
+        {"kind": "audit", "workloads": AUDIT_NAMES, "config": "small",
+         "inputs": 2},
+        {"kind": "localize", "workload": "sam-leaky", "config": "small",
+         "inputs": 2, "permutations": 19},
+        {"kind": "analyze", "workload": "sam-ct", "config": "small",
+         "inputs": 2},
+    ]
+    assert len(specs) == N_CLIENTS
+
+    async def scenario(server):
+        return await asyncio.gather(*[
+            _client_session(server, spec) for spec in specs
+        ])
+
+    finals = run_stress(scenario, max_active=4)
+    assert [final["state"] for final in finals] == ["done"] * N_CLIENTS
+
+    clean = strip_volatile(oneshot_analyze("sam-ct"))
+    leaky = strip_volatile(oneshot_analyze("sam-leaky"))
+    for final, spec in zip(finals, specs):
+        if spec["kind"] == "analyze":
+            expected = leaky if spec["workload"] == "sam-leaky" else clean
+            assert strip_volatile(final["result"]) == expected
+        elif spec["kind"] == "audit":
+            assert final["result"]["passed"] is True
+        else:
+            assert final["result"]["leakage_localized"] is True
