@@ -140,6 +140,18 @@ def _add_batch_argument(parser) -> None:
              "enables checkpointing (default: auto)")
 
 
+def _add_taint_argument(parser) -> None:
+    parser.add_argument(
+        "--taint", choices=["off", "on"], default="off",
+        help="secret-taint publicness prescreen: taint each workload's "
+             "declared secret bytes, propagate through the functional "
+             "interpreter, then (a) skip tracing units no tainted value "
+             "can reach, (b) restrict localization's permutation tests to "
+             "taint-reaching PCs, and (c) cross-check taint against the "
+             "statistical verdicts (TAINT-DISAGREE on conflict).  "
+             "Verdicts are bit-identical to 'off' (default: off)")
+
+
 def _add_engine_argument(parser) -> None:
     parser.add_argument("--engine", choices=["python", "numpy"],
                         default="numpy",
@@ -268,6 +280,7 @@ def cmd_analyze(args) -> int:
         engine=args.engine,
         measure_mi=getattr(args, "mi", False),
         profile=getattr(args, "profile", False),
+        taint=getattr(args, "taint", "off") == "on",
     )
     print(f"analyzing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -323,6 +336,7 @@ def cmd_localize(args) -> int:
         batch_lanes=getattr(args, "batch_lanes", None),
         engine=args.engine,
         profile=getattr(args, "profile", False),
+        taint=getattr(args, "taint", "off") == "on",
     )
     print(f"localizing {workload.name!r} on {config.name}"
           f"{' +fast-bypass' if config.fast_bypass else ''}"
@@ -380,6 +394,16 @@ AUDIT_EXPECTATIONS = {
     "chacha20": False,
 }
 
+#: expected taint-escalation verdicts under ``audit --taint on``: True
+#: means the workload's secret steers control or address flow (the taint
+#: engine must escalate), False means it must be proven data-only.  Only
+#: the litmus pair with a known-stable answer is pinned; the rest are
+#: cross-checked via the per-unit agreement statuses alone.
+AUDIT_TAINT_EXPECTATIONS = {
+    "ee-mem-cmp": True,        # early-exit branch on secret bytes
+    "ct-mem-cmp-safe": False,  # branchless compare + consumer
+}
+
 
 def cmd_audit(args) -> int:
     from repro.sampler.audit import run_audit
@@ -390,12 +414,17 @@ def cmd_audit(args) -> int:
     expectations = {name: AUDIT_EXPECTATIONS[name]
                     for name in names if name in AUDIT_EXPECTATIONS}
     jobs, cache = _resolve_backend(args)
+    taint = getattr(args, "taint", "off") == "on"
+    taint_expectations = {name: AUDIT_TAINT_EXPECTATIONS[name]
+                          for name in names
+                          if name in AUDIT_TAINT_EXPECTATIONS} if taint else {}
     result = run_audit(workloads, config=config, expectations=expectations,
                        jobs=jobs, cache=cache,
                        warmup_insts=getattr(args, "warmup_insts", None),
                        batch_lanes=getattr(args, "batch_lanes", None),
                        engine=args.engine,
-                       profile=getattr(args, "profile", False))
+                       profile=getattr(args, "profile", False),
+                       taint=taint, taint_expectations=taint_expectations)
     print(result.render())
     return 0 if result.passed else 1
 
@@ -448,6 +477,8 @@ def cmd_submit(args) -> int:
         spec["fast_bypass"] = True
     if args.variable_div:
         spec["variable_div"] = True
+    if getattr(args, "taint", "off") == "on":
+        spec["taint"] = True
     if args.kind == "audit":
         spec["workloads"] = args.workloads
     else:
@@ -512,9 +543,14 @@ def cmd_cache(args) -> int:
                   f"{'y' if total_stale == 1 else 'ies'}")
         return 0
     result = prune_cache(args.cache_dir, all_entries=args.all)
+    removed = result["removed"]
     print(f"pruned {result['removed_entries']} entries "
           f"({_format_bytes(result['removed_bytes'])}) "
           f"from {result['root']}")
+    print(f"  {removed['trace']} stale trace, "
+          f"{removed['checkpoint']} stale checkpoint, "
+          f"{removed['orphan']} orphaned checkpoint "
+          f"(no surviving trace references them)")
     return 0
 
 
@@ -641,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_argument(analyze)
     _add_batch_argument(analyze)
     _add_profile_argument(analyze)
+    _add_taint_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     localize = sub.add_parser(
@@ -674,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_argument(localize)
     _add_batch_argument(localize)
     _add_profile_argument(localize)
+    _add_taint_argument(localize)
     localize.set_defaults(func=cmd_localize)
 
     simulate = sub.add_parser("simulate",
@@ -719,6 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_argument(audit)
     _add_batch_argument(audit)
     _add_profile_argument(audit)
+    _add_taint_argument(audit)
     audit.set_defaults(func=cmd_audit)
 
     trace = sub.add_parser(
@@ -793,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the full job record (state, stats, "
                              "events) instead of just the result")
     _add_engine_argument(submit)
+    _add_taint_argument(submit)
     submit.set_defaults(func=cmd_submit)
 
     reanalyze = sub.add_parser(

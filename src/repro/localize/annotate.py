@@ -78,6 +78,12 @@ def render_localization(report: LocalizationReport, *, program=None,
         significant = unit.attribution.significant(alpha=alpha)
         shown = significant[:top] if significant else unit.attribution.scores[:top]
         qualifier = "" if significant else " (none significant; best effort)"
+        if unit.attribution.pre_excluded:
+            lines.append(
+                f"  taint prescreen: {len(unit.attribution.pre_excluded)} "
+                f"in-window PC(s) proven secret-free, skipped "
+                f"(permutation tests spent on "
+                f"{len(unit.attribution.scores)} PC(s))")
         lines.append(f"  ranked instructions (MI bits, permutation p)"
                      f"{qualifier}:")
         for rank, score in enumerate(shown, start=1):
@@ -162,6 +168,15 @@ def localization_to_dict(report: LocalizationReport, *,
                 }
                 for score in unit.attribution.scores
             ]
+            if unit.attribution.pre_excluded:
+                # Key present only when the rank tier actually excluded
+                # something, so taint-off and taint-on localization dicts
+                # stay byte-identical whenever the restriction is a no-op
+                # (all bundled leaky workloads escalate).
+                entry["pre_excluded"] = [
+                    {"pc": pc, "mnemonic": mnemonic}
+                    for pc, mnemonic in unit.attribution.pre_excluded
+                ]
         units[feature_id] = entry
     return {
         "workload": report.workload_name,

@@ -65,6 +65,11 @@ class AttributionResult:
     n_iterations: int
     #: InstructionScore tuples, strongest leak first.
     scores: tuple
+    #: (pc, mnemonic) tuples the taint prescreen proved secret-free: they
+    #: committed inside the window but never touched tainted data, so no
+    #: permutation test was spent on them.  Empty when attribution ran
+    #: unrestricted (no taint, or the taint engine escalated).
+    pre_excluded: tuple = ()
 
     def significant(self, *, alpha: float = 0.01,
                     min_bits: float = 0.0) -> tuple:
@@ -87,12 +92,18 @@ def commit_offsets(record):
 
 def attribute_window(iterations, feature_id: str, window: CycleWindow, *,
                      permutations: int = DEFAULT_PERMUTATIONS,
-                     seed: int = 0) -> AttributionResult:
+                     seed: int = 0,
+                     allowed_pcs=None) -> AttributionResult:
     """Score every PC committing inside ``window`` against the labels.
 
     Deterministic: the permutation RNG is seeded per call and instructions
     are ranked by (MI desc, p asc, pc asc), so parallel and cached replays
     reproduce the ranking bit-identically.
+
+    ``allowed_pcs`` (the taint prescreen's rank tier) restricts the
+    permutation tests to PCs the taint engine saw reach secret data;
+    everything else is reported as ``pre_excluded`` instead of scored.
+    ``None`` means no restriction.
     """
     iterations = list(iterations)
     labels = [record.label for record in iterations]
@@ -114,7 +125,11 @@ def attribute_window(iterations, feature_id: str, window: CycleWindow, *,
         signatures[pc] = [tuple(active.get(pc, ())) for active in per_iteration]
 
     scores = []
+    pre_excluded = []
     for pc in sorted(signatures):
+        if allowed_pcs is not None and pc not in allowed_pcs:
+            pre_excluded.append((pc, mnemonics[pc]))
+            continue
         mi = measure_mutual_information(
             labels, signatures[pc], permutations=permutations, seed=seed,
         )
@@ -131,4 +146,5 @@ def attribute_window(iterations, feature_id: str, window: CycleWindow, *,
         window=window,
         n_iterations=len(iterations),
         scores=tuple(scores),
+        pre_excluded=tuple(pre_excluded),
     )

@@ -81,11 +81,19 @@ def localize_campaign(campaign, feature_ids, *,
                       engine: str = "numpy",
                       warmup_iterations: int = 0,
                       permutations: int = DEFAULT_PERMUTATIONS,
-                      seed: int = 0) -> LocalizationReport:
+                      seed: int = 0,
+                      taint=None) -> LocalizationReport:
     """Run temporal scan + attribution over an existing campaign.
 
     The campaign must have been run with ``keep_raw`` covering
     ``feature_ids`` and ``log_commits=True`` (see :func:`localize`).
+
+    ``taint`` (a :class:`~repro.sampler.pipeline.TaintSummary`) enables the
+    rank tier: permutation tests run only on PCs the taint engine saw
+    touch secret data, the rest are reported as pre-excluded.  An
+    escalated map (secret-dependent control or address flow) voids the
+    per-PC exoneration, so no restriction is applied then — which is why
+    the bundled leaky workloads localize bit-identically with taint on.
     """
     from repro.sampler.stats import (
         SIGNIFICANCE_ALPHA,
@@ -95,6 +103,12 @@ def localize_campaign(campaign, feature_ids, *,
     v_threshold = (STRONG_ASSOCIATION_THRESHOLD if v_threshold is None
                    else v_threshold)
     alpha = SIGNIFICANCE_ALPHA if alpha is None else alpha
+    allowed_pcs = None
+    if taint is not None and not taint.escalated:
+        merged = taint.merged
+        allowed_pcs = frozenset(
+            merged.tainted_pcs | merged.tainted_mem_pcs
+            | merged.tainted_branch_pcs | merged.transient_mem_pcs)
     iterations = [r for r in campaign.iterations
                   if r.ordinal >= warmup_iterations]
     report = LocalizationReport(
@@ -118,6 +132,7 @@ def localize_campaign(campaign, feature_ids, *,
             unit.attribution = attribute_window(
                 iterations, feature_id, scan.window,
                 permutations=permutations, seed=seed,
+                allowed_pcs=allowed_pcs,
             )
             report.attribute_seconds += time.perf_counter() - started
         report.units[feature_id] = unit
@@ -154,6 +169,14 @@ def localize(workload: Workload, *, sampler=None, report=None,
     if report is None and features is None:
         report = sampler.analyze(workload,
                                  max_cycles_per_run=max_cycles_per_run)
+    taint = None
+    if getattr(sampler, "taint", False):
+        # Reuse the phase-1 prescreen when available; the map is a pure
+        # function of the workload so recomputing is equivalent.
+        if report is not None and report.taint is not None:
+            taint = report.taint
+        else:
+            taint = sampler.compute_taint(workload)
     if features is not None:
         targets = tuple(features)
     else:
@@ -187,6 +210,7 @@ def localize(workload: Workload, *, sampler=None, report=None,
         engine=sampler.engine,
         warmup_iterations=sampler.warmup_iterations,
         permutations=permutations, seed=seed,
+        taint=taint,
     )
     if sampler.profile:
         from repro.util.profiling import merge_profiles

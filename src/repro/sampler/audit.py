@@ -27,10 +27,29 @@ class AuditEntry:
     n_iterations: int
     seconds: float
     expected: bool | None = None
+    #: Taint prescreen outcome (``--taint on`` only, else all None/empty):
+    #: did the engine see secret-dependent control or address flow?
+    taint_escalated: bool | None = None
+    #: Expected escalation verdict (folds into :attr:`as_expected`).
+    taint_expected: bool | None = None
+    #: Per-unit taint-vs-statistics agreement statuses.
+    taint_agreement: dict = field(default_factory=dict)
+
+    @property
+    def taint_disagreements(self) -> list:
+        return [fid for fid, status in self.taint_agreement.items()
+                if status == "TAINT-DISAGREE"]
 
     @property
     def as_expected(self) -> bool:
-        return self.expected is None or self.expected == self.leakage_detected
+        if self.expected is not None and \
+                self.expected != self.leakage_detected:
+            return False
+        if self.taint_expected is not None and \
+                self.taint_escalated is not None and \
+                self.taint_expected != self.taint_escalated:
+            return False
+        return not self.taint_disagreements
 
 
 @dataclass
@@ -52,15 +71,21 @@ class AuditResult:
         return not self.unexpected
 
     def render(self) -> str:
+        show_taint = any(entry.taint_escalated is not None
+                         for entry in self.entries)
+        header = (f"{'workload':<26} {'verdict':<10} {'max V':>6} "
+                  f"{'iters':>6} {'time':>7}  ")
+        if show_taint:
+            header += f"{'taint':<10} {'agreement':<14} "
+        header += f"{'status':<10} flagged units"
         lines = [
             f"Constant-time audit on {self.config_name}",
-            f"{'workload':<26} {'verdict':<10} {'max V':>6} {'iters':>6} "
-            f"{'time':>7}  {'status':<10} flagged units",
-            "-" * 100,
+            header,
+            "-" * max(100, len(header)),
         ]
         for entry in self.entries:
             verdict = "LEAK" if entry.leakage_detected else "clean"
-            if entry.expected is None:
+            if entry.expected is None and entry.taint_expected is None:
                 status = ""
             elif entry.as_expected:
                 status = "expected"
@@ -69,11 +94,24 @@ class AuditResult:
             units = ", ".join(entry.leaky_units[:5])
             if len(entry.leaky_units) > 5:
                 units += f" (+{len(entry.leaky_units) - 5})"
-            lines.append(
+            row = (
                 f"{entry.name:<26} {verdict:<10} {entry.max_v:>6.2f} "
                 f"{entry.n_iterations:>6} {entry.seconds:>6.1f}s  "
-                f"{status:<10} {units}"
             )
+            if show_taint:
+                taint = ("-" if entry.taint_escalated is None
+                         else "escalated" if entry.taint_escalated
+                         else "clean")
+                if entry.taint_disagreements:
+                    agreement = (f"DISAGREE x"
+                                 f"{len(entry.taint_disagreements)}")
+                elif entry.taint_agreement:
+                    agreement = "agree"
+                else:
+                    agreement = "-"
+                row += f"{taint:<10} {agreement:<14} "
+            row += f"{status:<10} {units}"
+            lines.append(row)
         lines.append("-" * 100)
         lines.append("AUDIT PASSED" if self.passed else
                      f"AUDIT FAILED: {len(self.unexpected)} unexpected "
@@ -91,23 +129,32 @@ def audit_to_dict(result: AuditResult) -> dict:
     (see :func:`repro.service.strip_volatile`) before comparing audits
     for bit-identity.
     """
+    entries = []
+    for entry in result.entries:
+        item = {
+            "name": entry.name,
+            "leakage_detected": entry.leakage_detected,
+            "leaky_units": list(entry.leaky_units),
+            "max_v": entry.max_v,
+            "n_iterations": entry.n_iterations,
+            "seconds": entry.seconds,
+            "expected": entry.expected,
+            "as_expected": entry.as_expected,
+        }
+        if entry.taint_escalated is not None:
+            # Present only with --taint on: off-mode audit JSON unchanged.
+            item["taint"] = {
+                "escalated": entry.taint_escalated,
+                "expected_escalated": entry.taint_expected,
+                "agreement": dict(entry.taint_agreement),
+                "disagreements": entry.taint_disagreements,
+            }
+        entries.append(item)
     return {
         "config": result.config_name,
         "passed": result.passed,
         "n_unexpected": len(result.unexpected),
-        "entries": [
-            {
-                "name": entry.name,
-                "leakage_detected": entry.leakage_detected,
-                "leaky_units": list(entry.leaky_units),
-                "max_v": entry.max_v,
-                "n_iterations": entry.n_iterations,
-                "seconds": entry.seconds,
-                "expected": entry.expected,
-                "as_expected": entry.as_expected,
-            }
-            for entry in result.entries
-        ],
+        "entries": entries,
     }
 
 
@@ -117,7 +164,9 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
               jobs: int | None = 1, cache=None,
               warmup_insts: int | None = None,
               batch_lanes=None,
-              engine: str = "numpy", profile: bool = False) -> AuditResult:
+              engine: str = "numpy", profile: bool = False,
+              taint: bool = False,
+              taint_expectations: dict | None = None) -> AuditResult:
     """Analyze every workload; ``expectations[name]`` = True means "should
     leak" (a litmus), False means "must be clean" (a hardened primitive).
 
@@ -126,12 +175,20 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
     when no explicit ``sampler`` is supplied (see
     :func:`repro.sampler.run_campaign` and
     :class:`~repro.sampler.pipeline.MicroSampler`); with ``profile`` the
-    suite-wide per-stage breakdown lands on ``AuditResult.profile``."""
+    suite-wide per-stage breakdown lands on ``AuditResult.profile``.
+
+    ``taint`` runs the secret-taint prescreen alongside every analysis and
+    records the taint-vs-statistics agreement per entry;
+    ``taint_expectations[name]`` = True means "should escalate" (folded
+    into ``as_expected``, so the audit gates the taint engine too).  A
+    ``TAINT-DISAGREE`` status on any unit also fails the entry."""
     sampler = sampler or MicroSampler(config, jobs=jobs, cache=cache,
                                       warmup_insts=warmup_insts,
                                       batch_lanes=batch_lanes,
-                                      engine=engine, profile=profile)
+                                      engine=engine, profile=profile,
+                                      taint=taint)
     expectations = expectations or {}
+    taint_expectations = taint_expectations or {}
     result = AuditResult(config_name=config.name)
     profiles = []
     for workload in workloads:
@@ -146,6 +203,12 @@ def run_audit(workloads, *, config: CoreConfig = MEGA_BOOM,
             n_iterations=report.n_iterations,
             seconds=time.perf_counter() - started,
             expected=expectations.get(workload.name),
+            taint_escalated=(report.taint.escalated
+                             if report.taint is not None else None),
+            taint_expected=(taint_expectations.get(workload.name)
+                            if report.taint is not None else None),
+            taint_agreement=(dict(report.taint.agreement)
+                             if report.taint is not None else {}),
         ))
     if any(profile is not None for profile in profiles):
         from repro.util.profiling import merge_profiles

@@ -84,6 +84,11 @@ class RunTask:
     #: worker then skips its own capture.  Derived state, not configuration
     #: — excluded from the trace-cache key.
     checkpoint: object | None = None
+    #: Feature IDs the taint prescreen proved secret-free
+    #: (:mod:`repro.uarch.reachability`): the tracer skips sampling them and
+    #: records the constant empty snapshot instead.  Changes the recorded
+    #: trace, so it joins the trace-cache key.
+    pruned: tuple = ()
 
 
 @dataclass
@@ -101,6 +106,10 @@ class RunOutput:
     ff_steps: int = 0
     #: Per-stage time breakdown when the task requested profiling.
     profile: object | None = None
+    #: Content address of the checkpoint this run used (None = no
+    #: checkpointing).  Persisted with cached traces so ``cache prune`` can
+    #: tell live checkpoints from orphans.
+    checkpoint_key: str | None = None
 
 
 def execute_run(task: RunTask) -> RunOutput:
@@ -115,7 +124,8 @@ def execute_run(task: RunTask) -> RunOutput:
     from repro.sampler.runner import WorkloadError
 
     tracer = MicroarchTracer(features=task.features, keep_raw=task.keep_raw,
-                             log_commits=task.log_commits)
+                             log_commits=task.log_commits,
+                             pruned=task.pruned)
     tracer.timed = True
     tracer.begin_run(task.run_index)
 
@@ -174,6 +184,13 @@ def execute_run(task: RunTask) -> RunOutput:
             f"workload {task.workload_name!r} exited with "
             f"{result.exit_code} (expected {task.expect_exit_code})"
         )
+    ckpt_key = None
+    if task.warmup_insts is not None and task.checkpoint_dir:
+        from repro.sampler.checkpoint import checkpoint_key
+
+        ckpt_key = checkpoint_key(task.program, task.memory_map,
+                                  task.warmup_insts,
+                                  batch_lanes=task.batch_lanes)
     return RunOutput(
         run_index=task.run_index,
         iterations=tracer.iterations,
@@ -182,6 +199,7 @@ def execute_run(task: RunTask) -> RunOutput:
         sample_seconds=tracer.sample_seconds + tracer.finalize_seconds,
         ff_steps=ff_steps,
         profile=core.profiler,
+        checkpoint_key=ckpt_key,
     )
 
 

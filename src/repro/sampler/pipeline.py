@@ -63,6 +63,47 @@ class UnitResult:
 
 
 @dataclass
+class TaintSummary:
+    """Outcome of the secret-taint prescreen for one campaign.
+
+    ``agreement`` holds the taint-vs-statistics cross-check per unit:
+
+    * ``secret-free`` — taint proved the unit unreachable; it was pruned
+      from tracing and the statistics saw the constant empty snapshot.
+    * ``agree-leak`` — taint says secrets can reach the unit and the
+      statistics flagged it.
+    * ``stats-clean`` — taint says secrets *can* reach the unit but the
+      statistics found no correlation (expected: taint over-approximates).
+    * ``TAINT-DISAGREE`` — the statistics flagged a unit taint called
+      secret-free.  By construction pruning makes this unreachable, so an
+      occurrence is a finding about one of the two analyses.
+    """
+
+    #: Per-input maps + merged union (:class:`~repro.taint.publicness
+    #: .CampaignPublicness`).
+    publicness: object
+    #: Feature IDs pruned from tracing (taint proved them secret-free).
+    pruned: tuple = ()
+    #: Feature IDs kept (a secret could influence them).
+    reachable: tuple = ()
+    #: feature id -> agreement status (see class docstring).
+    agreement: dict = field(default_factory=dict)
+
+    @property
+    def merged(self):
+        return self.publicness.merged
+
+    @property
+    def escalated(self) -> bool:
+        return self.publicness.merged.escalated
+
+    @property
+    def disagreements(self) -> list:
+        return [fid for fid, status in self.agreement.items()
+                if status == "TAINT-DISAGREE"]
+
+
+@dataclass
 class LeakageReport:
     """Full MicroSampler verdict for one workload campaign."""
 
@@ -83,6 +124,10 @@ class LeakageReport:
     #: behaviour depended on its data.  Empty when batching is off or the
     #: prologue is input-independent.
     divergences: list = field(default_factory=list)
+    #: Secret-taint prescreen results (:class:`TaintSummary`); ``None``
+    #: when the analysis ran with ``taint`` off, so off-mode reports
+    #: serialize exactly as before.
+    taint: TaintSummary | None = None
 
     @property
     def leaky_units(self) -> list[str]:
@@ -134,7 +179,8 @@ class MicroSampler:
                  engine: str = "numpy",
                  measure_mi: bool = False,
                  mi_permutations: int = 200,
-                 profile: bool = False):
+                 profile: bool = False,
+                 taint: bool = False):
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown analysis engine {engine!r}; choose from "
@@ -175,22 +221,48 @@ class MicroSampler:
         #: Attach a per-stage wall-clock profiler to every simulated core
         #: and surface the merged breakdown on ``LeakageReport.profile``.
         self.profile = profile
+        #: Run the secret-taint prescreen (:mod:`repro.taint`) before
+        #: simulation: prune units taint proves secret-free, restrict
+        #: localization attribution to taint-reaching PCs, and cross-check
+        #: statistical verdicts against the taint verdict.  Requires the
+        #: workload to declare ``secret_regions``.  Verdicts are
+        #: bit-identical to ``taint=False`` (pruning only removes provably
+        #: constant-clean units).
+        self.taint = bool(taint)
 
     # -- full pipeline ----------------------------------------------------------
 
     def analyze(self, workload: Workload, *,
                 max_cycles_per_run: int = 5_000_000) -> LeakageReport:
         """Run the complete Figure 1 flow on ``workload``."""
+        taint_summary = self.compute_taint(workload) if self.taint else None
         campaign = run_campaign(
             workload, self.config, features=self.features,
             max_cycles_per_run=max_cycles_per_run,
             jobs=self.jobs, cache=self.cache,
             warmup_insts=self.warmup_insts,
             batch_lanes=self.batch_lanes, profile=self.profile,
+            pruned=taint_summary.pruned if taint_summary else (),
         )
-        return self.analyze_campaign(campaign)
+        return self.analyze_campaign(campaign, taint=taint_summary)
 
-    def analyze_campaign(self, campaign: CampaignResult) -> LeakageReport:
+    def compute_taint(self, workload: Workload) -> TaintSummary:
+        """Run the taint prescreen: per-input maps + unit reachability."""
+        from repro.taint import compute_publicness
+        from repro.uarch.reachability import reachable_features
+
+        publicness = compute_publicness(workload,
+                                        batch_lanes=self.batch_lanes)
+        reachable = reachable_features(publicness.merged, self.config,
+                                       self.features)
+        return TaintSummary(
+            publicness=publicness,
+            pruned=tuple(f for f in self.features if f not in reachable),
+            reachable=tuple(f for f in self.features if f in reachable),
+        )
+
+    def analyze_campaign(self, campaign: CampaignResult, *,
+                         taint: TaintSummary | None = None) -> LeakageReport:
         """Stages ③ and ④ on an existing simulation campaign."""
         iterations = [r for r in campaign.iterations
                       if r.ordinal >= self.warmup_iterations]
@@ -261,6 +333,15 @@ class MicroSampler:
             extract_seconds=extract_seconds,
         )
         report.profile = campaign.profile
+        if taint is not None:
+            for feature_id, unit in report.units.items():
+                if feature_id in taint.pruned:
+                    status = ("TAINT-DISAGREE" if unit.leaky
+                              else "secret-free")
+                else:
+                    status = "agree-leak" if unit.leaky else "stats-clean"
+                taint.agreement[feature_id] = status
+            report.taint = taint
         return report
 
     def _flagged(self, association: AssociationResult) -> bool:

@@ -48,6 +48,8 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
         for event in report.divergences:
             lines.append(f"  {event.describe()}")
         lines.append("")
+    if report.taint is not None:
+        lines.extend(_render_taint(report))
     if report.leakage_detected:
         lines.append(f"LEAKAGE DETECTED in: {', '.join(report.leaky_units)}")
     else:
@@ -69,6 +71,63 @@ def render_report(report: LeakageReport, *, show_notiming: bool = False) -> str:
         for cause in root_causes:
             lines.append(cause.summary())
     return "\n".join(lines)
+
+
+def _render_taint(report: LeakageReport) -> list[str]:
+    """Taint-vs-statistics agreement block for :func:`render_report`."""
+    taint = report.taint
+    merged = taint.merged
+    lines = ["taint prescreen (secret-taint publicness engine):"]
+    lines.append(
+        f"  seeded {taint.publicness.seed_bytes} secret byte(s) across "
+        f"{len(taint.publicness.maps)} input(s); "
+        f"{len(merged.tainted_pcs)}/{len(merged.executed_pcs)} executed "
+        f"PC(s) touch secret data"
+    )
+    if merged.escalated:
+        kinds = ", ".join(f"{kind}@pc={pc:#x}"
+                          for pc, kind in merged.escalations)
+        lines.append(f"  ESCALATED (secret-dependent control/address flow): "
+                     f"{kinds}")
+    else:
+        lines.append("  no escalation: secret data never steered a branch, "
+                     "address or syscall")
+    if taint.pruned:
+        lines.append(f"  pruned {len(taint.pruned)} unreachable unit(s): "
+                     f"{', '.join(taint.pruned)}")
+    if taint.agreement:
+        lines.append(f"  {'unit':<12} {'taint-vs-stats':>14}")
+        for feature_id, status in taint.agreement.items():
+            marker = " <-- investigate" if status == "TAINT-DISAGREE" else ""
+            lines.append(f"  {feature_id:<12} {status:>14}{marker}")
+        if taint.disagreements:
+            lines.append(
+                f"  TAINT-DISAGREE on {len(taint.disagreements)} unit(s): "
+                "statistics flagged a unit the taint engine proved "
+                "secret-free — suspect the reachability table or the stats."
+            )
+    lines.append("")
+    return lines
+
+
+def taint_to_dict(taint) -> dict:
+    """Serialize a :class:`~repro.sampler.pipeline.TaintSummary`."""
+    merged = taint.merged
+    return {
+        "escalated": merged.escalated,
+        "escalations": [[pc, kind] for pc, kind in merged.escalations],
+        "seed_bytes": taint.publicness.seed_bytes,
+        "steps": merged.steps,
+        "n_executed_pcs": len(merged.executed_pcs),
+        "n_tainted_pcs": len(merged.tainted_pcs),
+        "n_tainted_mem_pcs": len(merged.tainted_mem_pcs),
+        "n_tainted_branch_pcs": len(merged.tainted_branch_pcs),
+        "n_tainted_div_pcs": len(merged.tainted_div_pcs),
+        "n_transient_mem_pcs": len(merged.transient_mem_pcs),
+        "pruned": sorted(taint.pruned),
+        "reachable": sorted(taint.reachable),
+        "agreement": dict(taint.agreement),
+    }
 
 
 def report_to_dict(report: LeakageReport) -> dict:
@@ -156,6 +215,10 @@ def report_to_dict(report: LeakageReport) -> dict:
         }
     if report.profile is not None:
         payload["profile"] = report.profile.to_dict()
+    if report.taint is not None:
+        # Only present with --taint on, so off-mode JSON stays byte-stable;
+        # the differential tests strip this key before comparing.
+        payload["taint"] = taint_to_dict(report.taint)
     return payload
 
 

@@ -53,6 +53,12 @@ class Workload:
     #: (symbol, length) regions pre-installed in the L1D before each run,
     #: modeling prior accesses (used by the Fig. 6 "dst initialized" study).
     warm_regions: list = field(default_factory=list)
+    #: Which input bytes are *secret* for the taint prescreen
+    #: (:mod:`repro.taint`): each entry is a data-symbol name (the bytes the
+    #: input patches into it) or a ``(symbol, offset, length)`` triple for a
+    #: fixed sub-range.  Empty means "no declared secret" — taint analysis
+    #: refuses to run rather than silently treating everything as public.
+    secret_regions: list = field(default_factory=list)
 
     def assemble(self) -> Program:
         return assemble(self.source, entry=self.entry)
@@ -117,7 +123,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                  features, keep_raw, log_commits, memory_map,
                  max_cycles_per_run, expect_exit_code,
                  warmup_insts=None, checkpoint_dir=None,
-                 profile=False) -> list[RunTask]:
+                 profile=False, pruned=()) -> list[RunTask]:
     return [
         RunTask(
             run_index=run_index,
@@ -135,6 +141,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
             warmup_insts=warmup_insts,
             checkpoint_dir=checkpoint_dir,
             profile=bool(profile),
+            pruned=tuple(pruned),
         )
         for run_index, patches in enumerate(workload.inputs)
     ]
@@ -197,7 +204,8 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                      warmup_insts: int | None = None,
                      checkpoint_dir: str | None = None,
                      batch_lanes=None,
-                     profile: bool = False) -> CampaignPlan:
+                     profile: bool = False,
+                     pruned=()) -> CampaignPlan:
     """Plan a campaign: build tasks, replay cache hits, batch-prepass.
 
     This is everything :func:`run_campaign` does before simulation.  The
@@ -225,6 +233,7 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         warmup_insts=warmup_insts,
         checkpoint_dir=checkpoint_dir,
         profile=profile,
+        pruned=pruned,
     )
 
     started = time.perf_counter()
@@ -296,7 +305,8 @@ def finalize_campaign(plan: CampaignPlan) -> CampaignResult:
             f"{len(missing)} unexecuted input(s): {missing[:5]}")
 
     tracer = MicroarchTracer(features=plan.features, keep_raw=plan.keep_raw,
-                             log_commits=plan.log_commits)
+                             log_commits=plan.log_commits,
+                             pruned=plan.tasks[0].pruned if plan.tasks else ())
     tracer.timed = True
     runs = merge_outputs(plan.outputs, tracer)
     elapsed = time.perf_counter() - plan.started
@@ -331,7 +341,8 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                  checkpoint_dir: str | None = None,
                  batch_lanes=None,
                  pool=None,
-                 profile: bool = False) -> CampaignResult:
+                 profile: bool = False,
+                 pruned=()) -> CampaignResult:
     """Run ``workload`` over all its inputs, collecting iteration snapshots.
 
     ``jobs`` sets how many inputs simulate concurrently (``0``/``None`` =
@@ -365,7 +376,7 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         max_cycles_per_run=max_cycles_per_run,
         expect_exit_code=expect_exit_code, cache=cache,
         warmup_insts=warmup_insts, checkpoint_dir=checkpoint_dir,
-        batch_lanes=batch_lanes, profile=profile,
+        batch_lanes=batch_lanes, profile=profile, pruned=pruned,
     )
     fresh = execute_tasks(plan.pending_tasks, jobs=jobs, pool=pool)
     for index, output in zip(plan.to_run, fresh):

@@ -43,12 +43,15 @@ from repro.util.hashing import stable_hex_digest
 #: history: 1 = original layout; 2 = iteration payloads carry per-cycle
 #: digest sequences and commit logs (``log_commits`` joined the key
 #: material); 3 = fast-forward checkpointing (``warmup_insts`` joined the
-#: key material, payloads record the fast-forwarded instruction count).
+#: key material, payloads record the fast-forwarded instruction count);
+#: 4 = taint-pruned tracing (``pruned`` joined the key material, payloads
+#: record the checkpoint key the run used so ``cache prune`` can sweep
+#: orphaned checkpoint-store entries).
 #: Entries written by older versions fail the version check and decode as
 #: misses, so campaigns needing localization inputs are transparently
 #: re-simulated instead of replaying traces without them; ``microsampler
 #: cache prune`` garbage-collects the stale files.
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
@@ -99,6 +102,10 @@ def task_key(task: RunTask) -> str:
         # simulated cycle-accurately, hence the snapshots.  The checkpoint
         # *directory* is storage location only and stays out of the key.
         task.warmup_insts,
+        # Taint-pruned features record constant empty snapshots, so a
+        # pruned trace must never replay for an unpruned campaign (or with
+        # a different pruned set) and vice versa.
+        tuple(sorted(task.pruned)),
     )
     return stable_hex_digest(material)
 
@@ -113,14 +120,15 @@ def _output_to_payload(output: RunOutput) -> tuple:
         output.cycles_sampled,
         output.sample_seconds,
         output.ff_steps,
+        output.checkpoint_key,
     )
 
 
 def _output_from_payload(payload: tuple) -> RunOutput | None:
-    if not isinstance(payload, tuple) or len(payload) != 6:
+    if not isinstance(payload, tuple) or len(payload) != 7:
         return None
     (version, iterations, run, cycles_sampled, sample_seconds,
-     ff_steps) = payload
+     ff_steps, ckpt_key) = payload
     if version != CACHE_FORMAT_VERSION:
         return None
     exit_code, stats, console, marker_cycles = run
@@ -137,6 +145,7 @@ def _output_from_payload(payload: tuple) -> RunOutput | None:
         sample_seconds=sample_seconds,
         from_cache=True,
         ff_steps=ff_steps,
+        checkpoint_key=ckpt_key,
     )
 
 
@@ -207,17 +216,29 @@ class TraceCache:
 # ``<root>/checkpoints/<xx>/<key>.ckpt``.
 
 
-def _payload_version(path: Path) -> int | None:
-    """First element of a pickled payload tuple, or None if unreadable."""
+def _read_payload(path: Path) -> tuple | None:
     try:
         payload = pickle.loads(path.read_bytes())
     except (OSError, pickle.UnpicklingError, EOFError, ValueError,
             TypeError, AttributeError, ImportError, IndexError,
             MemoryError):
         return None
-    if not isinstance(payload, tuple) or not payload:
+    return payload if isinstance(payload, tuple) and payload else None
+
+
+def _payload_version(path: Path) -> int | None:
+    """First element of a pickled payload tuple, or None if unreadable."""
+    payload = _read_payload(path)
+    if payload is None:
         return None
     return payload[0] if isinstance(payload[0], int) else None
+
+
+def _payload_checkpoint_key(payload: tuple) -> str | None:
+    """The checkpoint key a current-version trace payload references."""
+    if len(payload) >= 7 and isinstance(payload[6], str):
+        return payload[6]
+    return None
 
 
 def _scan_entries(root: Path):
@@ -266,23 +287,54 @@ def prune_cache(root: str | Path | None = None, *,
                 all_entries: bool = False) -> dict:
     """Delete stale cache entries (or every entry with ``all_entries``).
 
-    Returns ``{"root", "removed_entries", "removed_bytes"}``.  Removal is
-    best-effort (a vanished or undeletable file is skipped) and empty
-    shard directories are cleaned up afterwards.
+    Both stores are swept *consistently*: after the stale trace entries go,
+    any checkpoint no surviving trace entry references is an **orphan**
+    (its parents can never hit again, so nothing will ever restore it) and
+    is removed too.  Surviving trace payloads record the checkpoint key
+    their run used, which is what ties the two stores together.
+
+    Returns ``{"root", "removed_entries", "removed_bytes", "removed"}``
+    where ``removed`` breaks the count down by kind (``trace``,
+    ``checkpoint``, ``orphan``).  Removal is best-effort (a vanished or
+    undeletable file is skipped) and empty shard directories are cleaned
+    up afterwards.
     """
     root = Path(root) if root is not None else default_cache_dir()
-    removed = 0
+    removed = {"trace": 0, "checkpoint": 0, "orphan": 0}
     removed_bytes = 0
-    for path, _kind, current in _scan_entries(root):
-        if not all_entries and _payload_version(path) == current:
-            continue
+    referenced: set[str] = set()
+    checkpoints: list[tuple[Path, int | None]] = []
+
+    def _unlink(path: Path, kind: str) -> None:
+        nonlocal removed_bytes
         try:
             size = path.stat().st_size
             path.unlink()
         except OSError:
-            continue
-        removed += 1
+            return
+        removed[kind] += 1
         removed_bytes += size
+
+    for path, kind, current in _scan_entries(root):
+        if kind == "checkpoint":
+            checkpoints.append((path, current))
+            continue
+        payload = _read_payload(path)
+        version = (payload[0] if payload is not None
+                   and isinstance(payload[0], int) else None)
+        if not all_entries and version == current:
+            key = _payload_checkpoint_key(payload)
+            if key is not None:
+                referenced.add(key)
+            continue
+        _unlink(path, "trace")
+    for path, current in checkpoints:
+        if all_entries or _payload_version(path) != current:
+            _unlink(path, "checkpoint")
+        elif path.stem not in referenced:
+            # Current-version checkpoint, but no surviving trace entry
+            # references it: its parents were pruned (or never cached).
+            _unlink(path, "orphan")
     if root.is_dir():
         for directory in sorted(root.rglob("*"), reverse=True):
             if directory.is_dir():
@@ -290,5 +342,7 @@ def prune_cache(root: str | Path | None = None, *,
                     directory.rmdir()  # only succeeds when empty
                 except OSError:
                     pass
-    return {"root": str(root), "removed_entries": removed,
-            "removed_bytes": removed_bytes}
+    return {"root": str(root),
+            "removed_entries": sum(removed.values()),
+            "removed_bytes": removed_bytes,
+            "removed": removed}

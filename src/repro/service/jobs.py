@@ -94,6 +94,9 @@ class JobSpec:
     warmup_insts: object = "default"
     batch_lanes: object = "auto"
     no_timing_removed: bool = False
+    #: secret-taint publicness prescreen (``--taint on``): prune tracing,
+    #: restrict attribution, cross-check verdicts.  Verdict-neutral.
+    taint: bool = False
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -129,6 +132,8 @@ class JobSpec:
             raise JobSpecError("inputs must be a positive integer")
         if not isinstance(self.priority, int):
             raise JobSpecError("priority must be an integer")
+        if not isinstance(self.taint, bool):
+            raise JobSpecError("taint must be a boolean")
         names = known_workloads()
         if self.kind in ("analyze", "localize"):
             if not self.workload:
@@ -380,6 +385,7 @@ class JobManager:
             warmup_insts=spec.resolve_warmup_insts(),
             batch_lanes=spec.batch_lanes,
             engine=spec.engine,
+            taint=spec.taint,
         )
 
     async def _execute(self, job: Job) -> dict:
@@ -391,6 +397,18 @@ class JobManager:
             return await self._execute_localize(job, sampler)
         return await self._execute_audit(job, sampler)
 
+    async def _pruned_for(self, sampler, workload) -> tuple:
+        """The taint prescreen's pruned-unit set for one campaign.
+
+        With taint on, ``sampler.analyze`` prunes those units' tracing —
+        which changes the trace-cache keys, so the warm campaign must be
+        planned with the identical pruned set or every shard misses.
+        """
+        if not getattr(sampler, "taint", False):
+            return ()
+        summary = await self._in_thread(sampler.compute_taint, workload)
+        return summary.pruned
+
     async def _execute_analyze(self, job: Job, sampler) -> dict:
         from repro.cli import build_workload
         from repro.sampler.report import report_to_dict
@@ -398,7 +416,9 @@ class JobManager:
         workload = build_workload(job.spec.workload, inputs=job.spec.inputs,
                                   seed=job.spec.seed)
         await self._warm_campaign(job, workload, sampler,
-                                  features=sampler.features)
+                                  features=sampler.features,
+                                  pruned=await self._pruned_for(sampler,
+                                                                workload))
         report = await self._in_thread(sampler.analyze, workload)
         return report_to_dict(report)
 
@@ -411,7 +431,9 @@ class JobManager:
                                   seed=job.spec.seed)
         # Phase 1 (detection) — same campaign shape as an analyze job.
         await self._warm_campaign(job, workload, sampler,
-                                  features=sampler.features)
+                                  features=sampler.features,
+                                  pruned=await self._pruned_for(sampler,
+                                                                workload))
         report = await self._in_thread(sampler.analyze, workload)
         targets = tuple(report.leaky_units)
         job.emit("phase", phase="detect", leaky_units=list(targets))
@@ -431,7 +453,11 @@ class JobManager:
         return localization_to_dict(localization)
 
     async def _execute_audit(self, job: Job, sampler) -> dict:
-        from repro.cli import AUDIT_EXPECTATIONS, build_workload
+        from repro.cli import (
+            AUDIT_EXPECTATIONS,
+            AUDIT_TAINT_EXPECTATIONS,
+            build_workload,
+        )
         from repro.sampler.audit import audit_to_dict, run_audit
 
         names = list(job.spec.workloads) or list(AUDIT_EXPECTATIONS)
@@ -439,20 +465,28 @@ class JobManager:
                                     seed=job.spec.seed) for name in names]
         expectations = {name: AUDIT_EXPECTATIONS[name]
                         for name in names if name in AUDIT_EXPECTATIONS}
+        taint_expectations = ({name: AUDIT_TAINT_EXPECTATIONS[name]
+                               for name in names
+                               if name in AUDIT_TAINT_EXPECTATIONS}
+                              if job.spec.taint else {})
         for workload in workloads:
             await self._warm_campaign(job, workload, sampler,
-                                      features=sampler.features)
+                                      features=sampler.features,
+                                      pruned=await self._pruned_for(
+                                          sampler, workload))
             job.emit("workload", name=workload.name)
         result = await self._in_thread(
             lambda: run_audit(workloads, config=sampler.config,
-                              expectations=expectations, sampler=sampler))
+                              expectations=expectations, sampler=sampler,
+                              taint_expectations=taint_expectations))
         return audit_to_dict(result)
 
     # -- sharded campaign execution ----------------------------------------
 
     async def _warm_campaign(self, job: Job, workload, sampler, *,
                              features, keep_raw=(),
-                             log_commits: bool = False) -> None:
+                             log_commits: bool = False,
+                             pruned=()) -> None:
         """Simulate one campaign's fresh inputs on the pool, into the cache.
 
         Mirrors exactly the campaign ``run_campaign`` will replay when the
@@ -466,7 +500,7 @@ class JobManager:
                 workload, sampler.config, features=features,
                 keep_raw=keep_raw, log_commits=log_commits,
                 cache=self.cache, warmup_insts=sampler.warmup_insts,
-                batch_lanes=sampler.batch_lanes,
+                batch_lanes=sampler.batch_lanes, pruned=pruned,
             ))
         job.stats["campaigns"] += 1
         job.stats["inputs_total"] += len(plan.tasks)

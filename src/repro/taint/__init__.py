@@ -1,0 +1,55 @@
+"""Secret-taint publicness engine.
+
+Dynamic byte-granular taint tracking layered on the functional
+interpreter: secret input bytes (declared per-workload via
+``Workload.secret_regions``) are tainted at ROI entry and propagated
+per-mnemonic through registers and memory, producing a per-instruction
+:class:`PublicnessMap`.  The map drives three tiers downstream:
+
+* **prune** — the microarchitectural tracer skips units no tainted value
+  can reach (``repro.uarch.reachability``);
+* **rank** — localization attribution permutation-tests only
+  taint-reaching committed PCs;
+* **cross-check** — reports compare statistical verdicts against the
+  taint verdict per unit (``TAINT-DISAGREE`` when they conflict).
+"""
+
+from repro.taint.batch_engine import taint_runs_batch
+from repro.taint.engine import (
+    FULL,
+    TRANSIENT_WINDOW,
+    TaintError,
+    TaintInterpreter,
+    TaintShadow,
+    alu_taint,
+    propagate_taint,
+    spread_up,
+    transient_walk,
+)
+from repro.taint.publicness import (
+    MAX_TAINT_STEPS,
+    CampaignPublicness,
+    PublicnessMap,
+    compute_publicness,
+    resolve_secret_spans,
+    taint_run,
+)
+
+__all__ = [
+    "FULL",
+    "MAX_TAINT_STEPS",
+    "TRANSIENT_WINDOW",
+    "CampaignPublicness",
+    "PublicnessMap",
+    "TaintError",
+    "TaintInterpreter",
+    "TaintShadow",
+    "alu_taint",
+    "compute_publicness",
+    "propagate_taint",
+    "resolve_secret_spans",
+    "spread_up",
+    "taint_run",
+    "taint_runs_batch",
+    "transient_walk",
+]

@@ -280,6 +280,14 @@ class MicroarchTracer:
         sampling).  ``incremental=False`` forces the naive resample-always
         path; both produce bit-identical snapshots (the differential tests
         in ``tests/test_tracer_incremental.py`` lock this in).
+    pruned:
+        Feature IDs the taint prescreen proved secret-free
+        (:mod:`repro.uarch.reachability`).  Pruned features are never
+        sampled — zero per-cycle cost, compounding with the version-token
+        memo — but still appear in every record as the constant empty
+        snapshot, so a single category reaches the statistics (V=0, p=1:
+        provably clean, reported as such) and downstream consumers see a
+        complete feature set.
     """
 
     #: Snapshot-level combine-hash memo bound: constant-time workloads
@@ -289,12 +297,13 @@ class MicroarchTracer:
     _COMBINE_CACHE_LIMIT = 4096
 
     def __init__(self, features=None, keep_raw=(), log_commits: bool = False,
-                 incremental: bool = True):
+                 incremental: bool = True, pruned=()):
         ids = tuple(features) if features is not None else FEATURE_ORDER
         unknown = [f for f in ids if f not in FEATURES]
         if unknown:
             raise ValueError(f"unknown feature IDs: {unknown}")
         self.specs: list[FeatureSpec] = [FEATURES[f] for f in ids]
+        self.pruned: frozenset = frozenset(pruned) & frozenset(ids)
         if keep_raw is True:
             self.keep_raw = set(ids)
         else:
@@ -375,12 +384,15 @@ class MicroarchTracer:
             # whole framework, so the memo-hit path must touch nothing but
             # these locals.  A None version means "always resample".
             incremental = self.incremental
+            # Taint-pruned features get no sampler at all: their (empty)
+            # accumulators finalize to the constant empty snapshot.
             self._samplers = [
                 (spec.sample,
                  spec.version if incremental else None,
                  accumulator,
                  accumulator.digests)
                 for spec in self.specs
+                if spec.feature_id not in self.pruned
                 for accumulator in (self._accumulators[spec.feature_id],)
             ]
         elif mnemonic == "iter.end":

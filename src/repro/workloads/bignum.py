@@ -204,7 +204,7 @@ def _build(name: str, body: str, *, n_keys: int, seed: int,
     ) + _MP_MULMOD
     inputs = [{"key": key} for key in balanced_keys(n_keys, 2, seed)]
     return Workload(name=name, source=source, entry="main", inputs=inputs,
-                    description=description)
+                    description=description, secret_regions=["key"])
 
 
 def make_mp_modexp_ct(n_keys: int = 6, seed: int = 2) -> Workload:
@@ -278,4 +278,5 @@ def make_mulmod_selftest(operand_pairs) -> Workload:
     )
     return Workload(name="mp-mulmod-selftest", source=source,
                     inputs=[{"ops": bytes(blob)}],
-                    description="mp_mulmod fuzz harness")
+                    description="mp_mulmod fuzz harness",
+                    secret_regions=["ops"])

@@ -195,6 +195,8 @@ def make_chacha20(n_keys: int = 8, n_blocks: int = 2,
         inputs=[{k: v for k, v in patch.items() if not k.startswith("__")}
                 for patch in inputs],
         description="RFC 7539 ChaCha20 block function (ARX, constant-time)",
+        # The key words: state[4..11], i.e. bytes 16..47 of the packed state.
+        secret_regions=[("state", 16, 32)],
     )
     workload.key_nonces = [(p["__key__"], p["__nonce__"]) for p in inputs]
     workload.n_blocks = n_blocks

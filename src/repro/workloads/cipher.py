@@ -130,7 +130,8 @@ def _make(name: str, body: str, *, n_sets: int, n_runs: int,
         inputs.append({"inputs": pack(states), "keys": pack(keys),
                        "labels": pack(labels)})
     workload = Workload(name=name, source=source, inputs=inputs,
-                        description="6-bit S-box substitution")
+                        description="6-bit S-box substitution",
+                        secret_regions=["keys"])
     workload.sbox = table
     return workload
 

@@ -155,6 +155,7 @@ def make_ct_memcmp(n_pairs: int = 32, length: int = 32, seed: int = 2,
         inputs=inputs,
         description="OpenSSL CRYPTO_memcmp + control-flow consumer "
                     "(Listings 7-8)",
+        secret_regions=["pairs"],
     )
 
 
@@ -276,6 +277,7 @@ def _memcmp_variant(name: str, body: str, description: str, n_pairs: int,
         entry="main",
         inputs=inputs,
         description=description,
+        secret_regions=["pairs"],
     )
 
 

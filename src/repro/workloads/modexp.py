@@ -204,6 +204,7 @@ def _build(name: str, body: str, functions: str, *, epilogue: str = "",
         inputs=_key_inputs(n_keys, seed),
         description=description,
         warm_regions=list(warm_regions),
+        secret_regions=["key"],
     )
 
 
@@ -399,6 +400,7 @@ def make_sam_ct_window(n_keys: int = 8, seed: int = 1) -> Workload:
                                        modulus=DEFAULT_MODULUS),
         entry="main",
         inputs=_key_inputs(n_keys, seed),
+        secret_regions=["key"],
         description="2-bit-window constant-time exponentiation "
                     "(constant_time_lookup based)",
     )
@@ -463,6 +465,7 @@ def make_div_timing(n_keys: int = 8, seed: int = 1) -> Workload:
         entry="main",
         inputs=_key_inputs(n_keys, seed),
         description="secret-dependent divisor on an early-exit divider",
+        secret_regions=["key"],
     )
 
 

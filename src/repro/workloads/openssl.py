@@ -663,6 +663,8 @@ def make_primitive_workload(name: str, *, n_sets: int = 16, n_runs: int = 4,
         inputs=[{k: v for k, v in p.items() if not k.startswith("__")}
                 for p in inputs],
         description=f"OpenSSL {name} (Table V)",
+        # Operands are the secrets; ``labels`` is the public class oracle.
+        secret_regions=["ops_a", "ops_b", "ops_c"],
     )
     workload.operand_sets = [p["__operand_sets__"] for p in inputs]
     return workload

@@ -133,5 +133,7 @@ def make_spectre_v1(n_iters: int = 16, n_runs: int = 4,
         source=_SOURCE.format(labels_bytes=8 * n_iters, n_iters=n_iters),
         inputs=inputs,
         description="Spectre-PHT bounds-check-bypass litmus",
+        # The label array doubles as the planted secret byte (see above).
+        secret_regions=["labels"],
     )
     return workload

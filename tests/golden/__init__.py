@@ -7,6 +7,12 @@ per-unit Cramér's V, bias-corrected V and p-value (and timing-removed V).
 1e-9, so any change to the simulator, the tracer's hashing, or either
 statistics engine that moves a published number is caught as a diff.
 
+The ``taint_*.json`` fixtures pin the secret-taint publicness engine's
+merged campaign maps for the memcmp pair — the early-exit variant (must
+escalate at the compare branch) and the branchless-safe negative control
+(must stay data-only) — so a propagation-rule change that moves an
+attribution or flips a prune decision is caught the same way.
+
 Regenerate after an *intentional* change with::
 
     PYTHONPATH=src python -m tests.golden.regenerate
@@ -120,6 +126,35 @@ def report_to_golden(report) -> dict:
         "config": report.config_name,
         "leaky_units": sorted(report.leaky_units),
         "units": units,
+    }
+
+
+def taint_cases() -> dict:
+    """The pinned taint campaigns, keyed by golden-fixture name.
+
+    Sizes match the audit bundle and the taint differential tests: the
+    escalating early-exit memcmp and its branchless negative control.
+    """
+    from repro.workloads.memcmp import (
+        make_ct_memcmp_safe,
+        make_early_exit_memcmp,
+    )
+
+    return {
+        "taint_ee_memcmp": lambda: make_early_exit_memcmp(
+            n_pairs=8, seed=2, n_runs=2),
+        "taint_ct_memcmp_safe": lambda: make_ct_memcmp_safe(
+            n_pairs=8, seed=2, n_runs=2),
+    }
+
+
+def taint_to_golden(publicness) -> dict:
+    """Project a CampaignPublicness onto the pinned fixture schema."""
+    return {
+        "workload": publicness.workload_name,
+        "seed_bytes": publicness.seed_bytes,
+        "n_maps": len(publicness.maps),
+        "merged": publicness.merged.to_dict(),
     }
 
 

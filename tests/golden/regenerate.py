@@ -23,6 +23,8 @@ from tests.golden import (
     localization_case,
     localization_to_golden,
     report_to_golden,
+    taint_cases,
+    taint_to_golden,
 )
 
 
@@ -36,6 +38,16 @@ def main() -> None:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path.name}: {len(payload['leaky_units'])} leaky units, "
               f"{len(payload['units'])} units")
+
+    from repro.taint import compute_publicness
+
+    for name, factory in taint_cases().items():
+        payload = taint_to_golden(compute_publicness(factory()))
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        merged = payload["merged"]
+        print(f"wrote {path.name}: escalated={merged['escalated']}, "
+              f"{len(merged['tainted_pcs'])} tainted PCs")
 
     workload, config, features = localization_case()
     sampler = MicroSampler(config, engine="python", cache=None)

@@ -1,0 +1,145 @@
+"""Taint off/on differential: the prescreen must be verdict-neutral.
+
+The acceptance bar for the prune and rank tiers: on every bundled
+workload, ``--taint on`` produces **bit-identical** verdicts (the
+leakage flag, the leaky-unit set, every per-unit leaky flag) and
+localization dicts to ``--taint off`` — serially, under ``jobs=4``, and
+on both a cold and a warm trace cache.  Unpruned units must additionally
+carry bit-identical raw statistics; pruned units collapse to the constant
+empty snapshot (V=0, one category), which may differ from the off-run's
+sub-threshold nuisance variation (cold-start timing artifacts) but can
+never differ in verdict — a unit is only pruned when the taint engine
+proved no secret-derived value reaches it, and a pruned-yet-flagged unit
+would surface as ``TAINT-DISAGREE``.
+
+Leaky workloads escalate, so nothing is pruned there and full bit-identity
+is structural.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sampler.pipeline import MicroSampler
+from repro.sampler.report import report_to_dict
+from repro.sampler.trace_cache import TraceCache
+from repro.uarch.config import SMALL_BOOM
+from repro.workloads.chacha import make_chacha20
+from repro.workloads.memcmp import (
+    make_ct_memcmp_safe,
+    make_early_exit_memcmp,
+)
+from repro.workloads.spectre import make_spectre_v1
+
+#: Representative corners: data-only clean (prunes hard), escalated leaky
+#: (prunes nothing), branchless-safe (prunes), transient-only (transient
+#: walk blocks pruning).
+WORKLOADS = {
+    "chacha20": lambda: make_chacha20(n_keys=4, n_blocks=1, seed=3),
+    "ee-mem-cmp": lambda: make_early_exit_memcmp(n_pairs=8, seed=2,
+                                                 n_runs=2),
+    "ct-mem-cmp-safe": lambda: make_ct_memcmp_safe(n_pairs=8, seed=2,
+                                                   n_runs=2),
+    "spectre-v1": lambda: make_spectre_v1(n_iters=8, n_runs=2, seed=3),
+}
+
+#: JSON keys that vary run-to-run or are additive with taint on.
+_VOLATILE = ("timings_seconds", "profile", "taint")
+
+
+def _verdict_view(payload: dict, pruned: set) -> dict:
+    """The comparable projection of a report payload.
+
+    Everything except the pruned units' raw statistics: per-unit leaky
+    flags for all units, full association/MI/root-cause data for units
+    the taint engine did not prune.  ``pruned`` comes from the taint-on
+    payload and is applied to both sides of a comparison.
+    """
+    view = {key: value for key, value in payload.items()
+            if key not in _VOLATILE}
+    units = view.pop("units")
+    view["unit_verdicts"] = {feature_id: unit["leaky"]
+                             for feature_id, unit in units.items()}
+    view["unpruned_units"] = {feature_id: unit
+                              for feature_id, unit in units.items()
+                              if feature_id not in pruned}
+    return view
+
+
+def _report(name, *, taint, jobs=1, cache=None):
+    sampler = MicroSampler(SMALL_BOOM, taint=taint, jobs=jobs, cache=cache)
+    return report_to_dict(sampler.analyze(WORKLOADS[name]()))
+
+
+def _assert_identical(on: dict, off: dict) -> None:
+    pruned = set(on.get("taint", {}).get("pruned", ()))
+    assert _verdict_view(on, pruned) == _verdict_view(off, pruned)
+    # Pruned units must still be verdict-clean on both sides and never
+    # disagree with the statistics.
+    for feature_id in pruned:
+        assert not on["units"][feature_id]["leaky"]
+        assert not off["units"][feature_id]["leaky"]
+        assert on["taint"]["agreement"][feature_id] == "secret-free"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_verdicts_identical_serial(name):
+    off = _report(name, taint=False)
+    on = _report(name, taint=True)
+    assert "taint" not in off
+    assert "taint" in on
+    _assert_identical(on, off)
+
+
+@pytest.mark.parametrize("name", ["chacha20", "ee-mem-cmp"])
+def test_verdicts_identical_parallel(name):
+    off = _report(name, taint=False, jobs=4)
+    on = _report(name, taint=True, jobs=4)
+    _assert_identical(on, off)
+
+
+@pytest.mark.parametrize("name", ["chacha20", "ee-mem-cmp"])
+def test_verdicts_identical_cold_and_warm_cache(name, tmp_path):
+    cache = TraceCache(tmp_path / "cache")
+    off = _report(name, taint=False, cache=cache)
+    cold = _report(name, taint=True, cache=cache)
+    stores_after_cold = cache.stores
+    warm = _report(name, taint=True, cache=cache)
+    _assert_identical(cold, off)
+    # Full bit-identity between the two taint-on runs (wall-clock aside).
+    drop_timings = lambda payload: {key: value
+                                    for key, value in payload.items()
+                                    if key != "timings_seconds"}
+    assert drop_timings(warm) == drop_timings(cold)
+    # The warm taint-on pass replayed everything: pruned task keys are
+    # stable, so the second run stores nothing new.
+    assert cache.stores == stores_after_cold
+
+
+def test_pruned_and_unpruned_runs_never_share_cache_entries(tmp_path):
+    # A pruned trace records constant empty snapshots for the pruned
+    # units; replaying it for an unpruned campaign would fabricate clean
+    # verdicts.  The ``pruned`` key material keeps the entries apart.
+    cache = TraceCache(tmp_path / "cache")
+    _report("chacha20", taint=True, cache=cache)
+    hits_before = cache.hits
+    off = _report("chacha20", taint=False, cache=cache)
+    assert cache.hits == hits_before  # all misses: distinct key space
+    _assert_identical(_report("chacha20", taint=True, cache=cache), off)
+
+
+@pytest.mark.parametrize("name", ["ee-mem-cmp", "ct-mem-cmp-safe"])
+def test_localization_dicts_identical(name):
+    from repro.localize import localization_to_dict, localize
+
+    results = {}
+    for taint in (False, True):
+        sampler = MicroSampler(SMALL_BOOM, taint=taint, cache=None)
+        localization = localize(WORKLOADS[name](), sampler=sampler)
+        payload = localization_to_dict(localization)
+        payload.pop("timings_seconds", None)
+        payload.pop("profile", None)
+        results[taint] = payload
+    # ee-mem-cmp escalates (no restriction applied), ct-mem-cmp-safe has
+    # no leaky units (nothing to localize): both must be byte-identical.
+    assert results[True] == results[False]

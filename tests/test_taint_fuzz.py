@@ -1,0 +1,167 @@
+"""Property-fuzz the taint engine against a two-run architectural oracle.
+
+The soundness property under test: perturb exactly one input byte and
+re-execute; every architectural state byte that changes between the two
+runs must have been marked tainted by a taint run that seeded exactly that
+input byte — unless the engine *escalated* (secret-dependent control or
+address flow), which voids per-byte exoneration by design.  A control-flow
+divergence between the runs therefore demands an escalation verdict.
+
+The oracle is exact (it observes real differences), the engine is a sound
+over-approximation, so the check is one-directional: tainted-but-equal is
+fine, different-but-untainted is a propagation-rule bug.
+
+Programs come from the Cascade-style fuzz generators: straight-line bodies
+isolate the per-mnemonic ALU/memory rules, branchy bodies exercise the
+escalation and implicit-flow paths.  A third suite pins the lane-parallel
+batch engine to the scalar one over ROI-wrapped fuzz programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter
+from repro.kernel.proxy_kernel import ProxyKernel
+from repro.taint import TaintInterpreter, taint_run, taint_runs_batch
+from repro.workloads.fuzz import (
+    _SCRATCH_BYTES,
+    _STRAIGHTLINE_SCRATCH,
+    generate_program,
+    generate_straightline_program,
+)
+
+MAX_STEPS = 500_000
+
+
+def _final_state(program, max_steps=MAX_STEPS):
+    """(pc trace, final regs, final data image) of one architectural run."""
+    kernel = ProxyKernel()
+    interp = Interpreter(program, syscall_handler=kernel.handle_ecall)
+    pcs = []
+    while not interp.halted and interp.steps < max_steps:
+        pcs.append(interp.pc)
+        interp.step()
+    assert interp.halted, "fuzz program did not halt"
+    regs = [interp.read_reg(num) for num in range(32)]
+    data = interp.memory.read_bytes(program.data_base, len(program.data))
+    return pcs, regs, data
+
+
+def _patch(program, blob: bytes):
+    from repro.sampler.runner import patch_program
+
+    return patch_program(program, {"scratch": blob})
+
+
+def _check_oracle(source: str, scratch_bytes: int, seed: int) -> None:
+    """One fuzz case: taint one byte, flip it, diff the two executions."""
+    program = assemble(source, entry="main")
+    rng = random.Random(seed * 7919 + 13)
+    blob = bytes(rng.getrandbits(8) for _ in range(scratch_bytes))
+    offset = rng.randrange(scratch_bytes)
+    flipped = bytearray(blob)
+    flipped[offset] ^= 1 + rng.randrange(255)
+    base = _patch(program, blob)
+    perturbed = _patch(program, bytes(flipped))
+
+    taint = TaintInterpreter(base)
+    taint.taint_bytes(base.symbols["scratch"] + offset, 1)
+    taint.run(max_steps=MAX_STEPS)
+
+    pcs_a, regs_a, data_a = _final_state(base)
+    pcs_b, regs_b, data_b = _final_state(perturbed)
+
+    if pcs_a != pcs_b:
+        assert taint.escalated, (
+            f"seed {seed}: control flow diverged on the perturbed byte "
+            f"(offset {offset}) but the taint engine did not escalate")
+        return
+    if taint.escalated:
+        # Escalation is allowed to be conservative (e.g. a tainted branch
+        # whose both targets happen to converge); per-byte exoneration is
+        # void, so there is nothing further to check.
+        return
+    for num in range(32):
+        diff = regs_a[num] ^ regs_b[num]
+        for byte in range(8):
+            if (diff >> (8 * byte)) & 0xFF:
+                assert taint.reg_taint[num] & (1 << byte), (
+                    f"seed {seed}: x{num} byte {byte} differs between runs "
+                    f"but is not tainted (taint mask "
+                    f"{taint.reg_taint[num]:#04x})")
+    for index, (byte_a, byte_b) in enumerate(zip(data_a, data_b)):
+        if byte_a != byte_b:
+            address = program.data_base + index
+            assert address in taint.mem_taint, (
+                f"seed {seed}: memory byte {address:#x} differs between "
+                f"runs but is not tainted")
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_oracle_straightline(seed):
+    source = generate_straightline_program(seed, length=40)
+    _check_oracle(source, _STRAIGHTLINE_SCRATCH, seed)
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_oracle_branchy(seed):
+    source = generate_program(seed, blocks=4, block_len=6)
+    _check_oracle(source, _SCRATCH_BYTES, seed)
+
+
+# -- batch-lane equivalence --------------------------------------------------
+
+
+def _wrap_roi(source: str) -> str:
+    """Insert ROI markers around a fuzz program's body.
+
+    ``taint_run`` requires an ROI; the markers go right after the scratch
+    base is materialized and right before the exit sequence, so the whole
+    randomized body is analyzed.
+    """
+    lines = source.split("\n")
+    begin = lines.index("    la   s0, scratch") + 1
+    end = next(index for index, line in enumerate(lines)
+               if line == "    li   a7, 93")
+    return "\n".join(lines[:begin] + ["    roi.begin"]
+                     + lines[begin:end - 1] + ["    roi.end"]
+                     + lines[end - 1:])
+
+
+def _lane_cases(generator, scratch_bytes, seed, n_lanes, **kwargs):
+    """One program, ``n_lanes`` input variants (the pipeline's lane shape)."""
+    program = assemble(_wrap_roi(generator(seed, **kwargs)), entry="main")
+    rng = random.Random(seed * 31 + 5)
+    offset = rng.randrange(scratch_bytes)
+    programs, spans = [], []
+    for _ in range(n_lanes):
+        blob = bytes(rng.getrandbits(8) for _ in range(scratch_bytes))
+        programs.append(_patch(program, blob))
+        spans.append([(program.symbols["scratch"] + offset, 4)])
+    return programs, spans
+
+
+@pytest.mark.parametrize("generator,scratch,kwargs", [
+    (generate_straightline_program, _STRAIGHTLINE_SCRATCH, {"length": 30}),
+    (generate_program, _SCRATCH_BYTES, {"blocks": 3, "block_len": 5}),
+])
+@pytest.mark.parametrize("seed", range(4))
+def test_batch_lanes_match_scalar(generator, scratch, kwargs, seed):
+    """Lane-parallel taint maps are identical to per-lane scalar maps.
+
+    Straight-line lanes genuinely run batched (uniform control flow);
+    branchy lanes split on data-dependent branches and fall back to the
+    scalar engine — both paths must land on the same maps.
+    """
+    programs, spans = _lane_cases(generator, scratch, seed, 4, **kwargs)
+    batched = taint_runs_batch(programs, spans, lanes=4,
+                               max_steps=MAX_STEPS)
+    scalar = [taint_run(program, span, max_steps=MAX_STEPS)
+              for program, span in zip(programs, spans)]
+    for index, (from_batch, from_scalar) in enumerate(zip(batched, scalar)):
+        assert from_batch == from_scalar, (
+            f"lane {index}: batch and scalar taint maps disagree")

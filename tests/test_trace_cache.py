@@ -104,6 +104,19 @@ class TestKeying:
         assert task_key(_task(_workload())) != task_key(
             _task(_workload(), log_commits=True))
 
+    def test_pruned_set_changes_key(self):
+        # A taint-pruned trace records constant empty snapshots for the
+        # pruned units; replaying it for an unpruned campaign would
+        # fabricate clean verdicts, so the pruned set is key material.
+        base = _task(_workload())
+        assert task_key(base) != task_key(
+            _task(_workload(), pruned=("Cache-ADDR",)))
+        assert task_key(_task(_workload(), pruned=("Cache-ADDR",))) != \
+            task_key(_task(_workload(), pruned=("Cache-ADDR", "ROB-PC")))
+        # ... but the set is canonicalized, so declaration order is free.
+        assert task_key(_task(_workload(), pruned=("ROB-PC", "Cache-ADDR"))) \
+            == task_key(_task(_workload(), pruned=("Cache-ADDR", "ROB-PC")))
+
     def test_batch_prepass_fields_do_not_change_key(self):
         # The lockstep prepass only changes how the roi.begin checkpoint is
         # captured, never the simulated trace, so --batch-lanes auto and
@@ -216,6 +229,110 @@ class TestReplay:
         assert cold.cramers_v_by_unit() == warm.cramers_v_by_unit()
         assert cold.units["ROB-PC"].association.p_value == \
             warm.units["ROB-PC"].association.p_value
+
+
+class TestPrune:
+    """Orphan-aware garbage collection across both entry stores."""
+
+    @staticmethod
+    def _populate(cache):
+        # warmup_insts + cache makes run_campaign store a checkpoint per
+        # unique program and record its key in each trace payload.
+        run_campaign(_workload(), SMALL_BOOM, cache=cache, warmup_insts=8)
+        traces = sorted(cache.root.rglob("*.pkl"))
+        checkpoints = sorted(cache.root.rglob("*.ckpt"))
+        assert traces and checkpoints
+        return traces, checkpoints
+
+    @staticmethod
+    def _stale_ify(paths):
+        for path in paths:
+            payload = pickle.loads(path.read_bytes())
+            path.write_bytes(pickle.dumps((-1,) + payload[1:]))
+
+    def test_fresh_cache_is_untouched(self, cache):
+        from repro.sampler.trace_cache import prune_cache
+
+        traces, checkpoints = self._populate(cache)
+        result = prune_cache(cache.root)
+        assert result["removed_entries"] == 0
+        assert result["removed"] == {"trace": 0, "checkpoint": 0,
+                                     "orphan": 0}
+        assert sorted(cache.root.rglob("*.pkl")) == traces
+        assert sorted(cache.root.rglob("*.ckpt")) == checkpoints
+
+    def test_stale_traces_orphan_their_checkpoints(self, cache):
+        from repro.sampler.trace_cache import prune_cache
+
+        traces, checkpoints = self._populate(cache)
+        self._stale_ify(traces)
+        result = prune_cache(cache.root)
+        # The checkpoints were current-version but nothing references them
+        # anymore: swept as orphans, counted separately from stale entries.
+        assert result["removed"]["trace"] == len(traces)
+        assert result["removed"]["checkpoint"] == 0
+        assert result["removed"]["orphan"] == len(checkpoints)
+        assert result["removed_entries"] == len(traces) + len(checkpoints)
+        assert result["removed_bytes"] > 0
+        assert not list(cache.root.rglob("*.pkl"))
+        assert not list(cache.root.rglob("*.ckpt"))
+
+    def test_referenced_checkpoints_survive(self, cache):
+        from repro.sampler.trace_cache import prune_cache
+
+        traces, checkpoints = self._populate(cache)
+        # Stale-ify only one trace entry.  Each patched input has its own
+        # checkpoint, so exactly that entry's checkpoint becomes an orphan;
+        # the ones the surviving traces reference must stay.
+        self._stale_ify(traces[:1])
+        result = prune_cache(cache.root)
+        assert result["removed"] == {"trace": 1, "checkpoint": 0,
+                                     "orphan": 1}
+        survivors = sorted(cache.root.rglob("*.ckpt"))
+        assert len(survivors) == len(checkpoints) - 1
+        assert set(survivors) < set(checkpoints)
+
+    def test_stale_checkpoints_are_swept(self, cache):
+        from repro.sampler.trace_cache import prune_cache
+
+        _traces, checkpoints = self._populate(cache)
+        self._stale_ify(checkpoints)
+        result = prune_cache(cache.root)
+        assert result["removed"] == {"trace": 0,
+                                     "checkpoint": len(checkpoints),
+                                     "orphan": 0}
+        assert not list(cache.root.rglob("*.ckpt"))
+
+    def test_prune_all_empties_both_stores(self, cache):
+        from repro.sampler.trace_cache import prune_cache
+
+        traces, checkpoints = self._populate(cache)
+        result = prune_cache(cache.root, all_entries=True)
+        assert result["removed"]["trace"] == len(traces)
+        assert result["removed"]["checkpoint"] == len(checkpoints)
+        assert result["removed"]["orphan"] == 0
+        # Empty shard directories are cleaned up with their entries.
+        assert not list(cache.root.rglob("*"))
+
+    def test_stats_inventories_both_kinds(self, cache):
+        from repro.sampler.trace_cache import cache_stats
+
+        traces, checkpoints = self._populate(cache)
+        self._stale_ify(traces[:1])
+        stats = cache_stats(cache.root)
+        assert stats["trace"]["entries"] == len(traces)
+        assert stats["trace"]["stale_entries"] == 1
+        assert stats["checkpoint"]["entries"] == len(checkpoints)
+        assert stats["checkpoint"]["stale_entries"] == 0
+
+    def test_cli_prune_reports_per_kind_counts(self, cache, capsys):
+        traces, checkpoints = self._populate(cache)
+        self._stale_ify(traces)
+        assert main(["cache", "prune", "--cache-dir",
+                     str(cache.root)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(traces)} stale trace" in out
+        assert f"{len(checkpoints)} orphaned checkpoint" in out
 
 
 class TestCLI:
