@@ -131,13 +131,15 @@ def _add_batch_argument(parser) -> None:
     parser.add_argument(
         "--batch-lanes", type=_batch_lanes_argument, default="auto",
         metavar="{auto,off,N}",
-        help="lockstep batch width for the functional warm-up passes: run "
-             "all inputs' pre-ROI prefixes simultaneously as SIMD lanes of "
-             "one batch interpreter, splitting (and reporting) any lane "
-             "whose control flow or addresses diverge.  'off' captures "
-             "checkpoints one input at a time, bit-identical to the "
-             "unbatched pipeline; only effective when --warmup-insts "
-             "enables checkpointing (default: auto)")
+        help="lockstep lane width: run several inputs simultaneously as "
+             "SIMD lanes — through the functional warm-up passes (one "
+             "batch interpreter; needs --warmup-insts) and through the "
+             "cycle-accurate core itself (one shared pipeline carrying "
+             "per-lane values), splitting (and reporting as a leak "
+             "signal) any lane whose control flow, addresses or "
+             "timing-relevant state diverge.  Verdicts and per-unit "
+             "digests are bit-identical to 'off', which simulates one "
+             "input at a time (default: auto)")
 
 
 def _add_taint_argument(parser) -> None:
@@ -479,6 +481,8 @@ def cmd_submit(args) -> int:
         spec["variable_div"] = True
     if getattr(args, "taint", "off") == "on":
         spec["taint"] = True
+    if getattr(args, "batch_lanes", "auto") != "auto":
+        spec["batch_lanes"] = args.batch_lanes
     if args.kind == "audit":
         spec["workloads"] = args.workloads
     else:
@@ -833,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "events) instead of just the result")
     _add_engine_argument(submit)
     _add_taint_argument(submit)
+    _add_batch_argument(submit)
     submit.set_defaults(func=cmd_submit)
 
     reanalyze = sub.add_parser(

@@ -22,6 +22,12 @@ propagate into reports.
 * ``auto`` — batch at ``min(n_inputs, DEFAULT_MAX_LANES)`` lanes.
 * ``N`` — batch at exactly ``N`` lanes (chunking inputs as needed).
 
+The same lane width also drives the *cycle-accurate* phase: tasks are
+stamped with ``core_lanes`` and consecutive stamped tasks simulate as one
+lockstep :class:`~repro.uarch.batch_core.BatchCore` group (see
+``exec_backend._lane_groups``), with the identical divergence-as-signal
+semantics at microarchitectural granularity.
+
 The differential test battery (``tests/test_batch_interpreter.py``,
 ``tests/test_checkpoint.py``) enforces that batched captures are
 bit-identical to scalar ones; modes still never share checkpoint-store

@@ -35,7 +35,7 @@ import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.isa.assembler import Program
 from repro.kernel.memory_map import MemoryMap
@@ -89,6 +89,14 @@ class RunTask:
     #: records the constant empty snapshot instead.  Changes the recorded
     #: trace, so it joins the trace-cache key.
     pruned: tuple = ()
+    #: Lane width for batching the cycle-accurate core phase itself
+    #: (:mod:`repro.uarch.batch_core`): consecutive tasks with the same
+    #: width > 1 run through one shared pipeline.  The traced results are
+    #: pinned bit-identical to scalar runs, but the lane set determines
+    #: which inputs *can* share a pipeline — and hence which checkpoint
+    #: payloads a cached trace may reference — so unlike ``batch_lanes``
+    #: it **joins** the trace-cache key.
+    core_lanes: int | None = None
 
 
 @dataclass
@@ -110,6 +118,12 @@ class RunOutput:
     #: checkpointing).  Persisted with cached traces so ``cache prune`` can
     #: tell live checkpoints from orphans.
     checkpoint_key: str | None = None
+    #: Cross-lane divergence events observed while this input ran in a
+    #: lane-batched core group (attached to the group's first output, with
+    #: lanes remapped to run indices).  A divergence is simultaneously the
+    #: scalar-fallback trigger and a first-class leak signal, mirroring the
+    #: functional batch prepass (PR 6).
+    divergences: tuple = ()
 
 
 def execute_run(task: RunTask) -> RunOutput:
@@ -203,6 +217,214 @@ def execute_run(task: RunTask) -> RunOutput:
     )
 
 
+def _execute_lockstep(tasks: list[RunTask]) -> list[RunOutput]:
+    """Run one lane group through a shared :class:`BatchCore` pipeline.
+
+    All tasks must come from one campaign (same program stream, config,
+    memory map and tracer settings; only patched data and run indices
+    differ).  Raises :class:`~repro.uarch.batch_core.LaneDivergence` when
+    the lanes cannot share a pipeline — the caller partitions and retries.
+    """
+    from repro.sampler.runner import WorkloadError
+    from repro.trace.tracer import BatchTracer
+    from repro.uarch.batch_core import BatchCore
+
+    head = tasks[0]
+    n_lanes = len(tasks)
+    tracer = BatchTracer(n_lanes, features=head.features,
+                         keep_raw=head.keep_raw,
+                         log_commits=head.log_commits,
+                         pruned=head.pruned)
+    tracer.timed = True
+    tracer.begin_lane_runs([task.run_index for task in tasks])
+
+    checkpoints = [task.checkpoint for task in tasks]
+    ff_seconds = 0.0
+    if head.warmup_insts is not None:
+        from repro.sampler.checkpoint import CheckpointStore, load_or_capture
+
+        started = time.perf_counter()
+        for lane, task in enumerate(tasks):
+            if checkpoints[lane] is None:
+                store = (CheckpointStore(task.checkpoint_dir)
+                         if task.checkpoint_dir else None)
+                checkpoints[lane] = load_or_capture(
+                    task.program, memory_map=task.memory_map,
+                    warmup_insts=task.warmup_insts, store=store,
+                    batch_lanes=task.batch_lanes,
+                )
+        ff_seconds = time.perf_counter() - started
+
+    core = BatchCore(
+        [task.program for task in tasks], head.config,
+        memory_map=head.memory_map,
+        tracer=tracer,
+    )
+    if head.log_commits:
+        core.commit_listener = tracer.on_commit
+    if head.profile:
+        from repro.util.profiling import StageProfile
+
+        core.profiler = StageProfile()
+    run_started = time.perf_counter()
+    have = sum(1 for ckpt in checkpoints if ckpt is not None)
+    if 0 < have < n_lanes:
+        # Some lanes checkpointed, some not: they cannot share a pipeline.
+        core._diverge("checkpoint", core.fetch_pc, "<restore>",
+                      tuple(ckpt is not None for ckpt in checkpoints))
+    if have:
+        heads = tuple((ckpt.pc, ckpt.steps) for ckpt in checkpoints)
+        if any(entry != heads[0] for entry in heads[1:]):
+            core._diverge("checkpoint", heads[0][0], "<restore>", heads)
+        if checkpoints[0].steps > 0:
+            # Step-0 checkpoints are the reset state: skip the restore so
+            # the run is the full-simulation code path (same rule as the
+            # scalar backend).
+            started = time.perf_counter()
+            core.restore_architectural_states(checkpoints)
+            ff_seconds += time.perf_counter() - started
+    for symbol, length in head.warm_regions:
+        base = head.program.symbols[symbol]
+        for address in range(base, base + length, 64):
+            core.dcache.warm_line(address)
+    ff_steps = checkpoints[0].steps if checkpoints[0] is not None else 0
+    if core.profiler is not None:
+        core.profiler.fastforward_seconds += ff_seconds
+        core.profiler.ff_steps += ff_steps
+        started = time.perf_counter()
+        while (not core.halted and not tracer.roi_seen
+                and core.cycle < head.max_cycles):
+            core.step()
+        core.profiler.warmup_seconds += time.perf_counter() - started
+    core.run(max_cycles=head.max_cycles)
+    if core.profiler is not None:
+        core.profiler.batchcore_seconds += time.perf_counter() - run_started
+        core.profiler.batchcore_runs += 1
+    for lane, task in enumerate(tasks):
+        exit_code = core.kernel.kernels[lane].exit_code
+        if (task.expect_exit_code is not None
+                and exit_code != task.expect_exit_code):
+            raise WorkloadError(
+                f"workload {task.workload_name!r} exited with "
+                f"{exit_code} (expected {task.expect_exit_code})"
+            )
+    outputs = []
+    sample_seconds = tracer.sample_seconds + tracer.finalize_seconds
+    for lane, task in enumerate(tasks):
+        kernel = core.kernel.kernels[lane]
+        ckpt_key = None
+        if task.warmup_insts is not None and task.checkpoint_dir:
+            from repro.sampler.checkpoint import checkpoint_key
+
+            ckpt_key = checkpoint_key(task.program, task.memory_map,
+                                      task.warmup_insts,
+                                      batch_lanes=task.batch_lanes)
+        outputs.append(RunOutput(
+            run_index=task.run_index,
+            iterations=tracer.lane_iterations[lane],
+            run=RunResult(
+                exit_code=kernel.exit_code,
+                # Timing is shared by construction, so every lane's stats
+                # equal the scalar run's (pinned by the differential suite).
+                stats=replace(core.stats),
+                console=kernel.console_text,
+            ),
+            cycles_sampled=tracer.cycles_sampled,
+            sample_seconds=sample_seconds if lane == 0 else 0.0,
+            ff_steps=ff_steps,
+            profile=core.profiler if lane == 0 else None,
+            checkpoint_key=ckpt_key,
+        ))
+    return outputs
+
+
+def execute_run_batch(tasks: list[RunTask]) -> list[RunOutput]:
+    """Execute one lane group, falling back to scalar on divergence.
+
+    On :class:`~repro.uarch.batch_core.LaneDivergence` the lanes are
+    partitioned by their divergence keys (lanes that still agree stay
+    batched together) and re-run from the start; the event — with lanes
+    remapped to campaign run indices — is attached to the group's first
+    output as a first-class leak signal.
+    """
+    from repro.uarch.batch_core import LaneDivergence
+
+    if len(tasks) == 1:
+        return [execute_run(tasks[0])]
+    try:
+        return _execute_lockstep(tasks)
+    except LaneDivergence as exc:
+        fallback_started = time.perf_counter()
+        event = _remap_event_lanes(exc.event, tasks)
+        groups: dict = {}
+        order = []
+        for lane, key in enumerate(exc.lane_keys):
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(lane)
+        outputs: list[RunOutput | None] = [None] * len(tasks)
+        if len(order) == 1:
+            # Defensive: a divergence with one equality class cannot be
+            # partitioned — run every lane scalar.
+            for lane, task in enumerate(tasks):
+                outputs[lane] = execute_run(task)
+        else:
+            for key in order:
+                members = groups[key]
+                results = execute_run_batch([tasks[lane] for lane in members])
+                for member, result in zip(members, results):
+                    outputs[member] = result
+        events = [event]
+        for output in outputs:
+            if output.divergences:
+                events.extend(output.divergences)
+                output.divergences = ()
+        outputs[0].divergences = tuple(events)
+        if outputs[0].profile is not None:
+            outputs[0].profile.fallback_seconds += (
+                time.perf_counter() - fallback_started)
+        return outputs
+
+
+def _remap_event_lanes(event, tasks):
+    """Remap a divergence event's lane numbers to campaign run indices."""
+    return replace(
+        event, lanes=tuple(tasks[lane].run_index for lane in event.lanes))
+
+
+def _lane_groups(tasks: list[RunTask]) -> list[list[RunTask]]:
+    """Partition tasks (order-preserving) into batched-core lane groups.
+
+    Consecutive tasks carrying the same ``core_lanes`` width > 1 form
+    groups of at most that width; everything else stays a singleton.
+    """
+    groups: list[list[RunTask]] = []
+    index = 0
+    count = len(tasks)
+    while index < count:
+        width = tasks[index].core_lanes or 0
+        if width > 1:
+            end = index + 1
+            while (end < count and end - index < width
+                    and (tasks[end].core_lanes or 0) > 1):
+                end += 1
+            groups.append(list(tasks[index:end]))
+            index = end
+        else:
+            groups.append([tasks[index]])
+            index += 1
+    return groups
+
+
+def execute_task_list(tasks: list[RunTask]) -> list[RunOutput]:
+    """Execute tasks in order, lane-batching eligible consecutive groups."""
+    outputs: list[RunOutput] = []
+    for group in _lane_groups(tasks):
+        outputs.extend(execute_run_batch(group))
+    return outputs
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a job-count request: ``None``/``0`` means "all CPUs"."""
     if not jobs:
@@ -228,26 +450,34 @@ def execute_tasks(tasks: list[RunTask], jobs: int | None = 1,
     """Execute ``tasks``, returning outputs in **task order**.
 
     With a ``pool`` (a long-lived :class:`WorkerPool`, e.g. the campaign
-    service's), every task is dispatched as its own shard and the outputs
-    are gathered in submission order.  Otherwise ``jobs <= 1`` (or a single
-    task) runs in-process, and ``jobs > 1`` spins up a per-call process
-    pool; ``Executor.map`` yields results in submission order, so completion
-    order never influences the merge, and a worker's ``WorkloadError``
-    propagates to the caller unchanged.
+    service's), every lane group is dispatched as its own shard and the
+    outputs are gathered in submission order.  Otherwise ``jobs <= 1`` (or
+    a single group) runs in-process, and ``jobs > 1`` spins up a per-call
+    process pool; ``Executor.map`` yields results in submission order, so
+    completion order never influences the merge, and a worker's
+    ``WorkloadError`` propagates to the caller unchanged.
+
+    The dispatch unit is a *lane group* (see :func:`_lane_groups`): a
+    batched-core group must land whole in one worker, and without core
+    batching every group is a singleton, so this degenerates to the
+    original per-task behaviour.
     """
     if pool is not None and len(tasks) > 0:
-        futures = [pool.submit([task]) for task in tasks]
+        futures = [pool.submit(group) for group in _lane_groups(tasks)]
         outputs: list[RunOutput] = []
         for future in futures:
             outputs.extend(future.result())
         return outputs
+    groups = _lane_groups(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [execute_run(task) for task in tasks]
-    workers = min(jobs, len(tasks))
+    if jobs <= 1 or len(groups) <= 1:
+        return execute_task_list(tasks)
+    workers = min(jobs, len(groups))
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=_pool_context()) as pool_:
-        return list(pool_.map(execute_run, tasks))
+        return [output
+                for outputs in pool_.map(execute_run_batch, groups)
+                for output in outputs]
 
 
 # -- persistent worker pool (campaign service) -------------------------------
@@ -312,9 +542,10 @@ def _pool_worker(conn) -> None:
         shard_id, tasks = item
         try:
             outputs = []
-            for task in tasks:
-                maybe_inject_worker_fault()
-                outputs.append(execute_run(task))
+            for group in _lane_groups(tasks):
+                for _ in group:
+                    maybe_inject_worker_fault()
+                outputs.extend(execute_run_batch(group))
             reply = (shard_id, True, outputs)
         except BaseException as exc:  # noqa: BLE001 - reported, not raised
             reply = (shard_id, False, f"{type(exc).__name__}: {exc}")

@@ -118,11 +118,14 @@ class LeakageReport:
     #: Per-stage simulator time breakdown (``--profile``), merged over all
     #: simulated runs (:class:`repro.util.profiling.StageProfile`).
     profile: object | None = None
-    #: Lockstep divergences observed by the batch prepass
-    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`): points where
-    #: an input's *pre-ROI* control flow, memory footprint or syscall
-    #: behaviour depended on its data.  Empty when batching is off or the
-    #: prologue is input-independent.
+    #: Lockstep divergences observed by the batch prepass and by the
+    #: lane-batched cycle-accurate core
+    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`): points
+    #: where an input's control flow, memory footprint, syscall behaviour
+    #: or timing-relevant microarchitectural state depended on its data.
+    #: A first-class leak signal in its own right — constant-time code
+    #: stays lockstep end to end.  Empty when batching is off or execution
+    #: is input-independent.
     divergences: list = field(default_factory=list)
     #: Secret-taint prescreen results (:class:`TaintSummary`); ``None``
     #: when the analysis ran with ``taint`` off, so off-mode reports
@@ -208,11 +211,16 @@ class MicroSampler:
         #: ``warmup_iterations``, which drops *traced* iterations from the
         #: statistical analysis.
         self.warmup_insts = warmup_insts
-        #: Lockstep batch prepass for the functional warm-up (``None`` =
-        #: off, ``"auto"``, or an int lane width; see
-        #: :mod:`repro.sampler.batch`).  Only effective when
-        #: ``warmup_insts`` enables checkpointing; never changes what the
-        #: cycle-accurate core simulates.
+        #: Lockstep lane batching (``None`` = off, ``"auto"``, or an int
+        #: lane width; see :mod:`repro.sampler.batch`): the functional
+        #: warm-up runs as a SIMD-across-inputs prepass (needs
+        #: ``warmup_insts``), and the cycle-accurate phase carries the
+        #: campaign inputs as value lanes through one shared
+        #: :class:`~repro.uarch.batch_core.BatchCore`.  Timing state is
+        #: shared, so verdicts and per-unit digests are bit-identical to
+        #: scalar simulation; cross-lane divergence falls the affected
+        #: lanes back to the scalar core and is surfaced on
+        #: ``LeakageReport.divergences``.
         self.batch_lanes = batch_lanes
         #: Also score every unit with MicroWalk-style mutual information
         #: (plus a label-permutation significance test) as a cross-check.

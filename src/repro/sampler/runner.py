@@ -105,10 +105,13 @@ class CampaignResult:
     #: Instructions skipped via functional fast-forward, summed over runs
     #: (0 when checkpointing is disabled or nothing could be skipped).
     ff_steps_total: int = 0
-    #: Lockstep divergences observed by the batch prepass
-    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`).  A divergent
-    #: prologue is data-dependent execution — itself a leak signal — so
-    #: these are surfaced in reports rather than silently absorbed.
+    #: Lockstep divergences observed by the batch prepass **and** by the
+    #: lane-batched cycle-accurate core
+    #: (:class:`~repro.isa.batch_interpreter.DivergenceEvent`).  Divergent
+    #: execution across inputs is data-dependent execution — itself a leak
+    #: signal — so these are surfaced in reports rather than silently
+    #: absorbed; ``lanes`` on core-phase events holds campaign input
+    #: indices.
     divergences: list = field(default_factory=list)
 
     @property
@@ -123,7 +126,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                  features, keep_raw, log_commits, memory_map,
                  max_cycles_per_run, expect_exit_code,
                  warmup_insts=None, checkpoint_dir=None,
-                 profile=False, pruned=()) -> list[RunTask]:
+                 profile=False, pruned=(), core_lanes=None) -> list[RunTask]:
     return [
         RunTask(
             run_index=run_index,
@@ -142,6 +145,7 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
             checkpoint_dir=checkpoint_dir,
             profile=bool(profile),
             pruned=tuple(pruned),
+            core_lanes=core_lanes,
         )
         for run_index, patches in enumerate(workload.inputs)
     ]
@@ -224,6 +228,16 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         from repro.sampler.checkpoint import CheckpointStore
 
         checkpoint_dir = str(CheckpointStore.for_cache_root(cache.root).root)
+    # Resolve the lockstep lane width up front: ``core_lanes`` joins every
+    # task's cache key (a lane-batched run references lane-batched
+    # checkpoints and records divergence events), so it must be stamped
+    # before the cache is consulted.
+    core_lanes = None
+    if batch_lanes is not None:
+        from repro.sampler.batch import resolve_batch_lanes
+
+        width = resolve_batch_lanes(batch_lanes, len(workload.inputs))
+        core_lanes = width if width > 1 else None
     program = workload.assemble()
     tasks = _build_tasks(
         workload, program, config, features=features, keep_raw=keep_raw,
@@ -234,6 +248,7 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         checkpoint_dir=checkpoint_dir,
         profile=profile,
         pruned=pruned,
+        core_lanes=core_lanes,
     )
 
     started = time.perf_counter()
@@ -309,6 +324,11 @@ def finalize_campaign(plan: CampaignPlan) -> CampaignResult:
                              pruned=plan.tasks[0].pruned if plan.tasks else ())
     tracer.timed = True
     runs = merge_outputs(plan.outputs, tracer)
+    # Core-phase lockstep divergences ride on each batch group's first
+    # output; gather them after the prepass events, in input order.
+    divergences = list(plan.divergences)
+    for output in plan.outputs:
+        divergences.extend(output.divergences)
     elapsed = time.perf_counter() - plan.started
     parse_seconds = tracer.sample_seconds
     merged_profile = None
@@ -327,7 +347,7 @@ def finalize_campaign(plan: CampaignPlan) -> CampaignResult:
         n_cached_runs=plan.n_cached,
         profile=merged_profile,
         ff_steps_total=sum(output.ff_steps for output in plan.outputs),
-        divergences=plan.divergences,
+        divergences=divergences,
     )
 
 
@@ -359,13 +379,16 @@ def run_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     enables fast-forward checkpointing (``None`` = full simulation; see
     :mod:`repro.sampler.checkpoint`); checkpoints persist under
     ``checkpoint_dir``, defaulting to a ``checkpoints/`` subdirectory of the
-    trace-cache root when a cache is in use.  ``batch_lanes`` selects the
-    lockstep batch prepass for the functional warm-up (``None`` = off,
-    ``"auto"``, or an int lane width; see :mod:`repro.sampler.batch`) — it
-    only changes how checkpoints are captured, never what is simulated, and
-    requires checkpointing to be enabled (``warmup_insts`` not None) to have
-    any effect.  Divergences the prepass observes are returned on
-    ``CampaignResult.divergences``.  ``profile`` attaches a
+    trace-cache root when a cache is in use.  ``batch_lanes`` selects
+    lockstep lane batching (``None`` = off, ``"auto"``, or an int lane
+    width; see :mod:`repro.sampler.batch`): the functional warm-up runs as
+    a SIMD-across-inputs prepass (requires ``warmup_insts``), and the
+    cycle-accurate phase carries the same inputs as value lanes through one
+    shared core (:mod:`repro.uarch.batch_core`) — timing state is shared,
+    so verdicts and per-unit digests stay bit-identical to scalar runs;
+    any cross-lane divergence in timing-relevant state falls the affected
+    lanes back to scalar simulation.  Divergences observed by either phase
+    are returned on ``CampaignResult.divergences``.  ``profile`` attaches a
     per-stage wall-clock profiler to every simulated core and reports the
     merged breakdown on ``CampaignResult.profile`` (cache hits, which do no
     simulation work, contribute nothing).

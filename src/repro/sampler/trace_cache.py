@@ -33,6 +33,7 @@ import tempfile
 from pathlib import Path
 
 import repro
+from repro.isa.batch_interpreter import DivergenceEvent
 from repro.sampler.exec_backend import RunOutput, RunTask
 from repro.trace.features import FEATURE_ORDER
 from repro.trace.tracer import iteration_from_payload, iteration_to_payload
@@ -46,12 +47,16 @@ from repro.util.hashing import stable_hex_digest
 #: key material, payloads record the fast-forwarded instruction count);
 #: 4 = taint-pruned tracing (``pruned`` joined the key material, payloads
 #: record the checkpoint key the run used so ``cache prune`` can sweep
-#: orphaned checkpoint-store entries).
+#: orphaned checkpoint-store entries);
+#: 5 = lane-batched core simulation (``core_lanes`` joined the key
+#: material — the lane set determines which lane-batched checkpoint
+#: payloads a trace may reference — and payloads record the divergence
+#: events observed while the input ran in a batched group).
 #: Entries written by older versions fail the version check and decode as
 #: misses, so campaigns needing localization inputs are transparently
 #: re-simulated instead of replaying traces without them; ``microsampler
 #: cache prune`` garbage-collects the stale files.
-CACHE_FORMAT_VERSION = 4
+CACHE_FORMAT_VERSION = 5
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
@@ -106,6 +111,10 @@ def task_key(task: RunTask) -> str:
         # pruned trace must never replay for an unpruned campaign (or with
         # a different pruned set) and vice versa.
         tuple(sorted(task.pruned)),
+        # Lane-batched core runs reference lane-batched checkpoint payloads
+        # and record the divergence events their batch group observed, both
+        # of which depend on the lane width the campaign ran at.
+        task.core_lanes,
     )
     return stable_hex_digest(material)
 
@@ -121,14 +130,16 @@ def _output_to_payload(output: RunOutput) -> tuple:
         output.sample_seconds,
         output.ff_steps,
         output.checkpoint_key,
+        tuple((d.pc, d.step, d.kind, d.mnemonic, tuple(d.lanes))
+              for d in output.divergences),
     )
 
 
 def _output_from_payload(payload: tuple) -> RunOutput | None:
-    if not isinstance(payload, tuple) or len(payload) != 7:
+    if not isinstance(payload, tuple) or len(payload) != 8:
         return None
     (version, iterations, run, cycles_sampled, sample_seconds,
-     ff_steps, ckpt_key) = payload
+     ff_steps, ckpt_key, divergences) = payload
     if version != CACHE_FORMAT_VERSION:
         return None
     exit_code, stats, console, marker_cycles = run
@@ -146,6 +157,11 @@ def _output_from_payload(payload: tuple) -> RunOutput | None:
         from_cache=True,
         ff_steps=ff_steps,
         checkpoint_key=ckpt_key,
+        divergences=tuple(
+            DivergenceEvent(pc=pc, step=step, kind=kind,
+                            mnemonic=mnemonic, lanes=tuple(lanes))
+            for pc, step, kind, mnemonic, lanes in divergences
+        ),
     )
 
 

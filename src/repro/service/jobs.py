@@ -37,9 +37,35 @@ import asyncio
 import itertools
 from dataclasses import dataclass, fields
 
+from repro.sampler.exec_backend import _lane_groups
 from repro.sampler.runner import prepare_campaign
 from repro.service.queue import PriorityJobQueue
 from repro.service.shard import shard_size_for
+
+
+def _plan_shards(claimed: list, tasks: list, size: int) -> list[list]:
+    """Pack claimed task indices into shards without splitting lane groups.
+
+    Tasks stamped with ``core_lanes`` must reach one worker together to
+    simulate as a lockstep batch (their cache keys promise lane-batched
+    outputs), so shards are built from whole lane groups; a group larger
+    than the target shard size becomes its own oversized shard.
+    """
+    index_groups: list[list] = []
+    cursor = 0
+    for lane_group in _lane_groups([tasks[index] for index in claimed]):
+        index_groups.append(claimed[cursor:cursor + len(lane_group)])
+        cursor += len(lane_group)
+    shards: list[list] = []
+    current: list = []
+    for group in index_groups:
+        if current and len(current) + len(group) > size:
+            shards.append(current)
+            current = []
+        current.extend(group)
+    if current:
+        shards.append(current)
+    return shards
 
 JOB_KINDS = ("analyze", "localize", "audit")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -92,6 +118,10 @@ class JobSpec:
     #: fast-forward budget; "default" = the CLI default (512), accepts the
     #: CLI's ``none``/``full``/int forms.
     warmup_insts: object = "default"
+    #: lockstep lane batching (functional prepass + lane-batched
+    #: cycle-accurate core).  Joins every task's trace-cache key via
+    #: ``core_lanes``, so shard planning must keep lane groups whole —
+    #: see :meth:`JobManager._warm_campaign`.
     batch_lanes: object = "auto"
     no_timing_removed: bool = False
     #: secret-taint publicness prescreen (``--taint on``): prune tracing,
@@ -494,6 +524,13 @@ class JobManager:
         fast-forward and batching knobs, same cache.  Cache hits are left
         where they are (no slot), in-flight twins are awaited (dedup), and
         only genuinely fresh inputs become pool shards.
+
+        Shard planning is lane-aware: tasks stamped with ``core_lanes``
+        simulate as one lockstep :class:`~repro.uarch.batch_core.BatchCore`
+        group, so a shard boundary must never split a lane group — the
+        worker batches whatever whole groups land in its shard, and the
+        cached outputs stay bit-identical to the one-shot CLI run (the
+        consistency contract).
         """
         plan = await self._in_thread(
             lambda: prepare_campaign(
@@ -548,8 +585,7 @@ class JobManager:
         try:
             size = self.shard_size or shard_size_for(
                 len(claimed), self.pool.n_workers)
-            groups = [claimed[start:start + size]
-                      for start in range(0, len(claimed), size)]
+            groups = _plan_shards(claimed, plan.tasks, size)
             shard_futures = [
                 (group, asyncio.wrap_future(
                     self.pool.submit([plan.tasks[index]

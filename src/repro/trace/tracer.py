@@ -28,6 +28,8 @@ import time
 from array import array
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.trace.features import FEATURE_ORDER, FEATURES, FeatureSpec
 from repro.util.hashing import combine_digests, pack_digests, row_digest, siphash24
 
@@ -197,6 +199,48 @@ class _FeatureAccumulator:
         return combine(digests)
 
 
+class _BatchFeatureAccumulator(_FeatureAccumulator):
+    """Accumulator variant for lane-batched core runs.
+
+    Rows sampled from a :class:`~repro.uarch.batch_core.BatchCore` are
+    identical across lanes except where a value is a per-lane tuple
+    (currently only LFB-Data digests can be).  This accumulator records
+    run lengths alongside the deduplicated rows so
+    :meth:`BatchTracer._project_lane` can replay each lane's scalar
+    snapshot exactly; once a tuple-bearing row appears (``laned``) the
+    shared digest stream is meaningless and placeholder digests are
+    stored.  A laned accumulator must therefore never be finalized
+    directly (its placeholder dedup digests would poison the process-wide
+    snapshot memo) — only projected per lane through fresh scalar
+    accumulators.
+    """
+
+    __slots__ = ("run_lengths", "laned")
+
+    def __init__(self):
+        super().__init__()
+        #: repeat count per deduplicated row, in step with ``dedup_rows``.
+        self.run_lengths: list[int] = []
+        self.laned = False
+
+    def add(self, row: tuple) -> None:
+        if row == self.prev_row:
+            digests = self.digests
+            digests.append(digests[-1])
+            self.run_lengths[-1] += 1
+            return
+        if any(type(value) is tuple for value in row):
+            self.laned = True
+            digest = 0
+        else:
+            digest = row_digest(row)
+        self.digests.append(digest)
+        self.dedup_digests.append(digest)
+        self.dedup_rows.append(row)
+        self.prev_row = row
+        self.run_lengths.append(1)
+
+
 def build_feature_iteration(rows, keep_raw: bool = True) -> FeatureIteration:
     """Build a :class:`FeatureIteration` from raw per-cycle state rows.
 
@@ -296,6 +340,10 @@ class MicroarchTracer:
     #: if it ever grows past this many entries.
     _COMBINE_CACHE_LIMIT = 4096
 
+    #: Per-feature accumulator constructor; :class:`BatchTracer` swaps in
+    #: the run-length-tracking batch variant.
+    _accumulator_factory = _FeatureAccumulator
+
     def __init__(self, features=None, keep_raw=(), log_commits: bool = False,
                  incremental: bool = True, pruned=()):
         ids = tuple(features) if features is not None else FEATURE_ORDER
@@ -377,7 +425,8 @@ class MicroarchTracer:
             self._run_ordinal += 1
             self._commit_log = []
             self._accumulators = {
-                spec.feature_id: _FeatureAccumulator() for spec in self.specs
+                spec.feature_id: self._accumulator_factory()
+                for spec in self.specs
             }
             # Pre-bound (sampler, version, accumulator, digest-list) tuples:
             # the per-cycle loop in on_cycle is the hottest code in the
@@ -510,3 +559,161 @@ class MicroarchTracer:
 
     def iteration_cycle_counts(self) -> list[int]:
         return [record.cycles for record in self.iterations]
+
+
+class BatchTracer(MicroarchTracer):
+    """Tracer for a :class:`~repro.uarch.batch_core.BatchCore` run.
+
+    The shared cycle loop samples each feature exactly once per cycle —
+    the whole point of lane batching — and this tracer fans the result
+    back out into N per-lane iteration records that are bit-identical to N
+    scalar runs.  Almost every sampled row is lane-invariant (addresses,
+    PCs, occupancies: all timing state, which the batch core keeps
+    scalar); only rows carrying per-lane value tuples (LFB-Data digests)
+    and per-lane ``iter.begin`` labels differ, and those are projected per
+    lane at ``iter.end`` via run-length replay.
+
+    Results live in :attr:`lane_iterations` (one record list per lane);
+    the inherited ``iterations``/columnar views stay empty.
+    """
+
+    _accumulator_factory = _BatchFeatureAccumulator
+
+    def __init__(self, n_lanes: int, features=None, keep_raw=(),
+                 log_commits: bool = False, incremental: bool = True,
+                 pruned=()):
+        super().__init__(features=features, keep_raw=keep_raw,
+                         log_commits=log_commits, incremental=incremental,
+                         pruned=pruned)
+        self.n_lanes = n_lanes
+        self.lane_iterations: list[list[IterationRecord]] = [
+            [] for _ in range(n_lanes)
+        ]
+        self.lane_run_indices: tuple[int, ...] = (0,) * n_lanes
+        self._open_labels: tuple[int, ...] | None = None
+
+    def begin_lane_runs(self, run_indices) -> None:
+        """Declare each lane's campaign run index before the shared run.
+
+        The shared cycle loop is *one* run from the base tracer's point of
+        view, but every projected per-lane record must carry the lane's own
+        run index to stay bit-identical to the scalar run it stands in for.
+        """
+        self.lane_run_indices = tuple(run_indices)
+        if len(self.lane_run_indices) != self.n_lanes:
+            raise TraceError("one run index per lane required")
+        self.begin_run(self.lane_run_indices[0])
+
+    # -- core callbacks -------------------------------------------------------
+
+    def on_marker(self, mnemonic: str, label, cycle: int) -> None:
+        if mnemonic == "iter.end":
+            self._close_lane_records(cycle)
+            return
+        lane_labels = None
+        if mnemonic == "iter.begin":
+            if isinstance(label, np.ndarray):
+                lane_labels = tuple(int(value) for value in label)
+                label = lane_labels[0]
+            else:
+                lane_labels = (int(label),) * self.n_lanes
+        was_open = self._open
+        super().on_marker(mnemonic, label, cycle)
+        if (mnemonic == "iter.begin" and was_open is None
+                and self._open is not None):
+            self._open_labels = lane_labels
+
+    def on_cycle(self, core, cycle: int) -> None:
+        if self._open is None:
+            return
+        started = time.perf_counter() if self.timed else 0.0
+        self.cycles_sampled += 1
+        for sample, version, accumulator, digests in self._samplers:
+            if version is not None:
+                token = version(core)
+                if token == accumulator.last_token:
+                    digests.append(digests[-1])
+                    accumulator.run_lengths[-1] += 1
+                    continue
+                accumulator.last_token = token
+            accumulator.add(sample(core))
+        if self.timed:
+            self.sample_seconds += time.perf_counter() - started
+
+    # -- per-lane finalization ------------------------------------------------
+
+    def _close_lane_records(self, cycle: int) -> None:
+        """``iter.end``: finalize the shared window into per-lane records.
+
+        Lane-invariant features are finalized once and the frozen
+        :class:`FeatureIteration` is shared across every lane's record;
+        laned features are replayed per lane through fresh scalar
+        accumulators (which re-deduplicate exactly as a scalar run would,
+        and may use the shared snapshot memo because their digests are
+        real).
+        """
+        if self._open is None:
+            if self.roi_seen and not self.roi_active:
+                return
+            raise TraceError("iter.end without iter.begin")
+        started = time.perf_counter() if self.timed else 0.0
+        record = self._open
+        record.end_cycle = cycle
+        commits = None
+        if self.log_commits:
+            commits = tuple(self._commit_log)
+            self._commit_log = []
+        combine = self._combine_cached
+        snapshot_cache = self._snapshot_cache
+        shared: dict[str, FeatureIteration] = {}
+        laned: dict[str, _BatchFeatureAccumulator] = {}
+        for spec in self.specs:
+            accumulator = self._accumulators[spec.feature_id]
+            if accumulator.laned:
+                laned[spec.feature_id] = accumulator
+            else:
+                shared[spec.feature_id] = accumulator.finalize(
+                    spec.feature_id in self.keep_raw, combine, snapshot_cache
+                )
+        for lane in range(self.n_lanes):
+            features: dict[str, FeatureIteration] = {}
+            for spec in self.specs:
+                feature_id = spec.feature_id
+                if feature_id in laned:
+                    features[feature_id] = self._project_lane(
+                        laned[feature_id], lane,
+                        feature_id in self.keep_raw, combine, snapshot_cache
+                    )
+                else:
+                    features[feature_id] = shared[feature_id]
+            records = self.lane_iterations[lane]
+            records.append(IterationRecord(
+                index=len(records),
+                label=self._open_labels[lane],
+                start_cycle=record.start_cycle,
+                end_cycle=record.end_cycle,
+                run_index=self.lane_run_indices[lane],
+                ordinal=record.ordinal,
+                features=features,
+                commits=commits,
+            ))
+        self._open = None
+        self._accumulators = {}
+        self._open_labels = None
+        if self.timed:
+            self.finalize_seconds += time.perf_counter() - started
+
+    @staticmethod
+    def _project_lane(accumulator: _BatchFeatureAccumulator, lane: int,
+                      keep_raw: bool, combine, cache) -> FeatureIteration:
+        """Replay one lane's scalar view of a laned accumulator."""
+        replay = _FeatureAccumulator()
+        add = replay.add
+        digests = replay.digests
+        for row, length in zip(accumulator.dedup_rows,
+                               accumulator.run_lengths):
+            add(tuple(value[lane] if type(value) is tuple else value
+                      for value in row))
+            if length > 1:
+                digests.extend([digests[-1]] * (length - 1))
+        return replay.finalize(keep_raw, combine, cache)

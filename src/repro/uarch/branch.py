@@ -4,6 +4,12 @@ The front end predicts speculatively and updates the global history register
 in place; every predicted control-flow instruction carries a checkpoint
 (GHR + RAS) that is restored on misprediction.  Counter tables (PHT) and the
 BTB are updated non-speculatively at commit, as in BOOM.
+
+Under lane batching (:mod:`repro.uarch.batch_core`) one predictor instance
+is shared by every lane: that is sound because the batched core only stays
+lockstep while all lanes resolve every branch the same way — the first
+cross-lane difference in a resolved direction or an indirect target raises
+a divergence before it could train the shared tables differently.
 """
 
 from __future__ import annotations

@@ -12,6 +12,14 @@ instructions really occupy the ROB and issue to the cache, the fetch engine
 really follows the gshare/BTB/RAS prediction, and the optional *fast bypass*
 optimization of Section VII-B really elides AND operations at rename.  These
 are precisely the mechanisms whose state MicroSampler samples.
+
+:mod:`repro.uarch.batch_core` subclasses this core to carry several
+campaign inputs as SIMD value lanes through one shared pipeline: all the
+timing structures here stay scalar, and the hooks it overrides
+(``_begin_execution``, ``_try_fast_bypass``, ``_line_digest``,
+``_commit_bookkeeping``) are the points where per-lane values meet
+timing-relevant decisions.  Changes to those methods must keep the batched
+subclass in sync; the differential suite pins them bit-identical.
 """
 
 from __future__ import annotations

@@ -2,11 +2,35 @@
 
 Each unit tracks its in-flight operations so the tracer can sample
 "busy with PC" state per cycle (the EUU-* features of Table IV).
+
+Under lane-batched core simulation (:mod:`repro.uarch.batch_core`) the
+units themselves stay scalar — occupancy, latency and scheduling are
+timing state shared by every lane — while operand *values* may be numpy
+``(n_lanes,)`` uint64 arrays.  :func:`settle_lanes` is the canonical
+collapse point: any per-lane value that feeds timing must settle back to
+one python int, and a value that cannot settle is a cross-lane
+divergence.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.isa.semantics import MASK64, to_signed
+
+
+def settle_lanes(values):
+    """Collapse a per-lane value array to a scalar when lanes agree.
+
+    Returns a plain masked int when every lane holds the same value
+    (the overwhelmingly common case for constant-time code), otherwise
+    the array itself — the caller decides whether a laned value is
+    acceptable (register data) or a divergence (addresses, latencies).
+    """
+    first = values[0]
+    if bool((values == first).all()):
+        return int(first)
+    return values
 
 
 def _fresh_versions(kind: str) -> dict[str, int]:
@@ -96,6 +120,19 @@ def divider_latency(a: int, b: int, base_latency: int) -> int:
     magnitude_b = abs(to_signed(b & MASK64)) or 1
     quotient_bits = max(magnitude_a.bit_length() - magnitude_b.bit_length(), 0)
     return 3 + (quotient_bits + 1) // 2
+
+
+def batch_divider_latency(a_lanes, b_lanes, base_latency: int) -> tuple[int, ...]:
+    """Per-lane :func:`divider_latency` over ``(n_lanes,)`` operand arrays.
+
+    The divider is unpipelined and its occupancy is timing state, so a
+    lane-batched core can only proceed when every lane's latency agrees;
+    the batch core raises a ``div-latency`` divergence otherwise.
+    """
+    return tuple(
+        divider_latency(int(a), int(b), base_latency)
+        for a, b in zip(np.asarray(a_lanes), np.asarray(b_lanes))
+    )
 
 
 class ExecUnitPool:

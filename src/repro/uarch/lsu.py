@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.isa.semantics import MASK64, to_signed
+from repro.uarch.exec_units import settle_lanes
 from repro.uarch.memsys import DataCachePort
 from repro.uarch.uop import MicroOp
 
@@ -318,3 +321,28 @@ class LoadStoreUnit:
         for u in self.load_queue:
             row[u.lq_slot] = u.pc
         return tuple(row)
+
+
+class BatchLoadStoreUnit(LoadStoreUnit):
+    """LSU for the lane-batched core (:mod:`repro.uarch.batch_core`).
+
+    All queue timing stays scalar: the batch core settles every effective
+    address before it reaches the LSU (a per-lane address is a ``mem``
+    divergence), so slots, forwarding decisions and cache traffic are
+    identical across lanes.  The only laned values flowing through here
+    are load results and forwarded store data, which only need the
+    sign-extension step vectorized.
+    """
+
+    _SIGN_SHIFTS = {size: np.uint64(64 - 8 * size) for size in (1, 2, 4)}
+
+    @staticmethod
+    def _finish_load_value(load: MicroOp, raw):
+        if not isinstance(raw, np.ndarray):
+            return LoadStoreUnit._finish_load_value(load, raw)
+        size, signed = load.inst.spec.mem
+        if signed and size < 8:
+            width = BatchLoadStoreUnit._SIGN_SHIFTS[size]
+            shifted = np.ascontiguousarray(raw << width)
+            raw = (shifted.view(np.int64) >> np.int64(width)).astype(np.uint64)
+        return settle_lanes(raw)

@@ -117,7 +117,15 @@ class Mshr:
 
 @dataclass(slots=True)
 class LfbEntry:
-    """One line-fill-buffer entry: fill data en route to the cache."""
+    """One line-fill-buffer entry: fill data en route to the cache.
+
+    ``data_digest`` is a CRC of the filling line's bytes.  Under lane
+    batching (:class:`repro.uarch.batch_core.BatchCore`) lane memories can
+    legitimately hold different bytes at the same (settled) address, so the
+    batched core's ``_line_digest`` may yield a per-lane *tuple* here — the
+    only tracer-visible value that is ever laned; the tracer projects it
+    back to per-lane scalar digests when records are finalized.
+    """
 
     line_addr: int
     ready_cycle: int

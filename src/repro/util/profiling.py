@@ -57,6 +57,17 @@ class StageProfile:
     #: prologue when checkpointing is off).  Overlaps the per-stage times —
     #: it is a phase of the same simulated cycles, not extra work.
     warmup_seconds: float = 0.0
+    #: Lane-batched cycle-accurate phase (``--batch-lanes``): wall time the
+    #: shared :class:`~repro.uarch.batch_core.BatchCore` loop spent carrying
+    #: several inputs at once, and how many lockstep group runs completed.
+    #: Overlaps the per-stage times, like ``warmup_seconds``.
+    batchcore_seconds: float = 0.0
+    batchcore_runs: int = 0
+    #: Scalar re-simulation forced by cross-lane divergence: the time spent
+    #: re-running diverged lane groups from scratch.  The smaller this is
+    #: relative to ``batchcore_seconds``, the more of the campaign stayed
+    #: lockstep.
+    fallback_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -98,6 +109,20 @@ class StageProfile:
             lines.append(
                 f"  pre-ROI warm-up  {self.warmup_seconds:8.3f} s"
                 "  (cycle-accurate, untraced)"
+            )
+        if self.batchcore_runs or self.fallback_seconds:
+            lanes_note = (f"  ({self.batchcore_runs} lockstep group run(s))"
+                          if self.batchcore_runs else "")
+            lines.append(
+                "Lane-batched core phase (overlaps per-stage times):"
+            )
+            lines.append(
+                f"  batch-core       {self.batchcore_seconds:8.3f} s"
+                + lanes_note
+            )
+            lines.append(
+                f"  scalar fallback  {self.fallback_seconds:8.3f} s"
+                "  (diverged lanes re-simulated)"
             )
         return "\n".join(lines)
 

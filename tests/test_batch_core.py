@@ -1,0 +1,386 @@
+"""Lane-batched OoO core: identity, divergence fallback, cache format v5.
+
+The contract under test is the one :mod:`repro.uarch.batch_core` promises:
+carrying N campaign inputs as value lanes through one shared cycle-accurate
+pipeline NEVER changes what is observed — per-unit digests, verdicts, run
+stats and consoles are bit-identical to scalar simulation — and any
+cross-lane difference in timing-relevant state either falls back to scalar
+re-simulation (transparently) or is surfaced as a first-class
+:class:`~repro.isa.batch_interpreter.DivergenceEvent`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sampler import MicroSampler, Workload, run_campaign
+from repro.sampler.exec_backend import (
+    RunTask,
+    execute_run,
+    execute_run_batch,
+    _lane_groups,
+)
+from repro.sampler.report import report_to_dict
+from repro.sampler.runner import patch_program
+from repro.sampler.trace_cache import (
+    CACHE_FORMAT_VERSION,
+    TraceCache,
+    prune_cache,
+)
+from repro.uarch.batch_core import BatchCore, LaneDivergence
+from repro.uarch.config import SMALL_BOOM
+from tests.test_checkpoint import _scrub_timings
+
+
+def _report_dict(workload, *, batch_lanes, jobs=1, cache=None, config=None):
+    sampler = MicroSampler(config or SMALL_BOOM, warmup_insts=64,
+                           batch_lanes=batch_lanes, jobs=jobs, cache=cache)
+    return _scrub_timings(report_to_dict(sampler.analyze(workload)))
+
+
+def _strip_divergences(payload: dict) -> dict:
+    """Drop the one field batching may legitimately add to a report."""
+    payload = dict(payload)
+    payload.pop("divergences", None)
+    return payload
+
+
+# ---------------------------------------------------------------- identity
+
+
+def _bundled_workloads():
+    from repro.cli import AUDIT_EXPECTATIONS, build_workload
+
+    return [build_workload(name, inputs=2, seed=3)
+            for name in AUDIT_EXPECTATIONS]
+
+
+def test_batched_identical_to_scalar_on_all_bundled_workloads():
+    """Digests and verdicts pin bit-identical, leaky and constant-time alike.
+
+    The scalar core stays the authoritative reference: for every bundled
+    workload the lane-batched report must equal the scalar one on every
+    field except the surfaced divergences (which scalar simulation cannot
+    observe).
+    """
+    for workload in _bundled_workloads():
+        scalar = _report_dict(workload, batch_lanes=None)
+        batched = _report_dict(workload, batch_lanes="auto")
+        assert scalar.pop("divergences") == []
+        batched.pop("divergences")
+        assert batched == scalar, workload.name
+
+
+def test_batched_identical_cold_and_warm_cache_parallel(tmp_path):
+    from repro.cli import build_workload
+
+    for name in ("ct-mem-cmp", "sam-leaky"):
+        workload = build_workload(name, inputs=4, seed=3)
+        scalar = _strip_divergences(
+            _report_dict(workload, batch_lanes=None))
+        cache = TraceCache(tmp_path / name)
+        cold = _report_dict(workload, batch_lanes="auto", jobs=4,
+                            cache=cache)
+        warm = _report_dict(workload, batch_lanes="auto", jobs=4,
+                            cache=cache)
+        # Warm replays everything — including divergences — from the cache.
+        assert warm == cold, name
+        assert cache.hits > 0
+        assert _strip_divergences(cold) == scalar, name
+
+
+def test_flip_one_byte_fuzz_oracle():
+    """Flip-one-byte inputs over the batched core, scalar as the oracle.
+
+    Single-byte perturbations of one base secret are exactly the
+    populations leakage analysis compares, and the worst case for lockstep
+    execution (maximally similar prefixes that may split anywhere).
+    """
+    import random
+
+    from repro.workloads import make_ct_memcmp
+
+    base_workload = make_ct_memcmp(n_pairs=1, n_runs=1)
+    base = dict(base_workload.inputs[0])
+    symbol, payload = next(iter(base.items()))
+    rng = random.Random(0xB47C)
+    inputs = [dict(base)]
+    for _ in range(7):
+        flipped = bytearray(payload)
+        position = rng.randrange(len(flipped))
+        flipped[position] ^= 1 << rng.randrange(8)
+        mutated = dict(base)
+        mutated[symbol] = bytes(flipped)
+        inputs.append(mutated)
+    workload = Workload(name="fuzz-flip", source=base_workload.source,
+                        inputs=inputs)
+
+    scalar = run_campaign(workload, SMALL_BOOM)
+    batched = run_campaign(workload, SMALL_BOOM, batch_lanes=8)
+
+    def observe(campaign):
+        return [
+            (r.index, r.label, r.start_cycle, r.end_cycle, r.run_index,
+             r.ordinal,
+             tuple(sorted((fid, None if f.cycle_digests is None
+                           else tuple(f.cycle_digests), f.rows)
+                          for fid, f in r.features.items())))
+            for r in campaign.iterations
+        ]
+
+    assert observe(batched) == observe(scalar)
+    assert [r.stats for r in batched.runs] == [r.stats for r in scalar.runs]
+    assert ([r.console for r in batched.runs]
+            == [r.console for r in scalar.runs])
+
+
+# ------------------------------------------------------ divergence triggers
+
+
+_PROLOGUE = """
+.data
+key: .byte 0
+table: .zero 64
+msg: .byte 65, 66, 67, 68
+.text
+main:
+    la t0, key
+    lbu t1, 0(t0)
+"""
+
+_EPILOGUE = """
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+_TRIGGERS = {
+    "branch": _PROLOGUE + """
+    beqz t1, skip
+    addi t2, t2, 1
+skip:
+""" + _EPILOGUE,
+    "mem": _PROLOGUE + """
+    la t2, table
+    add t2, t2, t1
+    lbu t3, 0(t2)
+""" + _EPILOGUE,
+    "jump": _PROLOGUE + """
+    la t2, target0
+    slli t1, t1, 3
+    add t2, t2, t1
+    jalr ra, 0(t2)
+""" + _EPILOGUE + """
+target0:
+    nop
+    jalr zero, 0(ra)
+target1:
+    nop
+    jalr zero, 0(ra)
+""",
+    "syscall": _PROLOGUE + """
+    addi a2, t1, 1
+    la a1, msg
+    li a0, 1
+    li a7, 64
+    ecall
+""" + _EPILOGUE,
+    "div-latency": _PROLOGUE + """
+    li t2, 3
+    div t3, t1, t2
+""" + _EPILOGUE,
+    # The operand must be architecturally visible by the time the AND
+    # renames for the bypass check to fire at all; the nop sled covers the
+    # cold-cache load latency.
+    "fast-bypass": _PROLOGUE + "    nop\n" * 80 + """
+    li t2, 255
+    and t3, t1, t2
+""" + _EPILOGUE,
+}
+
+_TRIGGER_CONFIGS = {
+    "div-latency": SMALL_BOOM.with_(variable_div_latency=True),
+    "fast-bypass": SMALL_BOOM.with_(fast_bypass=True),
+}
+
+_TRIGGER_KEYS = {
+    "div-latency": (b"\x01", b"\xff"),
+    "mem": (b"\x00", b"\x08"),
+    "syscall": (b"\x00", b"\x02"),
+}
+
+
+def _lane_programs(source, payloads):
+    base = assemble(source, entry="main")
+    return [patch_program(base, {"key": payload}) for payload in payloads]
+
+
+@pytest.mark.parametrize("kind", sorted(_TRIGGERS))
+def test_divergence_trigger(kind):
+    """Each timing-relevant cross-lane difference raises its own kind."""
+    config = _TRIGGER_CONFIGS.get(kind, SMALL_BOOM)
+    payloads = _TRIGGER_KEYS.get(kind, (b"\x00", b"\x01"))
+    core = BatchCore(_lane_programs(_TRIGGERS[kind], payloads), config)
+    with pytest.raises(LaneDivergence) as excinfo:
+        core.run(max_cycles=20_000)
+    event = excinfo.value.event
+    assert event.kind == kind
+    assert event.lanes == (1,)
+    assert event.step == core.cycle
+
+
+def test_checkpoint_head_divergence():
+    from repro.sampler.checkpoint import Checkpoint
+
+    programs = _lane_programs(_TRIGGERS["branch"], (b"\x00", b"\x00"))
+    core = BatchCore(programs, SMALL_BOOM)
+    entry = programs[0].entry
+    checkpoints = [
+        Checkpoint(pc=entry, regs=(0,) * 32, pages=(), console=b"",
+                   brk=0, steps=steps, pre_roi_steps=steps)
+        for steps in (4, 9)
+    ]
+    with pytest.raises(LaneDivergence) as excinfo:
+        core.restore_architectural_states(checkpoints)
+    assert excinfo.value.event.kind == "checkpoint"
+    assert excinfo.value.event.mnemonic == "<restore>"
+
+
+def test_lockstep_run_keeps_identical_lanes_together():
+    programs = _lane_programs(_TRIGGERS["branch"], (b"\x01", b"\x01"))
+    core = BatchCore(programs, SMALL_BOOM)
+    result = core.run(max_cycles=20_000)
+    assert result.exit_code == 0
+
+
+# -------------------------------------------------------- fallback semantics
+
+
+def _tasks(source, payloads, config=SMALL_BOOM, lanes=None):
+    base = assemble(source, entry="main")
+    width = lanes if lanes is not None else len(payloads)
+    return [
+        RunTask(run_index=index, workload_name="trigger",
+                program=patch_program(base, {"key": payload}),
+                config=config, core_lanes=width)
+        for index, payload in enumerate(payloads)
+    ]
+
+
+def test_fallback_outputs_identical_to_scalar():
+    """A diverging group re-simulates scalar and stays output-identical."""
+    tasks = _tasks(_TRIGGERS["branch"], (b"\x00", b"\x01", b"\x01", b"\x02"))
+    batched = execute_run_batch(tasks)
+    scalar = [execute_run(task) for task in tasks]
+    assert len(batched) == len(scalar)
+    for got, want in zip(batched, scalar):
+        assert got.run_index == want.run_index
+        assert got.run.exit_code == want.run.exit_code
+        assert got.run.stats == want.run.stats
+        assert got.run.console == want.run.console
+        assert got.cycles_sampled == want.cycles_sampled
+    # All events land on the group's first output, remapped to run indices.
+    events = batched[0].divergences
+    assert events and all(e.kind == "branch" for e in events)
+    assert all(output.divergences == () for output in batched[1:])
+
+
+def test_lane_groups_partitioning():
+    scalar_task = _tasks(_TRIGGERS["branch"], (b"\x00",), lanes=None)[0]
+    scalar_task = RunTask(**{**scalar_task.__dict__, "core_lanes": None})
+    batch_tasks = _tasks(_TRIGGERS["branch"],
+                         (b"\x00", b"\x01", b"\x02"), lanes=2)
+    groups = _lane_groups([scalar_task, *batch_tasks])
+    assert [len(group) for group in groups] == [1, 2, 1]
+    assert groups[0][0].core_lanes is None
+
+
+# ------------------------------------------------------ cache-format bump
+
+
+def test_cache_key_includes_core_lanes():
+    task = _tasks(_TRIGGERS["branch"], (b"\x00",), lanes=4)[0]
+    cache = TraceCache("/nonexistent")
+    batched_key = cache.key_for(task)
+    scalar_key = cache.key_for(
+        RunTask(**{**task.__dict__, "core_lanes": None}))
+    assert batched_key != scalar_key
+
+
+def test_prune_migrates_v4_entries_and_their_checkpoints(tmp_path):
+    """Format-4 payloads (and the checkpoints only they reference) sweep.
+
+    The orphan sweep must keep working across the 4 -> 5 payload layout
+    change: a stale v4 trace can no longer vouch for its checkpoint, while
+    a current v5 trace protects its own.
+    """
+    from repro.sampler.checkpoint import CHECKPOINT_FORMAT_VERSION
+
+    root = tmp_path / "cache"
+    cache = TraceCache(root)
+
+    # A current-version entry, produced by the real batched pipeline so its
+    # payload records both a checkpoint key and the divergence tuple slot.
+    # The prologue nop sled gives the functional fast-forward something to
+    # skip, so a checkpoint is actually captured and referenced.
+    source = """
+.data
+key: .byte 0
+.text
+main:
+""" + "    nop\n" * 24 + """
+    roi.begin
+    la t0, key
+    lbu t1, 0(t0)
+    andi t2, t1, 1
+    iter.begin t2
+    nop
+    iter.end
+    roi.end
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+    workload = Workload(
+        name="migration", source=source,
+        inputs=[{"key": bytes([k])} for k in (0, 1)],
+    )
+    campaign = run_campaign(workload, SMALL_BOOM, cache=cache,
+                            warmup_insts=8, batch_lanes=2)
+    assert campaign.runs
+    live_traces = sorted(root.rglob("*.pkl"))
+    live_ckpts = sorted(root.rglob("*.ckpt"))
+    assert live_traces and live_ckpts
+
+    # Plant a pre-bump v4 entry: 7-element payload, old version stamp,
+    # referencing its own (current-format) checkpoint.
+    old_ckpt = root / "checkpoints" / "aa" / ("a" * 40 + ".ckpt")
+    old_ckpt.parent.mkdir(parents=True, exist_ok=True)
+    old_ckpt.write_bytes(pickle.dumps((CHECKPOINT_FORMAT_VERSION, "x")))
+    old_trace = root / "aa" / ("b" * 40 + ".pkl")
+    old_trace.parent.mkdir(parents=True, exist_ok=True)
+    old_trace.write_bytes(pickle.dumps(
+        (4, (), (0, {}, "", ()), 0, 0.0, 0, old_ckpt.stem)))
+    assert CACHE_FORMAT_VERSION == 5
+
+    result = prune_cache(root)
+    assert result["removed"]["trace"] == 1
+    assert result["removed"]["orphan"] == 1
+    assert not old_trace.exists() and not old_ckpt.exists()
+    assert sorted(root.rglob("*.pkl")) == live_traces
+    assert sorted(root.rglob("*.ckpt")) == live_ckpts
+
+
+def test_divergences_roundtrip_through_cache(tmp_path):
+    cache = TraceCache(tmp_path / "cache")
+    tasks = _tasks(_TRIGGERS["branch"], (b"\x00", b"\x01"))
+    outputs = execute_run_batch(tasks)
+    assert outputs[0].divergences
+    key = cache.key_for(tasks[0])
+    assert cache.store(key, outputs[0])
+    replayed = cache.load(key)
+    assert replayed is not None
+    assert replayed.divergences == outputs[0].divergences

@@ -183,11 +183,13 @@ skip:
 
 
 class TestBatchLockstepCampaign:
-    """``--batch-lanes auto`` must be report-identical to ``off``.
+    """``--batch-lanes auto`` must be verdict-identical to ``off``.
 
-    The prepass only changes how roi.begin checkpoints are captured — never
-    what the cycle-accurate core simulates — so reports and localization
-    dicts must match byte-for-byte, cold or warm cache, serial or parallel.
+    Lane batching (the functional prepass *and* the lane-batched
+    cycle-accurate core) only changes how the same simulation is carried —
+    never its outcome — so apart from the surfaced ``divergences`` (a leak
+    signal ``off`` cannot observe), reports and localization dicts must
+    match byte-for-byte, cold or warm cache, serial or parallel.
     """
 
     def _report_dict(self, workload, *, batch_lanes, jobs=1, cache=None):
@@ -207,8 +209,17 @@ class TestBatchLockstepCampaign:
                          make_early_exit_memcmp(n_pairs=2, n_runs=2)):
             off = self._report_dict(workload, batch_lanes=None)
             auto = self._report_dict(workload, batch_lanes="auto")
+            divergences = auto.pop("divergences")
+            assert off.pop("divergences") == []
             assert auto == off, workload.name
-            assert auto["divergences"] == []  # prologues are lockstep
+            if workload.name.startswith("sam-ct"):
+                # Constant-time code stays lockstep end to end.
+                assert divergences == []
+            else:
+                # The early-exit compare branches on the secret: the batched
+                # core observes that directly as a cross-lane divergence.
+                assert any(event["kind"] == "branch"
+                           for event in divergences)
 
     def test_auto_matches_off_parallel_and_cached(self, tmp_path):
         from repro.sampler import TraceCache
@@ -253,20 +264,25 @@ class TestBatchLockstepCampaign:
         sampler = MicroSampler(SMALL_BOOM, warmup_insts=64,
                                batch_lanes="auto")
         report = sampler.analyze(workload)
-        assert len(report.divergences) == 1
+        # The key-dependent prologue branch surfaces twice: once from the
+        # functional prepass (``step`` counts instructions) and once from the
+        # lane-batched cycle-accurate core (``step`` counts cycles).
+        assert len(report.divergences) == 2
+        for event in report.divergences:
+            assert event.kind == "branch"
+            assert event.lanes == (1, 2, 3)  # remapped to run indices
         event = report.divergences[0]
-        assert event.kind == "branch"
-        assert event.lanes == (1, 2, 3)  # remapped to campaign run indices
 
         rendered = render_report(report)
         assert "DIVERGENT PROLOGUE" in rendered
         assert event.describe() in rendered
 
         payload = report_to_dict(report)
-        assert payload["divergences"] == [{
-            "pc": event.pc, "step": event.step, "kind": "branch",
-            "mnemonic": event.mnemonic, "lanes": [1, 2, 3],
-        }]
+        assert payload["divergences"] == [
+            {"pc": e.pc, "step": e.step, "kind": "branch",
+             "mnemonic": e.mnemonic, "lanes": [1, 2, 3]}
+            for e in report.divergences
+        ]
 
         # Apart from the surfaced divergences, the analysis itself is
         # unchanged versus the scalar path.
