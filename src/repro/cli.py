@@ -8,6 +8,9 @@ Commands
     List the tracked microarchitectural features (Table IV).
 ``analyze WORKLOAD``
     Run the full MicroSampler pipeline on a built-in workload.
+``sweep WORKLOAD``
+    Run one workload across several core configurations as a single
+    planned job (config-invariant phases paid once).
 ``localize WORKLOAD``
     Detect leaks, then pin each one to a cycle window and the
     responsible instructions (annotated disassembly).
@@ -27,7 +30,7 @@ import sys
 from repro.isa import assemble, format_program
 from repro.sampler import MicroSampler, render_report
 from repro.trace.features import FEATURES
-from repro.uarch import MEGA_BOOM, SMALL_BOOM, Core
+from repro.uarch import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM, Core
 from repro.workloads.bignum import make_mp_modexp_ct, make_mp_modexp_leaky
 from repro.workloads.chacha import make_chacha20
 from repro.workloads.cipher import make_sbox_ct, make_sbox_lookup
@@ -185,14 +188,39 @@ def _add_backend_arguments(parser) -> None:
                              "~/.cache/microsampler)")
 
 
-def _resolve_config(args):
-    config = SMALL_BOOM if args.config == "small" else MEGA_BOOM
+#: CLI config name -> base core configuration.
+CONFIGS = {"mega": MEGA_BOOM, "medium": MEDIUM_BOOM, "small": SMALL_BOOM}
+
+
+def _apply_config_overrides(config, args):
     overrides = {}
     if getattr(args, "fast_bypass", False):
         overrides["fast_bypass"] = True
     if getattr(args, "variable_div", False):
         overrides["variable_div_latency"] = True
     return config.with_(**overrides) if overrides else config
+
+
+def _resolve_config(args):
+    return _apply_config_overrides(CONFIGS[args.config], args)
+
+
+def _resolve_sweep_configs(args):
+    """The core configs named by ``--configs mega,medium,small``.
+
+    ``--fast-bypass`` / ``--variable-div`` apply to every leg (sweep legs
+    must carry distinct names, which the base trio guarantees)."""
+    names = [name.strip() for name in args.configs.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--configs needs at least one core config name")
+    unknown = [name for name in names if name not in CONFIGS]
+    if unknown:
+        raise SystemExit(
+            f"unknown config(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(CONFIGS)}")
+    if len(set(names)) != len(names):
+        raise SystemExit(f"duplicate config names in --configs: {names}")
+    return [_apply_config_overrides(CONFIGS[name], args) for name in names]
 
 
 def known_workloads() -> tuple:
@@ -316,6 +344,37 @@ def cmd_analyze(args) -> int:
             print(render_localization(localization,
                                       program=workload.assemble()))
     return 1 if report.leakage_detected else 0
+
+
+def cmd_sweep(args) -> int:
+    """Cross-config sweep: one campaign, N core configurations."""
+    from repro.sampler import sweep_configs, sweep_to_dict
+
+    configs = _resolve_sweep_configs(args)
+    workload = _build_workload(args.workload, args)
+    jobs, cache = _resolve_backend(args)
+    print(f"sweeping {workload.name!r} across "
+          f"{', '.join(config.name for config in configs)} ...",
+          file=sys.stderr)
+    result = sweep_configs(
+        workload, configs,
+        warmup_iterations=args.warmup,
+        analyze_timing_removed=not args.no_timing_removed,
+        jobs=jobs,
+        cache=cache,
+        warmup_insts=getattr(args, "warmup_insts", None),
+        batch_lanes=getattr(args, "batch_lanes", None),
+        engine=args.engine,
+        profile=getattr(args, "profile", False),
+        taint=getattr(args, "taint", "off") == "on",
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(sweep_to_dict(result), indent=2))
+    else:
+        print(result.render())
+    return 1 if result.leakage_detected else 0
 
 
 def cmd_localize(args) -> int:
@@ -539,6 +598,16 @@ def cmd_cache(args) -> int:
                   f"({_format_bytes(bucket['bytes'])}), "
                   f"{bucket['stale_entries']} stale "
                   f"({_format_bytes(bucket['stale_bytes'])})")
+        per_config = stats.get("per_config") or {}
+        if per_config:
+            print("  trace entries by core config:")
+            for digest, bucket in sorted(
+                    per_config.items(),
+                    key=lambda item: (item[1]["name"] or "~", item[0])):
+                label = bucket["name"] or "(unrecorded)"
+                print(f"    {label:<12} digest={digest[:12]:<12} "
+                      f"{bucket['entries']:>6} entries "
+                      f"({_format_bytes(bucket['bytes'])})")
         total_stale = (stats["trace"]["stale_entries"]
                        + stats["checkpoint"]["stale_entries"])
         if total_stale:
@@ -654,7 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="run the verification pipeline")
     analyze.add_argument("workload", help="workload name (see list-workloads)")
-    analyze.add_argument("--config", choices=["mega", "small"],
+    analyze.add_argument("--config", choices=["mega", "medium", "small"],
                          default="mega")
     analyze.add_argument("--fast-bypass", action="store_true",
                          help="enable the Section VII-B optimization")
@@ -684,12 +753,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_taint_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="analyze one workload across several core configs, paying "
+             "the config-invariant phases once")
+    sweep.add_argument("workload", help="workload name (see list-workloads)")
+    sweep.add_argument("--configs", default="mega,small",
+                       help="comma-separated core configs to sweep "
+                            "(from: mega, medium, small; "
+                            "default: mega,small)")
+    sweep.add_argument("--fast-bypass", action="store_true",
+                       help="enable the Section VII-B optimization on "
+                            "every swept config")
+    sweep.add_argument("--variable-div", action="store_true",
+                       help="model an early-exit divider on every "
+                            "swept config")
+    sweep.add_argument("--inputs", type=int, default=8,
+                       help="number of secret inputs (keys/runs)")
+    sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument("--warmup", type=int, default=0,
+                       help="iterations to drop per run before analysis")
+    sweep.add_argument("--no-timing-removed", action="store_true",
+                       help="skip the timing-removed re-analysis")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the per-(unit, config) verdict matrix "
+                            "as commit-stamped JSON (each leg's report is "
+                            "byte-identical to 'analyze --json' on that "
+                            "config)")
+    _add_engine_argument(sweep)
+    _add_backend_arguments(sweep)
+    _add_checkpoint_argument(sweep)
+    _add_batch_argument(sweep)
+    _add_profile_argument(sweep)
+    _add_taint_argument(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
     localize = sub.add_parser(
         "localize",
         help="pin detected leaks to cycle windows and instructions")
     localize.add_argument("workload",
                           help="workload name (see list-workloads)")
-    localize.add_argument("--config", choices=["mega", "small"],
+    localize.add_argument("--config", choices=["mega", "medium", "small"],
                           default="mega")
     localize.add_argument("--fast-bypass", action="store_true",
                           help="enable the Section VII-B optimization")
@@ -722,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run an assembly file on the OoO core")
     simulate.add_argument("file")
     simulate.add_argument("--entry", default=None)
-    simulate.add_argument("--config", choices=["mega", "small"],
+    simulate.add_argument("--config", choices=["mega", "medium", "small"],
                           default="mega")
     simulate.add_argument("--fast-bypass", action="store_true")
     simulate.add_argument("--variable-div", action="store_true")
@@ -737,7 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeview", help="render per-instruction pipeline timelines")
     pipeview.add_argument("file")
     pipeview.add_argument("--entry", default=None)
-    pipeview.add_argument("--config", choices=["mega", "small"],
+    pipeview.add_argument("--config", choices=["mega", "medium", "small"],
                           default="mega")
     pipeview.add_argument("--fast-bypass", action="store_true")
     pipeview.add_argument("--variable-div", action="store_true")
@@ -751,7 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="run the full verification suite with expectations")
     audit.add_argument("workloads", nargs="*",
                        help="workload names (default: the full suite)")
-    audit.add_argument("--config", choices=["mega", "small"], default="mega")
+    audit.add_argument("--config", choices=["mega", "medium", "small"], default="mega")
     audit.add_argument("--fast-bypass", action="store_true")
     audit.add_argument("--variable-div", action="store_true")
     audit.add_argument("--inputs", type=int, default=8)
@@ -768,7 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="record a workload campaign to a trace-log archive")
     trace.add_argument("workload")
     trace.add_argument("output", help="log path (.jsonl or .jsonl.gz)")
-    trace.add_argument("--config", choices=["mega", "small"], default="mega")
+    trace.add_argument("--config", choices=["mega", "medium", "small"], default="mega")
     trace.add_argument("--fast-bypass", action="store_true")
     trace.add_argument("--variable-div", action="store_true")
     trace.add_argument("--inputs", type=int, default=8)
@@ -818,7 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "suite (default: the full suite)")
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=8765)
-    submit.add_argument("--config", choices=["mega", "small"],
+    submit.add_argument("--config", choices=["mega", "medium", "small"],
                         default="mega")
     submit.add_argument("--fast-bypass", action="store_true")
     submit.add_argument("--variable-div", action="store_true")

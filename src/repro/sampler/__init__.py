@@ -65,7 +65,16 @@ from repro.sampler.report import (
     render_report,
     report_to_dict,
 )
-from repro.sampler.sweep import SweepPoint, SweepResult, significance_sweep
+from repro.sampler.sweep import (
+    ConvergencePoint,
+    ConvergenceSweep,
+    SweepLeg,
+    SweepPoint,
+    SweepResult,
+    significance_sweep,
+    sweep_configs,
+    sweep_to_dict,
+)
 from repro.sampler.runner import (
     CampaignResult,
     Workload,
@@ -138,8 +147,13 @@ __all__ = [
     "report_to_dict",
     "RunOutput",
     "RunTask",
+    "ConvergencePoint",
+    "ConvergenceSweep",
+    "SweepLeg",
     "SweepPoint",
     "SweepResult",
+    "sweep_configs",
+    "sweep_to_dict",
     "TraceCache",
     "execute_run",
     "execute_tasks",

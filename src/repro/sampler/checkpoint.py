@@ -29,7 +29,12 @@ Checkpoints are content-addressed over the patched program image, the
 memory map and the warm-up budget — the core configuration is irrelevant to
 an architectural checkpoint, so every core config shares the same entry —
 and stored alongside the trace cache so reruns and ``--jobs`` workers reuse
-them.
+them.  The cross-config sweep engine (:mod:`repro.sampler.sweep`) leans on
+that sharing directly: the first config leg captures, every later leg's
+prepass degenerates to store loads.  The behaviour is pinned by
+``tests/test_config_sweep.py`` (capture under one config, hit under
+another), so changing :func:`checkpoint_key` to include configuration
+state is a breaking change, not a cleanup.
 """
 
 from __future__ import annotations

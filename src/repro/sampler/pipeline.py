@@ -254,13 +254,23 @@ class MicroSampler:
         )
         return self.analyze_campaign(campaign, taint=taint_summary)
 
-    def compute_taint(self, workload: Workload) -> TaintSummary:
-        """Run the taint prescreen: per-input maps + unit reachability."""
+    def compute_taint(self, workload: Workload, *,
+                      publicness=None) -> TaintSummary:
+        """Run the taint prescreen: per-input maps + unit reachability.
+
+        ``publicness`` optionally supplies a pre-computed
+        :class:`~repro.taint.publicness.CampaignPublicness` — the taint run
+        is config-independent (it executes on the functional interpreter),
+        so a cross-config sweep computes it once and projects only the
+        config-dependent reachability per leg.  The result is bit-identical
+        to recomputing: ``compute_publicness`` is deterministic.
+        """
         from repro.taint import compute_publicness
         from repro.uarch.reachability import reachable_features
 
-        publicness = compute_publicness(workload,
-                                        batch_lanes=self.batch_lanes)
+        if publicness is None:
+            publicness = compute_publicness(workload,
+                                            batch_lanes=self.batch_lanes)
         reachable = reachable_features(publicness.merged, self.config,
                                        self.features)
         return TaintSummary(

@@ -126,12 +126,19 @@ def _build_tasks(workload: Workload, program: Program, config: CoreConfig, *,
                  features, keep_raw, log_commits, memory_map,
                  max_cycles_per_run, expect_exit_code,
                  warmup_insts=None, checkpoint_dir=None,
-                 profile=False, pruned=(), core_lanes=None) -> list[RunTask]:
+                 profile=False, pruned=(), core_lanes=None,
+                 programs=None) -> list[RunTask]:
+    """One :class:`RunTask` per input.  ``programs`` (when given) supplies
+    pre-patched per-input programs — the cross-config sweep patches once
+    and hands the same images to every config leg; ``patch_program`` is
+    deterministic, so the tasks (and their cache keys) are identical to
+    re-patching here."""
     return [
         RunTask(
             run_index=run_index,
             workload_name=workload.name,
-            program=patch_program(program, patches),
+            program=(programs[run_index] if programs is not None
+                     else patch_program(program, patches)),
             config=config,
             warm_regions=tuple(tuple(region)
                                for region in workload.warm_regions),
@@ -187,12 +194,18 @@ class CampaignPlan:
     log_commits: bool
     profile: bool
     started: float
+    #: Wall-clock the batch checkpoint prepass spent capturing (or loading)
+    #: checkpoints while this plan was prepared.  The sweep engine reports
+    #: it separately: the first config leg pays the capture, every later
+    #: leg's prepass degenerates to store loads.
+    capture_seconds: float = 0.0
 
     def fill(self, index: int, output: RunOutput) -> None:
         """Record one simulated output (and persist it to the cache)."""
         self.outputs[index] = output
         if self.cache is not None and self.keys is not None:
-            self.cache.store(self.keys[index], output)
+            self.cache.store(self.keys[index], output,
+                             config=self.tasks[index].config)
 
     @property
     def pending_tasks(self) -> list[RunTask]:
@@ -209,7 +222,8 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
                      checkpoint_dir: str | None = None,
                      batch_lanes=None,
                      profile: bool = False,
-                     pruned=()) -> CampaignPlan:
+                     pruned=(),
+                     programs=None) -> CampaignPlan:
     """Plan a campaign: build tasks, replay cache hits, batch-prepass.
 
     This is everything :func:`run_campaign` does before simulation.  The
@@ -217,6 +231,11 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
     :func:`~repro.sampler.exec_backend.execute_run` (anywhere — in-process,
     process pool, persistent service worker) and recorded with
     ``plan.fill(index, output)``; then :func:`finalize_campaign` merges.
+
+    ``programs`` optionally supplies the per-input patched programs (one
+    per ``workload.inputs`` entry), skipping the assemble + patch phase —
+    the cross-config sweep pays those once and plans every config leg from
+    the same images.
     """
     if not workload.inputs:
         raise WorkloadError(f"workload {workload.name!r} has no inputs")
@@ -238,7 +257,11 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
 
         width = resolve_batch_lanes(batch_lanes, len(workload.inputs))
         core_lanes = width if width > 1 else None
-    program = workload.assemble()
+    if programs is not None and len(programs) != len(workload.inputs):
+        raise WorkloadError(
+            f"pre-patched program count ({len(programs)}) does not match "
+            f"input count ({len(workload.inputs)})")
+    program = workload.assemble() if programs is None else None
     tasks = _build_tasks(
         workload, program, config, features=features, keep_raw=keep_raw,
         log_commits=log_commits, memory_map=memory_map,
@@ -249,6 +272,7 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         profile=profile,
         pruned=pruned,
         core_lanes=core_lanes,
+        programs=programs,
     )
 
     started = time.perf_counter()
@@ -277,6 +301,7 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
         to_run.append(index)
 
     divergences: list = []
+    capture_seconds = 0.0
     if warmup_insts is not None and batch_lanes is not None and to_run:
         from repro.sampler.batch import (
             attach_batch_checkpoints,
@@ -285,17 +310,19 @@ def prepare_campaign(workload: Workload, config: CoreConfig = MEGA_BOOM, *,
 
         lanes = resolve_batch_lanes(batch_lanes, len(to_run))
         if lanes > 1:
+            capture_started = time.perf_counter()
             divergences = attach_batch_checkpoints(
                 tasks, to_run, lanes=lanes, warmup_insts=warmup_insts,
                 checkpoint_dir=checkpoint_dir,
             )
+            capture_seconds = time.perf_counter() - capture_started
 
     return CampaignPlan(
         workload=workload, config=config, tasks=tasks, cache=cache,
         keys=keys, outputs=outputs, duplicate_of=duplicate_of,
         to_run=to_run, n_cached=n_cached, divergences=divergences,
         features=features, keep_raw=keep_raw, log_commits=log_commits,
-        profile=profile, started=started,
+        profile=profile, started=started, capture_seconds=capture_seconds,
     )
 
 

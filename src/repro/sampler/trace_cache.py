@@ -51,12 +51,16 @@ from repro.util.hashing import stable_hex_digest
 #: 5 = lane-batched core simulation (``core_lanes`` joined the key
 #: material — the lane set determines which lane-batched checkpoint
 #: payloads a trace may reference — and payloads record the divergence
-#: events observed while the input ran in a batched group).
+#: events observed while the input ran in a batched group);
+#: 6 = cross-config sweeps (the key material canonicalizes the core
+#: configuration as its memoized :func:`config_digest` instead of the raw
+#: ``asdict`` dict, and payloads record the producing config's name and
+#: digest so ``cache stats`` can break warm entries down per core config).
 #: Entries written by older versions fail the version check and decode as
 #: misses, so campaigns needing localization inputs are transparently
 #: re-simulated instead of replaying traces without them; ``microsampler
 #: cache prune`` garbage-collects the stale files.
-CACHE_FORMAT_VERSION = 5
+CACHE_FORMAT_VERSION = 6
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MICROSAMPLER_CACHE_DIR"
@@ -86,6 +90,25 @@ def program_fingerprint(program) -> tuple:
     )
 
 
+#: Memoized :func:`config_digest` results.  A campaign keys one task per
+#: input — and a cross-config sweep multiplies that by the number of core
+#: configs — against a handful of distinct :class:`CoreConfig` values, yet
+#: ``dataclasses.asdict`` used to re-serialize the same ~30-field config
+#: for every single key.  ``CoreConfig`` is frozen (hashable by value), so
+#: equal configs share one entry and the dict stays as small as the set of
+#: configs the process ever touched.
+_CONFIG_DIGESTS: dict = {}
+
+
+def config_digest(config) -> str:
+    """Stable content digest of a core configuration (memoized by value)."""
+    digest = _CONFIG_DIGESTS.get(config)
+    if digest is None:
+        digest = stable_hex_digest(dataclasses.asdict(config))
+        _CONFIG_DIGESTS[config] = digest
+    return digest
+
+
 def task_key(task: RunTask) -> str:
     """Content-addressed cache key for one campaign input."""
     features = task.features if task.features is not None else FEATURE_ORDER
@@ -95,7 +118,7 @@ def task_key(task: RunTask) -> str:
         CACHE_FORMAT_VERSION,
         getattr(repro, "__version__", "0"),
         program_fingerprint(task.program),
-        dataclasses.asdict(task.config),
+        config_digest(task.config),
         dataclasses.asdict(task.memory_map) if task.memory_map else None,
         tuple(features),
         keep_raw,
@@ -119,7 +142,7 @@ def task_key(task: RunTask) -> str:
     return stable_hex_digest(material)
 
 
-def _output_to_payload(output: RunOutput) -> tuple:
+def _output_to_payload(output: RunOutput, config=None) -> tuple:
     run = output.run
     return (
         CACHE_FORMAT_VERSION,
@@ -132,14 +155,18 @@ def _output_to_payload(output: RunOutput) -> tuple:
         output.checkpoint_key,
         tuple((d.pc, d.step, d.kind, d.mnemonic, tuple(d.lanes))
               for d in output.divergences),
+        # Producing core config (name, digest): informational only — the
+        # digest already keys the entry — but it lets ``cache stats`` report
+        # which config legs of a sweep are warm without re-deriving keys.
+        (config.name, config_digest(config)) if config is not None else None,
     )
 
 
 def _output_from_payload(payload: tuple) -> RunOutput | None:
-    if not isinstance(payload, tuple) or len(payload) != 8:
+    if not isinstance(payload, tuple) or len(payload) != 9:
         return None
     (version, iterations, run, cycles_sampled, sample_seconds,
-     ff_steps, ckpt_key, divergences) = payload
+     ff_steps, ckpt_key, divergences, _config) = payload
     if version != CACHE_FORMAT_VERSION:
         return None
     exit_code, stats, console, marker_cycles = run
@@ -198,12 +225,17 @@ class TraceCache:
             self.hits += 1
         return output
 
-    def store(self, key: str, output: RunOutput) -> bool:
-        """Atomically persist one run's payload; best-effort."""
+    def store(self, key: str, output: RunOutput, config=None) -> bool:
+        """Atomically persist one run's payload; best-effort.
+
+        ``config`` (the producing :class:`CoreConfig`, when the caller has
+        it) is recorded in the payload for the per-config ``cache stats``
+        breakdown; it does not affect the key or replay.
+        """
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            payload = pickle.dumps(_output_to_payload(output),
+            payload = pickle.dumps(_output_to_payload(output, config),
                                    protocol=pickle.HIGHEST_PROTOCOL)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                             prefix=f".{key}.")
@@ -257,6 +289,14 @@ def _payload_checkpoint_key(payload: tuple) -> str | None:
     return None
 
 
+def _payload_config(payload: tuple) -> tuple | None:
+    """``(name, digest)`` of the core config that produced a trace payload."""
+    if (len(payload) >= 9 and isinstance(payload[8], tuple)
+            and len(payload[8]) == 2):
+        return payload[8]
+    return None
+
+
 def _scan_entries(root: Path):
     """Yield ``(path, kind, current_version)`` for every cache entry file."""
     from repro.sampler.checkpoint import (CHECKPOINT_FORMAT_VERSION,
@@ -279,12 +319,19 @@ def cache_stats(root: str | Path | None = None) -> dict:
     An entry is *stale* when its recorded format version differs from the
     current one (or it cannot be decoded at all): it can never hit again
     and only occupies disk until pruned.
+
+    Live trace entries are additionally broken down per producing core
+    config under ``per_config`` (``digest -> {name, entries, bytes}``), so
+    before submitting a cross-config sweep one can see which config legs
+    are already warm.  Entries stored without a recorded config (older
+    callers) are grouped under the ``"unknown"`` digest.
     """
     root = Path(root) if root is not None else default_cache_dir()
     stats = {
         kind: {"entries": 0, "bytes": 0, "stale_entries": 0, "stale_bytes": 0}
         for kind in ("trace", "checkpoint")
     }
+    per_config: dict = {}
     for path, kind, current in _scan_entries(root):
         try:
             size = path.stat().st_size
@@ -293,10 +340,21 @@ def cache_stats(root: str | Path | None = None) -> dict:
         bucket = stats[kind]
         bucket["entries"] += 1
         bucket["bytes"] += size
-        if _payload_version(path) != current:
+        payload = _read_payload(path)
+        version = (payload[0] if payload is not None
+                   and isinstance(payload[0], int) else None)
+        if version != current:
             bucket["stale_entries"] += 1
             bucket["stale_bytes"] += size
-    return {"root": str(root), **stats}
+            continue
+        if kind != "trace":
+            continue
+        name, digest = _payload_config(payload) or ("?", "unknown")
+        entry = per_config.setdefault(
+            digest, {"name": name, "entries": 0, "bytes": 0})
+        entry["entries"] += 1
+        entry["bytes"] += size
+    return {"root": str(root), **stats, "per_config": per_config}
 
 
 def prune_cache(root: str | Path | None = None, *,

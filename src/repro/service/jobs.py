@@ -155,9 +155,10 @@ class JobSpec:
             raise JobSpecError(
                 f"unknown engine {self.engine!r}; choose from "
                 f"{MicroSampler.ENGINES}")
-        if self.config not in ("mega", "small"):
+        if self.config not in ("mega", "medium", "small"):
             raise JobSpecError(
-                f"unknown config {self.config!r}; choose 'mega' or 'small'")
+                f"unknown config {self.config!r}; choose 'mega', "
+                "'medium' or 'small'")
         if not isinstance(self.inputs, int) or self.inputs < 1:
             raise JobSpecError("inputs must be a positive integer")
         if not isinstance(self.priority, int):
@@ -393,9 +394,10 @@ class JobManager:
     # -- execution ----------------------------------------------------------
 
     def _resolve_config(self, spec: JobSpec):
-        from repro.uarch.config import MEGA_BOOM, SMALL_BOOM
+        from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM
 
-        config = SMALL_BOOM if spec.config == "small" else MEGA_BOOM
+        config = {"mega": MEGA_BOOM, "medium": MEDIUM_BOOM,
+                  "small": SMALL_BOOM}[spec.config]
         overrides = {}
         if spec.fast_bypass:
             overrides["fast_bypass"] = True

@@ -206,6 +206,12 @@ def compute_publicness(workload, *, memory_map: MemoryMap | None = None,
     should surface that rather than silently treating it as public).
     ``batch_lanes`` (``None`` | ``"auto"`` | N) selects the lane-parallel
     engine for the lockstep phases, bit-identical to the scalar path.
+
+    The result is **core-config independent**: taint propagates through the
+    functional interpreter, which models no timing.  Only the downstream
+    reachability projection (:mod:`repro.uarch.reachability`) consults a
+    :class:`CoreConfig` — which is why the cross-config sweep engine
+    computes this witness once and projects it per swept config.
     """
     from repro.sampler.runner import patch_program
 

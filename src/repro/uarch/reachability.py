@@ -68,3 +68,21 @@ def prunable_features(publicness, config: CoreConfig,
     """Features taint proves secret-free — safe for the tracer to skip."""
     feature_ids = frozenset(feature_ids)
     return feature_ids - reachable_features(publicness, config, feature_ids)
+
+
+def project_reachability(publicness, configs, feature_ids) -> dict:
+    """Per-config reachable sets from one shared publicness map.
+
+    The taint witness is config-independent (it is computed on the
+    functional interpreter); only this projection consults the core
+    configuration (value-dependent divider latency, fast bypass).  The
+    cross-config sweep engine computes the witness once and calls this to
+    derive every leg's reachable/pruned split — each entry is exactly what
+    :func:`reachable_features` returns for that config standalone.
+
+    Returns ``{config.name: frozenset(reachable feature ids)}``.
+    """
+    return {
+        config.name: reachable_features(publicness, config, feature_ids)
+        for config in configs
+    }
